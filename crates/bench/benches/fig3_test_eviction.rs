@@ -1,0 +1,40 @@
+//! Criterion bench behind Figure 3: parallel vs sequential `TestEviction`
+//! over a growing candidate count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_evsets::{test_eviction, CandidateSet, TargetCache, TraversalOrder};
+use llc_machine::{Machine, NoiseModel};
+use llc_cache_model::CacheSpec;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn bench_test_eviction(c: &mut Criterion) {
+    let spec = CacheSpec::skylake_sp(2, 4);
+    let mut group = c.benchmark_group("fig3_test_eviction");
+    group.sample_size(10);
+    for &count in &[256usize, 1024, 2048] {
+        for (label, order) in
+            [("parallel", TraversalOrder::Parallel), ("sequential", TraversalOrder::Sequential)]
+        {
+            group.bench_with_input(
+                BenchmarkId::new(label, count),
+                &(count, order),
+                |b, &(count, order)| {
+                    let mut machine = Machine::builder(spec.clone())
+                        .noise(NoiseModel::cloud_run())
+                        .seed(7)
+                        .build();
+                    let mut rng = SmallRng::seed_from_u64(7);
+                    let pool = CandidateSet::allocate(&mut machine, 0x240, count + 1, &mut rng);
+                    let ta = pool.addresses()[0];
+                    let cands: Vec<_> = pool.addresses()[1..].to_vec();
+                    b.iter(|| test_eviction(&mut machine, ta, &cands, TargetCache::Llc, order));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_test_eviction);
+criterion_main!(benches);

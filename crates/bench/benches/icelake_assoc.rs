@@ -1,0 +1,39 @@
+//! Criterion bench behind Section 5.3.2: eviction-set construction cost on
+//! Skylake-SP versus the higher-associativity Ice Lake-SP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_bench::experiments::{measure_single_set, Environment};
+use llc_core::Algorithm;
+use llc_cache_model::{CacheSpec, SlicedGeometry};
+
+fn scaled_ice_lake(slices: usize) -> CacheSpec {
+    let mut icx = CacheSpec::ice_lake_sp();
+    icx.llc = SlicedGeometry::new(icx.llc.slice_geometry(), slices);
+    icx.sf = SlicedGeometry::new(icx.sf.slice_geometry(), slices);
+    icx
+}
+
+fn bench_associativity(c: &mut Criterion) {
+    let machines = [("skylake", CacheSpec::skylake_sp(2, 4)), ("icelake", scaled_ice_lake(2))];
+    let mut group = c.benchmark_group("icelake_associativity");
+    group.sample_size(10);
+    for (name, spec) in &machines {
+        for algo in [Algorithm::GtOp, Algorithm::BinS] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), name),
+                &algo,
+                |b, &algo| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        measure_single_set(spec, Environment::QuiescentLocal, algo, true, 1, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_associativity);
+criterion_main!(benches);

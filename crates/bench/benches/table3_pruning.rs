@@ -1,0 +1,33 @@
+//! Criterion bench behind Table 3: single eviction-set construction with the
+//! state-of-the-art pruning algorithms (no candidate filtering), quiescent
+//! local vs Cloud Run noise.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_bench::experiments::{measure_single_set, Environment};
+use llc_core::Algorithm;
+use llc_cache_model::CacheSpec;
+
+fn bench_pruning(c: &mut Criterion) {
+    let spec = CacheSpec::skylake_sp(2, 4);
+    let mut group = c.benchmark_group("table3_pruning");
+    group.sample_size(10);
+    for env in Environment::all() {
+        for algo in [Algorithm::Gt, Algorithm::GtOp, Algorithm::PsOp] {
+            group.bench_with_input(
+                BenchmarkId::new(algo.name(), env.label()),
+                &(env, algo),
+                |b, &(env, algo)| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        measure_single_set(&spec, env, algo, false, 1, seed)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pruning);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Criterion bench behind Table 5: prime and probe cost of each monitoring
+//! strategy (simulated-cycle cost measured inside; host time benchmarked).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_bench::experiments::{measure_monitoring, Environment};
+use llc_probe::Strategy;
+use llc_cache_model::CacheSpec;
+
+fn bench_monitoring(c: &mut Criterion) {
+    let spec = CacheSpec::skylake_sp(2, 4);
+    let mut group = c.benchmark_group("table5_monitoring");
+    group.sample_size(10);
+    for strategy in Strategy::all() {
+        group.bench_with_input(
+            BenchmarkId::new("covert_channel", strategy.to_string()),
+            &strategy,
+            |b, &strategy| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    measure_monitoring(&spec, Environment::CloudRun, strategy, 10_000, 100, seed)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring);
+criterion_main!(benches);

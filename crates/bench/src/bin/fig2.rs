@@ -1,0 +1,32 @@
+//! Figure 2: CDF of the time between background (other-tenant) accesses to a
+//! randomly chosen LLC/SF set, on Cloud Run versus a quiescent local machine.
+
+use llc_bench::experiments::{measure_noise_cdf, Environment};
+use llc_bench::{env_usize, scaled_skylake};
+
+fn main() {
+    let spec = scaled_skylake();
+    let samples = env_usize("LLC_NOISE_SAMPLES", 400);
+    println!("Figure 2 — CDF of time between background accesses to one set ({})", spec.name);
+
+    let curves: Vec<_> =
+        Environment::all().iter().map(|&e| measure_noise_cdf(&spec, e, samples, 0xf16_2)).collect();
+
+    println!("{:<18} {:>22}", "Environment", "Mean accesses/ms/set");
+    for c in &curves {
+        println!("{:<18} {:>22.2}", c.environment, c.accesses_per_ms);
+    }
+    println!();
+    println!("{:<14} {:>16} {:>16}", "Interval (us)", curves[0].environment, curves[1].environment);
+    for threshold in [10.0, 25.0, 50.0, 100.0, 150.0, 200.0, 300.0, 500.0, 1000.0, 3000.0] {
+        println!(
+            "{:<14} {:>15.1}% {:>15.1}%",
+            threshold,
+            100.0 * curves[0].cdf_at(threshold),
+            100.0 * curves[1].cdf_at(threshold)
+        );
+    }
+    println!();
+    println!("Paper: Cloud Run averages 11.5 accesses/ms/set vs 0.29 locally, so the");
+    println!("Cloud Run CDF rises close to 1 within ~300 us while the local CDF stays low.");
+}

@@ -1,0 +1,788 @@
+//! Measurement routines behind every table and figure reproduction.
+//!
+//! Each function runs the corresponding experiment on a simulated host and
+//! returns plain data; the binaries under `src/bin/` format that data as the
+//! paper's tables, and `EXPERIMENTS.md` records paper-vs-measured values.
+
+use crate::SampleStats;
+use llc_core::{
+    decode_bits, score_extraction, Algorithm, AttackConfig, AttackReport, BoundaryClassifier,
+    ClassifierTrainingConfig, EndToEndAttack, ExtractionConfig, FeatureConfig, ScanConfig,
+    TraceClassifier,
+};
+use llc_ecdsa_victim::{EcdsaVictim, EcdsaVictimConfig};
+use llc_evsets::{
+    oracle, test_eviction, CandidateSet, EvictionSet, EvsetBuilder,
+    EvsetConfig, TargetCache, TraversalOrder,
+};
+use llc_machine::{Machine, NoiseModel};
+use llc_probe::{
+    run_covert_channel, AccessTrace, CovertChannelConfig, Monitor, MonitorStats, Strategy,
+};
+use llc_sigproc::{welch_psd, BinnedTrace, PowerSpectrum, WelchConfig};
+use llc_cache_model::{CacheSpec, VirtAddr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which environment an experiment models (the paper's two setups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Environment {
+    /// Quiescent local machine (0.29 background accesses/ms/set).
+    QuiescentLocal,
+    /// Google Cloud Run (11.5 background accesses/ms/set).
+    CloudRun,
+}
+
+impl Environment {
+    /// The two environments in table order.
+    pub fn all() -> [Environment; 2] {
+        [Environment::QuiescentLocal, Environment::CloudRun]
+    }
+
+    /// The noise model of this environment.
+    pub fn noise(&self) -> NoiseModel {
+        match self {
+            Environment::QuiescentLocal => NoiseModel::quiescent_local(),
+            Environment::CloudRun => NoiseModel::cloud_run(),
+        }
+    }
+
+    /// Human-readable label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Environment::QuiescentLocal => "Quiescent Local",
+            Environment::CloudRun => "Cloud Run",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables 3 & 4: eviction-set construction effectiveness
+// ---------------------------------------------------------------------------
+
+/// Result of repeatedly constructing single eviction sets with one algorithm.
+#[derive(Debug, Clone)]
+pub struct PruningStats {
+    /// Algorithm name (paper nomenclature).
+    pub algorithm: &'static str,
+    /// Environment label.
+    pub environment: &'static str,
+    /// Fraction of trials that produced a *correct* eviction set
+    /// (oracle-validated, like the paper's instrumented checks).
+    pub success_rate: f64,
+    /// Statistics over the per-trial construction time in milliseconds.
+    pub time_ms: SampleStats,
+    /// Mean candidate-filtering share of the construction time (0 when
+    /// filtering is disabled).
+    pub filter_share: f64,
+    /// Mean number of backtracks per successful construction.
+    pub mean_backtracks: f64,
+}
+
+/// Runs the Table 3 / Table 4 `SingleSet` measurement for one algorithm.
+///
+/// `filtering` selects between Table 3 (false: raw candidate sets, 1 s
+/// budget) and Table 4 (true: L2-driven candidate filtering, 100 ms budget).
+pub fn measure_single_set(
+    spec: &CacheSpec,
+    environment: Environment,
+    algorithm: Algorithm,
+    filtering: bool,
+    trials: usize,
+    seed: u64,
+) -> PruningStats {
+    let algo = algorithm.instance();
+    let config = if filtering { EvsetConfig::filtered() } else { EvsetConfig::unfiltered() };
+    let mut times = Vec::with_capacity(trials);
+    let mut successes = 0usize;
+    let mut filter_share = 0.0;
+    let mut backtracks = 0u64;
+
+    for trial in 0..trials {
+        let mut machine = Machine::builder(spec.clone())
+            .noise(environment.noise())
+            .seed(seed ^ (trial as u64) << 8)
+            .build();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbead ^ trial as u64);
+        let builder = EvsetBuilder::new(algo.as_ref())
+            .config(config.clone())
+            .target(TargetCache::Sf)
+            .filtering(filtering);
+        let result = builder.build_random_set(&mut machine, &mut rng);
+        times.push(crate::cycles_to_ms(result.total_cycles as f64, spec.freq_ghz));
+        if let Some(set) = &result.eviction_set {
+            // Validate against ground truth: every member must map to the
+            // same SF set (the paper validates with its instrumented victim).
+            let ta = set.addresses()[0];
+            if oracle::is_true_eviction_set(&machine, ta, set.addresses(), spec.sf.ways()) {
+                successes += 1;
+            }
+            filter_share += if result.total_cycles > 0 {
+                result.filter_cycles as f64 / result.total_cycles as f64
+            } else {
+                0.0
+            };
+            backtracks += result.backtracks as u64;
+        }
+    }
+
+    PruningStats {
+        algorithm: algorithm.name(),
+        environment: environment.label(),
+        success_rate: successes as f64 / trials.max(1) as f64,
+        time_ms: SampleStats::from(&times),
+        filter_share: if successes > 0 { filter_share / successes as f64 } else { 0.0 },
+        mean_backtracks: if successes > 0 { backtracks as f64 / successes as f64 } else { 0.0 },
+    }
+}
+
+/// Extrapolated bulk-construction estimate for the `PageOffset` / `WholeSys`
+/// scenarios, using the paper's estimator `n_sets * t_avg / SR` on top of a
+/// sampled per-set measurement (Section 4.2).
+#[derive(Debug, Clone)]
+pub struct BulkEstimate {
+    /// Algorithm name.
+    pub algorithm: &'static str,
+    /// Environment label.
+    pub environment: &'static str,
+    /// Number of eviction sets the scenario requires.
+    pub required_sets: usize,
+    /// Number of sets actually constructed in the sample.
+    pub sampled_sets: usize,
+    /// Success rate over the sample.
+    pub success_rate: f64,
+    /// Measured time for the sample, in seconds.
+    pub sampled_seconds: f64,
+    /// Extrapolated time to cover the full scenario, in seconds.
+    pub estimated_total_seconds: f64,
+}
+
+/// Measures bulk construction for `scope` by building `sample_sets` eviction
+/// sets and extrapolating to the scenario's full set count.
+pub fn measure_bulk(
+    spec: &CacheSpec,
+    environment: Environment,
+    algorithm: Algorithm,
+    scope: llc_evsets::Scope,
+    sample_sets: usize,
+    seed: u64,
+) -> BulkEstimate {
+    let algo = algorithm.instance();
+    let mut machine =
+        Machine::builder(spec.clone()).noise(environment.noise()).seed(seed).build();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb011);
+    let bulk_cfg = llc_evsets::BulkConfig {
+        max_sets: Some(sample_sets),
+        ..llc_evsets::BulkConfig::default()
+    };
+    let builder = llc_evsets::BulkBuilder::new(algo.as_ref(), bulk_cfg);
+    let outcome = builder.run(&mut machine, scope, &mut rng).expect("bulk construction starts");
+
+    let required = scope.required_sets(spec);
+    let sampled_seconds = outcome.total_cycles as f64 / (spec.freq_ghz * 1e9);
+    let per_set_seconds = if outcome.attempted > 0 {
+        (outcome.total_cycles - outcome.filter_cycles) as f64
+            / outcome.attempted as f64
+            / (spec.freq_ghz * 1e9)
+    } else {
+        0.0
+    };
+    let success_rate = outcome.success_rate().max(1e-3);
+    let filter_seconds = outcome.filter_cycles as f64 / (spec.freq_ghz * 1e9);
+    let estimated_total_seconds = filter_seconds + required as f64 * per_set_seconds / success_rate;
+
+    BulkEstimate {
+        algorithm: algorithm.name(),
+        environment: environment.label(),
+        required_sets: required,
+        sampled_sets: outcome.successes,
+        success_rate: outcome.success_rate(),
+        sampled_seconds,
+        estimated_total_seconds,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 & Figure 6: monitoring strategies
+// ---------------------------------------------------------------------------
+
+/// One row of Table 5 / one point of Figure 6.
+#[derive(Debug, Clone)]
+pub struct MonitoringPoint {
+    /// Strategy name.
+    pub strategy: Strategy,
+    /// Sender access interval (cycles).
+    pub access_interval: u64,
+    /// Detection rate within the 500-cycle error bound.
+    pub detection_rate: f64,
+    /// Prime/probe latency statistics.
+    pub stats: MonitorStats,
+}
+
+/// Runs the covert-channel experiment (Figure 6 / Table 5) for one strategy
+/// and access interval.
+pub fn measure_monitoring(
+    spec: &CacheSpec,
+    environment: Environment,
+    strategy: Strategy,
+    access_interval: u64,
+    sender_accesses: usize,
+    seed: u64,
+) -> MonitoringPoint {
+    let config = CovertChannelConfig {
+        spec: spec.clone(),
+        noise: environment.noise(),
+        access_interval,
+        sender_accesses,
+        seed,
+        ..CovertChannelConfig::default()
+    };
+    let result = run_covert_channel(&config, strategy);
+    MonitoringPoint {
+        strategy,
+        access_interval,
+        detection_rate: result.detection_rate,
+        stats: result.stats,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: background access CDF
+// ---------------------------------------------------------------------------
+
+/// Observed background-access behaviour of one environment (Figure 2).
+#[derive(Debug, Clone)]
+pub struct NoiseCdf {
+    /// Environment label.
+    pub environment: &'static str,
+    /// Sorted inter-access intervals in microseconds.
+    pub intervals_us: Vec<f64>,
+    /// Mean accesses per millisecond per set.
+    pub accesses_per_ms: f64,
+}
+
+impl NoiseCdf {
+    /// Fraction of intervals at or below `threshold_us`.
+    pub fn cdf_at(&self, threshold_us: f64) -> f64 {
+        if self.intervals_us.is_empty() {
+            return 0.0;
+        }
+        let below = self.intervals_us.iter().filter(|&&v| v <= threshold_us).count();
+        below as f64 / self.intervals_us.len() as f64
+    }
+}
+
+/// Measures the time between background accesses to a randomly chosen LLC/SF
+/// set with Prime+Probe, as in Figure 2.
+pub fn measure_noise_cdf(
+    spec: &CacheSpec,
+    environment: Environment,
+    samples: usize,
+    seed: u64,
+) -> NoiseCdf {
+    let mut machine =
+        Machine::builder(spec.clone()).noise(environment.noise()).seed(seed).build();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xcdf);
+    // Oracle-built eviction set: the experiment measures noise, not Step 1.
+    let candidates = CandidateSet::allocate(&mut machine, 0x240, 4096, &mut rng);
+    let anchor = candidates.addresses()[0];
+    let congruent = oracle::congruent_with(&machine, anchor, &candidates.addresses()[1..]);
+    let ways = spec.sf.ways();
+    let set = EvictionSet::new(congruent[..ways].to_vec(), TargetCache::Sf);
+
+    let mut monitor = Monitor::new(Strategy::Parallel, set);
+    let mut trace = AccessTrace { start: 0, end: 0, timestamps: vec![], probes: 0, primes: 0 };
+    // Collect in chunks until enough inter-arrival samples are available.
+    let freq = spec.freq_ghz;
+    let chunk = (50.0 * freq * 1e6) as u64; // 50 ms of simulated time per chunk
+    for _ in 0..40 {
+        let t = monitor.collect(&mut machine, chunk);
+        trace.timestamps.extend(t.timestamps.iter().copied());
+        trace.start = trace.start.min(t.start);
+        trace.end = t.end;
+        if trace.timestamps.len() >= samples + 1 {
+            break;
+        }
+    }
+    let intervals_us: Vec<f64> = trace
+        .timestamps
+        .windows(2)
+        .take(samples)
+        .map(|w| (w[1] - w[0]) as f64 / (freq * 1e3))
+        .collect();
+    let mut sorted = intervals_us.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    NoiseCdf {
+        environment: environment.label(),
+        intervals_us: sorted,
+        accesses_per_ms: trace.accesses_per_ms(freq),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: TestEviction duration vs candidate count
+// ---------------------------------------------------------------------------
+
+/// One point of Figure 3.
+#[derive(Debug, Clone)]
+pub struct TestEvictionPoint {
+    /// Number of candidate addresses tested.
+    pub candidates: usize,
+    /// Parallel TestEviction duration (µs).
+    pub parallel_us: SampleStats,
+    /// Sequential TestEviction duration (µs).
+    pub sequential_us: SampleStats,
+}
+
+/// Measures parallel vs sequential `TestEviction` durations (Figure 3).
+pub fn measure_test_eviction(
+    spec: &CacheSpec,
+    environment: Environment,
+    candidate_counts: &[usize],
+    repeats: usize,
+    seed: u64,
+) -> Vec<TestEvictionPoint> {
+    let mut machine =
+        Machine::builder(spec.clone()).noise(environment.noise()).seed(seed).build();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf16_3);
+    let max = *candidate_counts.iter().max().unwrap_or(&0);
+    let pool = CandidateSet::allocate(&mut machine, 0x240, max + 1, &mut rng);
+    let ta = pool.addresses()[0];
+    let freq = spec.freq_ghz;
+
+    candidate_counts
+        .iter()
+        .map(|&n| {
+            let cands = &pool.addresses()[1..=n];
+            let mut par = Vec::with_capacity(repeats);
+            let mut seq = Vec::with_capacity(repeats);
+            for _ in 0..repeats {
+                let (_, t) =
+                    test_eviction(&mut machine, ta, cands, TargetCache::Llc, TraversalOrder::Parallel);
+                par.push(t as f64 / (freq * 1e3));
+                let (_, t) = test_eviction(
+                    &mut machine,
+                    ta,
+                    cands,
+                    TargetCache::Llc,
+                    TraversalOrder::Sequential,
+                );
+                seq.push(t as f64 / (freq * 1e3));
+            }
+            TestEvictionPoint {
+                candidates: n,
+                parallel_us: SampleStats::from(&par),
+                sequential_us: SampleStats::from(&seq),
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 / Figure 7: PSD-based target-set identification
+// ---------------------------------------------------------------------------
+
+/// Result of the target-set identification experiment (Table 6).
+#[derive(Debug, Clone)]
+pub struct IdentificationStats {
+    /// Scenario label ("PageOffset" or "WholeSys").
+    pub scenario: &'static str,
+    /// Fraction of trials that found the true target set before timeout.
+    pub success_rate: f64,
+    /// Time-to-identify statistics over successful trials, in seconds.
+    pub success_time_s: SampleStats,
+    /// Mean sets scanned per second.
+    pub scan_rate_per_s: f64,
+}
+
+/// Runs the Table 6 identification experiment: the victim signs continuously
+/// while the attacker scans oracle-built eviction sets (Step 1 is out of
+/// scope here) until the PSD+SVM classifier flags the target.
+pub fn measure_identification(
+    spec: &CacheSpec,
+    environment: Environment,
+    candidate_sets: usize,
+    trials: usize,
+    timeout_cycles: u64,
+    seed: u64,
+) -> IdentificationStats {
+    let mut successes = 0usize;
+    let mut times = Vec::new();
+    let mut scan_rates = Vec::new();
+
+    for trial in 0..trials {
+        let trial_seed = seed ^ ((trial as u64) << 20);
+        let mut machine =
+            Machine::builder(spec.clone()).noise(environment.noise()).seed(trial_seed).build();
+        let mut rng = StdRng::seed_from_u64(trial_seed ^ 0x1de);
+
+        // Victim: full-size ECDSA service signing continuously.
+        let victim_cfg = EcdsaVictimConfig { nonce_bits: 192, ..EcdsaVictimConfig::default() };
+        let expected_period = victim_cfg.expected_access_period();
+        let (victim, handle) = EcdsaVictim::new(victim_cfg);
+        machine.install_victim(Box::new(victim), true, 100_000);
+        let layout = handle.lock().expect("log").layout.clone().expect("layout");
+        let target_loc = machine.oracle_victim_location(layout.branch_line);
+
+        // Oracle-built eviction sets for `candidate_sets` SF sets at the
+        // target page offset, always including the true target set.
+        let pool = CandidateSet::allocate(
+            &mut machine,
+            layout.target_page_offset(),
+            spec.sf.uncertainty() * spec.sf.ways() * 3,
+            &mut rng,
+        );
+        let groups = oracle::group_by_location(&machine, pool.addresses());
+        let ways = spec.sf.ways();
+        let mut sets: Vec<(VirtAddr, EvictionSet)> = Vec::new();
+        if let Some((_, members)) = groups.iter().find(|(loc, m)| **loc == target_loc && m.len() > ways)
+        {
+            sets.push((members[0], EvictionSet::new(members[1..=ways].to_vec(), TargetCache::Sf)));
+        }
+        for (loc, members) in groups.iter() {
+            if sets.len() >= candidate_sets {
+                break;
+            }
+            if *loc == target_loc || members.len() <= ways {
+                continue;
+            }
+            sets.push((members[0], EvictionSet::new(members[1..=ways].to_vec(), TargetCache::Sf)));
+        }
+        if sets.is_empty() {
+            continue;
+        }
+        // Scan in random order, as the paper does for WholeSys.
+        use rand::seq::SliceRandom;
+        sets.shuffle(&mut rng);
+
+        let features = FeatureConfig {
+            expected_period_cycles: expected_period,
+            ..FeatureConfig::default()
+        };
+        let classifier = TraceClassifier::train(&ClassifierTrainingConfig {
+            features,
+            noise_per_ms: environment.noise().accesses_per_ms(spec.freq_ghz),
+            ..Default::default()
+        });
+        let scan_cfg = ScanConfig { timeout_cycles, ..ScanConfig::default() };
+        let outcome = llc_core::scan_for_target(&mut machine, &sets, &classifier, &scan_cfg);
+        scan_rates.push(outcome.scan_rate_per_s);
+        let correct = outcome
+            .identified_ta
+            .map(|ta| machine.oracle_attacker_location(ta) == target_loc)
+            .unwrap_or(false);
+        if correct {
+            successes += 1;
+            times.push(outcome.elapsed_cycles as f64 / (spec.freq_ghz * 1e9));
+        }
+    }
+
+    IdentificationStats {
+        scenario: if candidate_sets <= spec.sf.uncertainty() { "PageOffset" } else { "WholeSys" },
+        success_rate: successes as f64 / trials.max(1) as f64,
+        success_time_s: SampleStats::from(&times),
+        scan_rate_per_s: if scan_rates.is_empty() {
+            0.0
+        } else {
+            scan_rates.iter().sum::<f64>() / scan_rates.len() as f64
+        },
+    }
+}
+
+/// The data behind Figure 7: the PSD of a trace collected from the target SF
+/// set and from a non-target SF set while the victim signs.
+#[derive(Debug, Clone)]
+pub struct PsdComparison {
+    /// Access trace of the target set.
+    pub target_trace: AccessTrace,
+    /// Access trace of a non-target set.
+    pub other_trace: AccessTrace,
+    /// PSD of the target-set trace.
+    pub target_psd: PowerSpectrum,
+    /// PSD of the non-target-set trace.
+    pub other_psd: PowerSpectrum,
+    /// Expected victim frequency in Hz.
+    pub expected_hz: f64,
+}
+
+/// Collects the Figure 7 traces and spectra.
+pub fn measure_psd_example(
+    spec: &CacheSpec,
+    environment: Environment,
+    trace_cycles: u64,
+    seed: u64,
+) -> PsdComparison {
+    let mut machine =
+        Machine::builder(spec.clone()).noise(environment.noise()).seed(seed).build();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf1607);
+    let victim_cfg = EcdsaVictimConfig { nonce_bits: 256, ..EcdsaVictimConfig::default() };
+    let expected_period = victim_cfg.expected_access_period();
+    let (victim, handle) = EcdsaVictim::new(victim_cfg);
+    machine.install_victim(Box::new(victim), true, 50_000);
+    let layout = handle.lock().expect("log").layout.clone().expect("layout");
+    let target_loc = machine.oracle_victim_location(layout.branch_line);
+
+    let pool = CandidateSet::allocate(
+        &mut machine,
+        layout.target_page_offset(),
+        spec.sf.uncertainty() * spec.sf.ways() * 3,
+        &mut rng,
+    );
+    let groups = oracle::group_by_location(&machine, pool.addresses());
+    let ways = spec.sf.ways();
+    let target_members = groups
+        .iter()
+        .find(|(loc, m)| **loc == target_loc && m.len() > ways)
+        .map(|(_, m)| m.clone())
+        .expect("candidate pool covers the target set");
+    let other_members = groups
+        .iter()
+        .find(|(loc, m)| **loc != target_loc && m.len() > ways)
+        .map(|(_, m)| m.clone())
+        .expect("candidate pool covers another set");
+
+    let feature_cfg = FeatureConfig {
+        expected_period_cycles: expected_period,
+        freq_ghz: spec.freq_ghz,
+        ..FeatureConfig::default()
+    };
+
+    let collect = |machine: &mut Machine, members: &[VirtAddr]| -> (AccessTrace, PowerSpectrum) {
+        let set = EvictionSet::new(members[..ways].to_vec(), TargetCache::Sf);
+        let mut monitor = Monitor::new(Strategy::Parallel, set);
+        let trace = monitor.collect(machine, trace_cycles);
+        let binned = BinnedTrace::from_timestamps(
+            &trace.timestamps,
+            trace.start,
+            trace.duration(),
+            feature_cfg.bin_cycles,
+            spec.freq_ghz,
+        );
+        let psd = welch_psd(
+            binned.samples(),
+            &WelchConfig { sample_rate_hz: binned.sample_rate_hz(), ..Default::default() },
+        );
+        (trace, psd)
+    };
+
+    // Wait until the victim is in the middle of its ladder before sampling.
+    machine.idle(victim_cfg_pre_estimate());
+    let (target_trace, target_psd) = collect(&mut machine, &target_members);
+    let (other_trace, other_psd) = collect(&mut machine, &other_members);
+    PsdComparison {
+        target_trace,
+        other_trace,
+        target_psd,
+        other_psd,
+        expected_hz: feature_cfg.expected_frequency_hz(),
+    }
+}
+
+fn victim_cfg_pre_estimate() -> u64 {
+    EcdsaVictimConfig::default().pre_cycles + 500_000
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9 / Section 7.3: nonce extraction and the end-to-end attack
+// ---------------------------------------------------------------------------
+
+/// The data behind Figure 9: a short window of detected accesses with the
+/// ground-truth nonce bits and iteration boundaries, plus decoding results.
+#[derive(Debug, Clone)]
+pub struct ExtractionExample {
+    /// Detected accesses (absolute cycles).
+    pub detections: Vec<u64>,
+    /// Ground-truth iteration boundaries (absolute cycles).
+    pub iteration_starts: Vec<u64>,
+    /// Ground-truth nonce bits per iteration.
+    pub nonce_bits: Vec<bool>,
+    /// Decoded bits with boundary timestamps.
+    pub decoded: Vec<(u64, bool)>,
+    /// Fraction of bits recovered.
+    pub recovered_fraction: f64,
+    /// Bit error rate among recovered bits.
+    pub bit_error_rate: f64,
+}
+
+/// Monitors the true target set during one signing and decodes nonce bits
+/// (Figure 9's trace snippet, quantified).
+pub fn measure_extraction_example(
+    spec: &CacheSpec,
+    environment: Environment,
+    nonce_bits: usize,
+    seed: u64,
+) -> ExtractionExample {
+    let mut machine =
+        Machine::builder(spec.clone()).noise(environment.noise()).seed(seed).build();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf19);
+    let victim_cfg = EcdsaVictimConfig {
+        nonce_bits,
+        pre_cycles: 400_000,
+        post_cycles: 200_000,
+        ..EcdsaVictimConfig::default()
+    };
+    let iteration_cycles = victim_cfg.iteration_cycles;
+    let (victim, handle) = EcdsaVictim::new(victim_cfg.clone());
+    machine.install_victim(Box::new(victim), true, 100_000);
+    let layout = handle.lock().expect("log").layout.clone().expect("layout");
+    let target_loc = machine.oracle_victim_location(layout.branch_line);
+
+    let pool = CandidateSet::allocate(
+        &mut machine,
+        layout.target_page_offset(),
+        spec.sf.uncertainty() * spec.sf.ways() * 3,
+        &mut rng,
+    );
+    let groups = oracle::group_by_location(&machine, pool.addresses());
+    let ways = spec.sf.ways();
+    let members = groups
+        .iter()
+        .find(|(loc, m)| **loc == target_loc && m.len() > ways)
+        .map(|(_, m)| m.clone())
+        .expect("pool covers the target set");
+    let set = EvictionSet::new(members[..ways].to_vec(), TargetCache::Sf);
+
+    // Monitor across three runs: one for training the boundary classifier,
+    // the rest for decoding.
+    let run_cycles = victim_cfg.pre_cycles
+        + victim_cfg.post_cycles
+        + nonce_bits as u64 * iteration_cycles
+        + 100_000;
+    let runs_before = machine.victim_runs() as usize;
+    let mut monitor = Monitor::new(Strategy::Parallel, set);
+    let trace = monitor.collect(&mut machine, run_cycles * 3);
+
+    let log = handle.lock().expect("log");
+    let run_starts = machine.victim_run_starts().to_vec();
+    let runs: Vec<(u64, &llc_ecdsa_victim::RunGroundTruth)> = run_starts
+        .iter()
+        .copied()
+        .zip(log.runs.iter())
+        .skip(runs_before)
+        .filter(|(start, run)| *start >= trace.start && start + run.duration <= trace.end)
+        .collect();
+    assert!(runs.len() >= 2, "monitoring window must cover at least two signings");
+
+    let extraction = ExtractionConfig { iteration_cycles, ..ExtractionConfig::default() };
+    let slice = |start: u64, end: u64| AccessTrace {
+        start,
+        end,
+        timestamps: trace.timestamps.iter().copied().filter(|&t| t >= start && t < end).collect(),
+        probes: trace.probes,
+        primes: trace.primes,
+    };
+
+    let (train_start, train_run) = runs[0];
+    let train_trace = slice(train_start, train_start + train_run.duration);
+    let train_bounds: Vec<u64> =
+        train_run.iteration_starts.iter().map(|&o| train_start + o).collect();
+    let classifier = BoundaryClassifier::train(&extraction, &[(&train_trace, &train_bounds)]);
+
+    let (attack_start, attack_run) = runs[1];
+    let attack_trace = slice(attack_start, attack_start + attack_run.duration);
+    let boundaries = classifier.boundaries(&attack_trace);
+    let decoded = decode_bits(&attack_trace, &boundaries, &extraction);
+    let starts: Vec<u64> = attack_run.iteration_starts.iter().map(|&o| attack_start + o).collect();
+    let score = score_extraction(&decoded, &starts, &attack_run.nonce_bits, &extraction);
+
+    ExtractionExample {
+        detections: attack_trace.timestamps.clone(),
+        iteration_starts: starts,
+        nonce_bits: attack_run.nonce_bits.clone(),
+        decoded: decoded.iter().map(|d| (d.boundary, d.bit)).collect(),
+        recovered_fraction: score.recovered_fraction(),
+        bit_error_rate: score.bit_error_rate(),
+    }
+}
+
+/// Runs the full end-to-end attack (Section 7.3) on a scaled host and returns
+/// the report.
+pub fn run_end_to_end(spec: &CacheSpec, environment: Environment, seed: u64) -> AttackReport {
+    let victim = EcdsaVictimConfig {
+        nonce_bits: 128,
+        pre_cycles: 2_000_000,
+        post_cycles: 800_000,
+        ..EcdsaVictimConfig::default()
+    };
+    let mut config = AttackConfig {
+        spec: spec.clone(),
+        noise: environment.noise(),
+        signatures: 5,
+        seed,
+        ..AttackConfig::default()
+    };
+    config.classifier.features.expected_period_cycles = victim.expected_access_period();
+    config.classifier.noise_per_ms = environment.noise().accesses_per_ms(spec.freq_ghz);
+    config.scan.trace_cycles = 1_000_000;
+    config.extraction.iteration_cycles = victim.iteration_cycles;
+    config.victim = victim;
+    EndToEndAttack::new(config).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_cache_model::CacheSpec;
+
+    fn tiny() -> CacheSpec {
+        CacheSpec::tiny_test()
+    }
+
+    #[test]
+    fn single_set_measurement_succeeds_locally() {
+        let stats = measure_single_set(&tiny(), Environment::QuiescentLocal, Algorithm::BinS, true, 3, 1);
+        assert!(stats.success_rate > 0.5, "success rate {}", stats.success_rate);
+        assert!(stats.time_ms.mean > 0.0);
+    }
+
+    #[test]
+    fn bulk_estimate_extrapolates() {
+        let est = measure_bulk(
+            &tiny(),
+            Environment::QuiescentLocal,
+            Algorithm::BinS,
+            llc_evsets::Scope::PageOffset,
+            2,
+            2,
+        );
+        assert!(est.required_sets >= est.sampled_sets);
+        assert!(est.estimated_total_seconds >= 0.0);
+    }
+
+    #[test]
+    fn noise_cdf_orders_environments() {
+        let local = measure_noise_cdf(&tiny(), Environment::QuiescentLocal, 40, 3);
+        let cloud = measure_noise_cdf(&tiny(), Environment::CloudRun, 40, 3);
+        assert!(
+            cloud.accesses_per_ms > local.accesses_per_ms,
+            "cloud noise ({}) must exceed local noise ({})",
+            cloud.accesses_per_ms,
+            local.accesses_per_ms
+        );
+        assert!(cloud.cdf_at(100.0) >= local.cdf_at(100.0));
+    }
+
+    #[test]
+    fn test_eviction_points_show_parallel_speedup() {
+        let points =
+            measure_test_eviction(&tiny(), Environment::QuiescentLocal, &[32, 128], 3, 4);
+        assert_eq!(points.len(), 2);
+        for p in points {
+            assert!(p.parallel_us.mean < p.sequential_us.mean);
+        }
+    }
+
+    #[test]
+    fn monitoring_measurement_produces_latencies() {
+        let point = measure_monitoring(
+            &tiny(),
+            Environment::QuiescentLocal,
+            Strategy::Parallel,
+            5_000,
+            100,
+            5,
+        );
+        assert!(point.detection_rate > 0.3);
+        assert!(point.stats.mean_prime_cycles > 0.0);
+    }
+}

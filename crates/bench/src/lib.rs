@@ -1,0 +1,132 @@
+//! # llc-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation on the simulated Skylake-SP / Ice Lake-SP hosts.
+//! Each experiment is available both as a library function (used by the
+//! Criterion benches under `benches/`) and as a runnable binary under
+//! `src/bin/` that prints the corresponding table rows.
+//!
+//! | Target | Reproduces |
+//! |---|---|
+//! | `table3` | Table 3 — existing pruning algorithms, local vs Cloud Run |
+//! | `table4` | Table 4 — candidate filtering + BinS, SingleSet/PageOffset/WholeSys |
+//! | `table5` | Table 5 — prime/probe latencies of PS-Flush, PS-Alt, Parallel |
+//! | `table6` | Table 6 — PSD-based target-set identification |
+//! | `fig2`   | Figure 2 — CDF of background LLC accesses |
+//! | `fig3`   | Figure 3 — parallel vs sequential TestEviction duration |
+//! | `fig6`   | Figure 6 — detection rate vs access interval |
+//! | `fig7`   | Figure 7 — PSD of target vs non-target set |
+//! | `fig9`   | Figure 9 — decoded access trace vs ground-truth nonce bits |
+//! | `icelake` | Section 5.3.2 — Skylake-SP vs Ice Lake-SP associativity |
+//! | `end_to_end` | Section 7.3 — median nonce bits recovered, error rate, time |
+//!
+//! ## Scaling knobs
+//!
+//! The paper's measurement campaign covers tens of thousands of trials on
+//! 28-slice machines; by default the harnesses run scaled-down versions that
+//! finish in seconds to minutes. Two environment variables control scale:
+//!
+//! * `LLC_TRIALS` — trials per configuration (default: experiment-specific);
+//! * `LLC_SLICES` — number of LLC/SF slices of the simulated Skylake-SP
+//!   (default 8 for bulk experiments; set 28 for the paper's geometry).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+
+use llc_cache_model::CacheSpec;
+
+/// Reads a positive integer from the environment, with a default.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).filter(|&v| v > 0).unwrap_or(default)
+}
+
+/// Number of trials per experiment configuration (`LLC_TRIALS`).
+pub fn trials(default: usize) -> usize {
+    env_usize("LLC_TRIALS", default)
+}
+
+/// The simulated Skylake-SP used by the heavier experiments: the real 28
+/// slices are expensive to simulate, so bulk experiments default to a scaled
+/// host (`LLC_SLICES`, default 8) with identical per-slice geometry. The
+/// cache-uncertainty structure (and therefore the algorithms' behaviour) is
+/// unchanged; only the number of sets to cover shrinks.
+pub fn scaled_skylake() -> CacheSpec {
+    CacheSpec::skylake_sp(env_usize("LLC_SLICES", 8), 4)
+}
+
+/// The full-size 28-slice Cloud Run host (Table 2).
+pub fn full_skylake() -> CacheSpec {
+    CacheSpec::skylake_sp_cloud()
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Formats a cycle count as milliseconds at the given frequency.
+pub fn cycles_to_ms(cycles: f64, freq_ghz: f64) -> f64 {
+    cycles / (freq_ghz * 1e6)
+}
+
+/// Simple statistics over a sample of cycle counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SampleStats {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Standard deviation.
+    pub std_dev: f64,
+    /// Median.
+    pub median: f64,
+}
+
+impl SampleStats {
+    /// Computes mean, standard deviation and median of `values`.
+    pub fn from(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self { mean, std_dev: var.sqrt(), median: sorted[sorted.len() / 2] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_stats_basics() {
+        let s = SampleStats::from(&[1.0, 2.0, 3.0, 4.0, 100.0]);
+        assert_eq!(s.median, 3.0);
+        assert!(s.mean > 3.0);
+        assert!(s.std_dev > 10.0);
+        assert_eq!(SampleStats::from(&[]), SampleStats::default());
+    }
+
+    #[test]
+    fn env_defaults_apply() {
+        assert_eq!(env_usize("LLC_THIS_VAR_DOES_NOT_EXIST", 7), 7);
+        assert_eq!(trials(5), trials(5));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.123), "12.3%");
+        assert!((cycles_to_ms(2_000_000.0, 2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_skylake_preserves_per_slice_geometry() {
+        let scaled = scaled_skylake();
+        let full = full_skylake();
+        assert_eq!(scaled.sf.ways(), full.sf.ways());
+        assert_eq!(scaled.l2, full.l2);
+        assert!(scaled.sf.num_slices() <= full.sf.num_slices());
+    }
+}

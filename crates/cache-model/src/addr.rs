@@ -1,0 +1,229 @@
+//! Address newtypes and constants shared by the whole workspace.
+//!
+//! The attack operates on 64-byte cache lines inside 4 kB pages. An
+//! unprivileged attacker controls a virtual address; the hardware maps it to a
+//! physical address whose low 12 bits (the page offset) equal the virtual page
+//! offset, while the upper bits are chosen by the OS and are unknown to the
+//! attacker. All cache indexing is performed on physical addresses.
+
+use std::fmt;
+
+/// Number of bytes in a cache line (64 B on every CPU modelled here).
+pub const LINE_SIZE: u64 = 64;
+/// log2 of [`LINE_SIZE`]; the number of line-offset bits.
+pub const LINE_BITS: u32 = 6;
+/// Number of bytes in a standard small page (4 kB).
+pub const PAGE_SIZE: u64 = 4096;
+/// log2 of [`PAGE_SIZE`]; the number of page-offset bits.
+pub const PAGE_BITS: u32 = 12;
+/// Number of cache lines in one 4 kB page (64).
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+
+/// A virtual (attacker- or victim-visible) byte address.
+///
+/// # Examples
+///
+/// ```
+/// use llc_cache_model::VirtAddr;
+/// let va = VirtAddr::new(0x7f00_1234_5678);
+/// assert_eq!(va.page_offset(), 0x678);
+/// assert_eq!(va.line_offset(), 0x38);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(u64);
+
+/// A physical byte address, as produced by the (simulated) page tables.
+///
+/// # Examples
+///
+/// ```
+/// use llc_cache_model::PhysAddr;
+/// let pa = PhysAddr::new(0x1_0000_0040);
+/// assert_eq!(pa.line().offset_in_page(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(u64);
+
+/// A physical cache-line address: a [`PhysAddr`] with the low 6 bits dropped.
+///
+/// Cache lookups, snoop-filter entries and eviction sets all operate at line
+/// granularity, so most of the model uses this type instead of raw byte
+/// addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address from a raw byte address.
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the offset of this address within its 4 kB page (bits 11:0).
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns the offset of this address within its cache line (bits 5:0).
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_SIZE - 1)
+    }
+
+    /// Returns the virtual page number (address divided by the page size).
+    pub const fn page_number(self) -> u64 {
+        self.0 >> PAGE_BITS
+    }
+
+    /// Returns the address of the start of the containing page.
+    pub const fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// Returns a new address offset by `delta` bytes.
+    pub const fn offset(self, delta: u64) -> VirtAddr {
+        VirtAddr(self.0 + delta)
+    }
+}
+
+impl PhysAddr {
+    /// Creates a physical address from a raw byte address.
+    pub const fn new(addr: u64) -> Self {
+        Self(addr)
+    }
+
+    /// Returns the raw byte address.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the offset of this address within its 4 kB page (bits 11:0).
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// Returns the physical frame number (address divided by the page size).
+    pub const fn frame_number(self) -> u64 {
+        self.0 >> PAGE_BITS
+    }
+
+    /// Returns the containing physical cache line.
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_BITS)
+    }
+}
+
+impl LineAddr {
+    /// Creates a line address from a *line number* (physical address >> 6).
+    pub const fn from_line_number(n: u64) -> Self {
+        Self(n)
+    }
+
+    /// Returns the line number (physical address >> 6).
+    pub const fn line_number(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the physical byte address of the first byte of the line.
+    pub const fn base_addr(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_BITS)
+    }
+
+    /// Returns the index of this line within its 4 kB page (0..=63).
+    pub const fn offset_in_page(self) -> u64 {
+        self.0 & (LINES_PER_PAGE - 1)
+    }
+
+    /// Returns the page-offset (byte) of the first byte of this line.
+    pub const fn page_offset_bytes(self) -> u64 {
+        self.offset_in_page() << LINE_BITS
+    }
+}
+
+impl From<PhysAddr> for LineAddr {
+    fn from(pa: PhysAddr) -> Self {
+        pa.line()
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VA:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PA:{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Line:{:#x}", self.0 << LINE_BITS)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_and_line_offsets() {
+        let va = VirtAddr::new(0x1234_5678);
+        assert_eq!(va.page_offset(), 0x678);
+        assert_eq!(va.line_offset(), 0x38);
+        assert_eq!(va.page_number(), 0x12345);
+        assert_eq!(va.page_base().raw(), 0x1234_5000);
+    }
+
+    #[test]
+    fn phys_line_round_trip() {
+        let pa = PhysAddr::new(0xdead_beef);
+        let line = pa.line();
+        assert_eq!(line.base_addr().raw(), 0xdead_beef & !0x3f);
+        assert_eq!(line.offset_in_page(), (0xeef >> 6) & 0x3f);
+    }
+
+    #[test]
+    fn virt_offset_stays_in_page() {
+        let va = VirtAddr::new(0x1000);
+        assert_eq!(va.offset(0x40).page_offset(), 0x40);
+        assert_eq!(va.offset(0x40).page_number(), va.page_number());
+    }
+
+    #[test]
+    fn line_page_offset_bytes() {
+        let pa = PhysAddr::new(0x7000 + 3 * 64);
+        assert_eq!(pa.line().page_offset_bytes(), 3 * 64);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!format!("{}", VirtAddr::new(0)).is_empty());
+        assert!(!format!("{}", PhysAddr::new(0)).is_empty());
+        assert!(!format!("{}", LineAddr::from_line_number(0)).is_empty());
+    }
+
+    #[test]
+    fn phys_from_into_line() {
+        let pa = PhysAddr::new(0x40);
+        let line: LineAddr = pa.into();
+        assert_eq!(line.line_number(), 1);
+    }
+}

@@ -1,0 +1,291 @@
+//! Whole cache structures: a private cache and a sliced shared structure.
+
+use crate::addr::LineAddr;
+use crate::geometry::{CacheGeometry, SlicedGeometry};
+use crate::replacement::ReplacementKind;
+use crate::set::{CacheSet, Entry};
+use crate::slice::SliceHash;
+use std::sync::Arc;
+
+/// A non-sliced cache (L1 or L2): an array of [`CacheSet`]s indexed by the
+/// physical-address set-index bits.
+#[derive(Debug)]
+pub struct Cache<T> {
+    geometry: CacheGeometry,
+    sets: Vec<CacheSet<T>>,
+}
+
+impl<T> Cache<T> {
+    /// Creates an empty cache with the given geometry and replacement policy.
+    pub fn new(geometry: CacheGeometry, repl: ReplacementKind, seed: u64) -> Self {
+        let sets = (0..geometry.sets())
+            .map(|i| CacheSet::new(geometry.ways(), repl, seed.wrapping_add(i as u64)))
+            .collect();
+        Self { geometry, sets }
+    }
+
+    /// This cache's geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Set index of a line in this cache.
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        self.geometry.set_index(line)
+    }
+
+    /// Returns true if `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)].contains(line)
+    }
+
+    /// Looks up `line`, updating replacement state on a hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut T> {
+        let idx = self.set_index(line);
+        self.sets[idx].lookup(line)
+    }
+
+    /// Looks up `line` without updating replacement state.
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        self.sets[self.set_index(line)].peek(line)
+    }
+
+    /// Inserts `line`, returning any evicted entry.
+    pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Entry<T>> {
+        let idx = self.set_index(line);
+        self.sets[idx].insert(line, payload)
+    }
+
+    /// Removes `line`, returning its payload if present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<T> {
+        let idx = self.set_index(line);
+        self.sets[idx].invalidate(line)
+    }
+
+    /// Marks `line` as the next victim of its set, if present.
+    pub fn demote(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        self.sets[idx].demote(line)
+    }
+
+    /// Direct access to a set by index (for tests and instrumentation).
+    pub fn set(&self, index: usize) -> &CacheSet<T> {
+        &self.sets[index]
+    }
+
+    /// Removes every line from the cache.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+/// A sliced shared structure (LLC or snoop filter): `num_slices` independent
+/// set arrays, selected by a [`SliceHash`] over the physical line address.
+#[derive(Debug)]
+pub struct SlicedCache<T> {
+    geometry: SlicedGeometry,
+    hash: Arc<dyn SliceHash>,
+    slices: Vec<Vec<CacheSet<T>>>,
+}
+
+impl<T> SlicedCache<T> {
+    /// Creates an empty sliced cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice hash's slice count differs from the geometry's.
+    pub fn new(
+        geometry: SlicedGeometry,
+        hash: Arc<dyn SliceHash>,
+        repl: ReplacementKind,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(
+            geometry.num_slices(),
+            hash.num_slices(),
+            "slice hash and geometry disagree on the number of slices"
+        );
+        let slices = (0..geometry.num_slices())
+            .map(|s| {
+                (0..geometry.slice_geometry().sets())
+                    .map(|i| {
+                        CacheSet::new(
+                            geometry.ways(),
+                            repl,
+                            seed.wrapping_add((s * 100_003 + i) as u64),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Self { geometry, hash, slices }
+    }
+
+    /// This structure's sliced geometry.
+    pub fn geometry(&self) -> SlicedGeometry {
+        self.geometry
+    }
+
+    /// The (slice, set) location of a physical line.
+    pub fn location(&self, line: LineAddr) -> SetLocation {
+        SetLocation { slice: self.hash.slice_of(line), set: self.geometry.set_index(line) }
+    }
+
+    /// Returns true if `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].contains(line)
+    }
+
+    /// Looks up `line`, updating replacement state on a hit.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut T> {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].lookup(line)
+    }
+
+    /// Looks up `line` without updating replacement state.
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].peek(line)
+    }
+
+    /// Looks up `line` mutably without updating replacement state.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].peek_mut(line)
+    }
+
+    /// Inserts `line`, returning any evicted entry.
+    pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Entry<T>> {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].insert(line, payload)
+    }
+
+    /// Inserts directly into an explicit (slice, set) location.
+    ///
+    /// This is used by the machine's background-noise model, which generates
+    /// synthetic lines targeted at a specific set without inverting the slice
+    /// hash. `line` should be a synthetic line number that does not collide
+    /// with real allocations.
+    pub fn insert_at(&mut self, loc: SetLocation, line: LineAddr, payload: T) -> Option<Entry<T>> {
+        self.slices[loc.slice][loc.set].insert(line, payload)
+    }
+
+    /// Removes `line`, returning its payload if present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<T> {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].invalidate(line)
+    }
+
+    /// Marks `line` as the next victim of its set, if present.
+    pub fn demote(&mut self, line: LineAddr) -> bool {
+        let loc = self.location(line);
+        self.slices[loc.slice][loc.set].demote(line)
+    }
+
+    /// Direct access to a set (for tests and instrumentation).
+    pub fn set(&self, loc: SetLocation) -> &CacheSet<T> {
+        &self.slices[loc.slice][loc.set]
+    }
+
+    /// Occupancy of a specific set.
+    pub fn occupancy(&self, loc: SetLocation) -> usize {
+        self.slices[loc.slice][loc.set].occupancy()
+    }
+
+    /// Removes every line from the structure.
+    pub fn clear(&mut self) {
+        for slice in &mut self.slices {
+            for set in slice {
+                set.clear();
+            }
+        }
+    }
+}
+
+/// Identifies one set of a sliced structure: (slice index, set index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SetLocation {
+    /// Slice index, `0..num_slices`.
+    pub slice: usize,
+    /// Set index within the slice.
+    pub set: usize,
+}
+
+impl SetLocation {
+    /// Creates a location from slice and set indices.
+    pub const fn new(slice: usize, set: usize) -> Self {
+        Self { slice, set }
+    }
+
+    /// Flattens the location into a single index in `0..total_sets`.
+    pub fn flat_index(&self, sets_per_slice: usize) -> usize {
+        self.slice * sets_per_slice + self.set
+    }
+}
+
+impl std::fmt::Display for SetLocation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "slice {} set {}", self.slice, self.set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slice::{ModuloSliceHash, XorFoldSliceHash};
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn cache_indexing_and_eviction() {
+        let mut c: Cache<()> = Cache::new(CacheGeometry::new(4, 2), ReplacementKind::Lru, 0);
+        // Lines 0, 4, 8 all map to set 0 of a 4-set cache.
+        c.insert(line(0), ());
+        c.insert(line(4), ());
+        assert!(c.contains(line(0)));
+        let evicted = c.insert(line(8), ()).expect("2-way set overflows");
+        assert_eq!(evicted.line, line(0));
+    }
+
+    #[test]
+    fn sliced_cache_routes_by_hash() {
+        let hash = Arc::new(ModuloSliceHash::new(4));
+        let geom = SlicedGeometry::new(CacheGeometry::new(8, 2), 4);
+        let mut c: SlicedCache<u8> = SlicedCache::new(geom, hash, ReplacementKind::Lru, 0);
+        // line 5 -> slice 1 (5 % 4), set 5.
+        c.insert(line(5), 42);
+        assert_eq!(c.location(line(5)), SetLocation::new(1, 5));
+        assert!(c.contains(line(5)));
+        assert_eq!(c.peek(line(5)), Some(&42));
+        assert!(!c.contains(line(9))); // slice 1, set 1 - absent
+    }
+
+    #[test]
+    fn insert_at_targets_explicit_location() {
+        let hash = Arc::new(XorFoldSliceHash::new(4));
+        let geom = SlicedGeometry::new(CacheGeometry::new(8, 2), 4);
+        let mut c: SlicedCache<()> = SlicedCache::new(geom, hash, ReplacementKind::Lru, 7);
+        let loc = SetLocation::new(3, 5);
+        c.insert_at(loc, line(1 << 40), ());
+        assert_eq!(c.occupancy(loc), 1);
+    }
+
+    #[test]
+    fn flat_index_round_trip() {
+        let loc = SetLocation::new(3, 17);
+        assert_eq!(loc.flat_index(2048), 3 * 2048 + 17);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_slice_count_panics() {
+        let hash = Arc::new(ModuloSliceHash::new(2));
+        let geom = SlicedGeometry::new(CacheGeometry::new(8, 2), 4);
+        let _c: SlicedCache<()> = SlicedCache::new(geom, hash, ReplacementKind::Lru, 0);
+    }
+}

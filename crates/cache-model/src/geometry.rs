@@ -1,0 +1,230 @@
+//! Cache geometry: sets, ways, indexing and the attacker's *cache uncertainty*.
+//!
+//! Section 2.2.1 of the paper defines the cache uncertainty `U` as the number
+//! of distinct cache sets a fixed attacker-controlled virtual address might map
+//! to, given that the attacker only controls the 12 page-offset bits of the
+//! physical address. For a non-sliced cache it is `2^n_uc` where `n_uc` is the
+//! number of set-index bits above bit 11; for the sliced LLC/SF it is
+//! additionally multiplied by the number of slices because the slice hash is
+//! unpredictable.
+
+use crate::addr::{LineAddr, LINE_BITS, PAGE_BITS};
+
+/// Geometry of a single cache structure (one slice, for sliced caches).
+///
+/// # Examples
+///
+/// ```
+/// use llc_cache_model::CacheGeometry;
+/// // Skylake-SP L2: 1 MB, 16 ways, 64 B lines -> 1024 sets
+/// let l2 = CacheGeometry::new(1024, 16);
+/// assert_eq!(l2.size_bytes(), 1 << 20);
+/// assert_eq!(l2.uncertainty(), 16); // PA bits 15:12 are uncontrollable
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    sets: usize,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// Creates a geometry with the given number of sets and ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a power of two or either argument is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be non-zero");
+        Self { sets, ways }
+    }
+
+    /// Number of sets.
+    pub const fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Associativity (number of ways per set).
+    pub const fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Total capacity in bytes (`sets * ways * 64`).
+    pub const fn size_bytes(&self) -> usize {
+        self.sets * self.ways * (1 << LINE_BITS)
+    }
+
+    /// Number of set-index bits (`log2(sets)`).
+    pub fn index_bits(&self) -> u32 {
+        self.sets.trailing_zeros()
+    }
+
+    /// Returns the set index for a physical cache line.
+    ///
+    /// The set index is taken from the physical address bits directly above
+    /// the 6 line-offset bits, exactly as on Intel's L1/L2/LLC (Figure 1 of
+    /// the paper).
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        (line.line_number() as usize) & (self.sets - 1)
+    }
+
+    /// Number of set-index bits the attacker controls through the page offset.
+    ///
+    /// The attacker controls PA bits 11:6, i.e. at most 6 index bits.
+    pub fn controlled_index_bits(&self) -> u32 {
+        (PAGE_BITS - LINE_BITS).min(self.index_bits())
+    }
+
+    /// Number of set-index bits the attacker cannot control (above bit 11).
+    pub fn uncontrolled_index_bits(&self) -> u32 {
+        self.index_bits() - self.controlled_index_bits()
+    }
+
+    /// The cache uncertainty `U` of this (non-sliced) structure: the number of
+    /// distinct sets an address with a fixed page offset may map to.
+    pub fn uncertainty(&self) -> usize {
+        1usize << self.uncontrolled_index_bits()
+    }
+
+    /// Number of distinct sets that correspond to a single page offset, i.e.
+    /// sets whose low `controlled_index_bits` match the page-offset bits.
+    pub fn sets_per_page_offset(&self) -> usize {
+        self.uncertainty()
+    }
+
+    /// Returns true if two lines map to the same set of this structure.
+    pub fn same_set(&self, a: LineAddr, b: LineAddr) -> bool {
+        self.set_index(a) == self.set_index(b)
+    }
+}
+
+/// Geometry of a sliced, shared structure (LLC or snoop filter).
+///
+/// Each slice has [`CacheGeometry`] `slice_geometry`; a physical line is first
+/// hashed to a slice, then indexed within the slice. The overall uncertainty
+/// is `U = 2^n_uc * n_slices` (Section 2.2.1).
+///
+/// # Examples
+///
+/// ```
+/// use llc_cache_model::{CacheGeometry, SlicedGeometry};
+/// // 28-slice Skylake-SP snoop filter: 2048 sets x 12 ways per slice.
+/// let sf = SlicedGeometry::new(CacheGeometry::new(2048, 12), 28);
+/// assert_eq!(sf.uncertainty(), 32 * 28); // 896
+/// assert_eq!(sf.total_sets(), 2048 * 28);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SlicedGeometry {
+    slice: CacheGeometry,
+    num_slices: usize,
+}
+
+impl SlicedGeometry {
+    /// Creates a sliced geometry from the per-slice geometry and slice count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices` is zero.
+    pub fn new(slice: CacheGeometry, num_slices: usize) -> Self {
+        assert!(num_slices > 0, "num_slices must be non-zero");
+        Self { slice, num_slices }
+    }
+
+    /// Geometry of one slice.
+    pub const fn slice_geometry(&self) -> CacheGeometry {
+        self.slice
+    }
+
+    /// Number of slices.
+    pub const fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    /// Total number of (slice, set) pairs in the structure.
+    pub const fn total_sets(&self) -> usize {
+        self.slice.sets() * self.num_slices
+    }
+
+    /// Associativity of each slice.
+    pub const fn ways(&self) -> usize {
+        self.slice.ways()
+    }
+
+    /// Set index within a slice for a physical line.
+    pub fn set_index(&self, line: LineAddr) -> usize {
+        self.slice.set_index(line)
+    }
+
+    /// The attacker-facing cache uncertainty `U = 2^n_uc * n_slices`.
+    pub fn uncertainty(&self) -> usize {
+        self.slice.uncertainty() * self.num_slices
+    }
+
+    /// Number of eviction sets needed for the `PageOffset` scenario, i.e. the
+    /// number of distinct (slice, set) pairs reachable at one page offset.
+    pub fn sets_per_page_offset(&self) -> usize {
+        self.uncertainty()
+    }
+
+    /// Number of eviction sets needed for the `WholeSys` scenario (all sets).
+    pub fn whole_system_sets(&self) -> usize {
+        self.total_sets()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    #[test]
+    fn l2_uncertainty_matches_paper() {
+        // Skylake-SP L2: 1024 sets -> 10 index bits, 6 controlled -> U = 16.
+        let l2 = CacheGeometry::new(1024, 16);
+        assert_eq!(l2.index_bits(), 10);
+        assert_eq!(l2.controlled_index_bits(), 6);
+        assert_eq!(l2.uncontrolled_index_bits(), 4);
+        assert_eq!(l2.uncertainty(), 16);
+    }
+
+    #[test]
+    fn llc_uncertainty_matches_paper() {
+        // Skylake-SP LLC slice: 2048 sets -> 11 index bits, 5 uncontrolled.
+        // With 28 slices U = 2^5 * 28 = 896 (Section 2.2.1).
+        let llc = SlicedGeometry::new(CacheGeometry::new(2048, 11), 28);
+        assert_eq!(llc.uncertainty(), 896);
+        assert_eq!(llc.whole_system_sets(), 57_344);
+    }
+
+    #[test]
+    fn set_index_uses_low_bits_above_line_offset() {
+        let g = CacheGeometry::new(1024, 16);
+        let a = PhysAddr::new(0x3 << 6).line();
+        assert_eq!(g.set_index(a), 3);
+        let b = PhysAddr::new((1024u64 + 3) << 6).line();
+        assert_eq!(g.set_index(b), 3);
+        assert!(g.same_set(a, b));
+    }
+
+    #[test]
+    fn same_page_offset_same_l1_set() {
+        // L1: 64 sets -> all index bits controlled, uncertainty 1.
+        let l1 = CacheGeometry::new(64, 8);
+        assert_eq!(l1.uncertainty(), 1);
+        let a = PhysAddr::new(0x1000 + 5 * 64).line();
+        let b = PhysAddr::new(0x9000 + 5 * 64).line();
+        assert!(l1.same_set(a, b));
+    }
+
+    #[test]
+    fn size_bytes() {
+        let llc_slice = CacheGeometry::new(2048, 11);
+        assert_eq!(llc_slice.size_bytes(), 2048 * 11 * 64); // 1.375 MB
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_sets_panics() {
+        let _ = CacheGeometry::new(3, 4);
+    }
+}

@@ -1,0 +1,205 @@
+//! Virtual memory: 4 kB paging with randomised VA→PA mappings.
+//!
+//! Cloud Run containers cannot allocate huge pages (Section 3), so the
+//! attacker only controls the 12 page-offset bits of each physical address.
+//! [`AddressSpace`] models exactly that: virtual pages are handed out
+//! contiguously, but each is backed by a physical frame chosen uniformly at
+//! random from a large physical memory, without reuse.
+
+use crate::addr::{PhysAddr, VirtAddr, PAGE_BITS, PAGE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+/// Error returned when translating an unmapped virtual address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranslateError {
+    va: VirtAddr,
+}
+
+impl fmt::Display for TranslateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "virtual address {} is not mapped", self.va)
+    }
+}
+
+impl std::error::Error for TranslateError {}
+
+/// A per-process virtual address space backed by randomly chosen frames.
+///
+/// # Examples
+///
+/// ```
+/// use llc_cache_model::AddressSpace;
+/// let mut aspace = AddressSpace::new(0x100_0000, 42);
+/// let base = aspace.allocate_pages(4);
+/// let pa = aspace.translate(base)?;
+/// assert_eq!(pa.page_offset(), base.page_offset());
+/// # Ok::<(), llc_cache_model::TranslateError>(())
+/// ```
+#[derive(Debug)]
+pub struct AddressSpace {
+    /// Virtual page number -> physical frame number.
+    page_table: HashMap<u64, u64>,
+    used_frames: HashSet<u64>,
+    total_frames: u64,
+    next_va_page: u64,
+    rng: StdRng,
+}
+
+impl AddressSpace {
+    /// Default number of physical frames (16 GiB of simulated DRAM).
+    pub const DEFAULT_FRAMES: u64 = (16u64 << 30) / PAGE_SIZE;
+
+    /// Creates an address space drawing frames from `total_frames` physical
+    /// frames, using `seed` for the frame lottery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_frames` is zero.
+    pub fn new(total_frames: u64, seed: u64) -> Self {
+        assert!(total_frames > 0, "total_frames must be non-zero");
+        Self {
+            page_table: HashMap::new(),
+            used_frames: HashSet::new(),
+            total_frames,
+            // Start user mappings at a typical mmap-ish VA.
+            next_va_page: 0x7f00_0000_0000 >> PAGE_BITS,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates an address space with the default 16 GiB of physical memory.
+    pub fn with_seed(seed: u64) -> Self {
+        Self::new(Self::DEFAULT_FRAMES, seed)
+    }
+
+    /// Number of virtual pages currently mapped.
+    pub fn mapped_pages(&self) -> usize {
+        self.page_table.len()
+    }
+
+    /// Allocates `count` virtually-contiguous pages and returns the base
+    /// virtual address. Each page is backed by a distinct random frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if physical memory is exhausted.
+    pub fn allocate_pages(&mut self, count: usize) -> VirtAddr {
+        let base_page = self.next_va_page;
+        self.next_va_page += count as u64;
+        for i in 0..count as u64 {
+            let frame = self.pick_frame();
+            self.page_table.insert(base_page + i, frame);
+        }
+        VirtAddr::new(base_page << PAGE_BITS)
+    }
+
+    /// Allocates enough pages to cover `bytes` bytes and returns the base.
+    pub fn allocate_bytes(&mut self, bytes: usize) -> VirtAddr {
+        let pages = bytes.div_ceil(PAGE_SIZE as usize).max(1);
+        self.allocate_pages(pages)
+    }
+
+    fn pick_frame(&mut self) -> u64 {
+        assert!(
+            (self.used_frames.len() as u64) < self.total_frames,
+            "out of simulated physical memory"
+        );
+        loop {
+            let frame = self.rng.gen_range(0..self.total_frames);
+            if self.used_frames.insert(frame) {
+                return frame;
+            }
+        }
+    }
+
+    /// Translates a virtual address to its physical address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TranslateError`] if the page containing `va` was never
+    /// allocated through this address space.
+    pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, TranslateError> {
+        let frame = self
+            .page_table
+            .get(&va.page_number())
+            .copied()
+            .ok_or(TranslateError { va })?;
+        Ok(PhysAddr::new((frame << PAGE_BITS) | va.page_offset()))
+    }
+
+    /// Translates, panicking on unmapped addresses. Intended for internal use
+    /// where the address is known to be mapped.
+    pub fn translate_unchecked(&self, va: VirtAddr) -> PhysAddr {
+        self.translate(va).expect("address must be mapped")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::LINE_SIZE;
+
+    #[test]
+    fn page_offset_preserved_by_translation() {
+        let mut a = AddressSpace::with_seed(1);
+        let base = a.allocate_pages(8);
+        for i in 0..8u64 {
+            for off in [0u64, 64, 640, 4032] {
+                let va = base.offset(i * PAGE_SIZE + off);
+                let pa = a.translate(va).expect("mapped");
+                assert_eq!(pa.page_offset(), off);
+            }
+        }
+    }
+
+    #[test]
+    fn frames_are_distinct() {
+        let mut a = AddressSpace::with_seed(7);
+        let base = a.allocate_pages(512);
+        let mut frames = HashSet::new();
+        for i in 0..512u64 {
+            let pa = a.translate(base.offset(i * PAGE_SIZE)).expect("mapped");
+            assert!(frames.insert(pa.frame_number()), "frame reused");
+        }
+    }
+
+    #[test]
+    fn unmapped_address_errors() {
+        let a = AddressSpace::with_seed(3);
+        assert!(a.translate(VirtAddr::new(0x1234_5000)).is_err());
+    }
+
+    #[test]
+    fn allocations_are_virtually_contiguous() {
+        let mut a = AddressSpace::with_seed(5);
+        let b1 = a.allocate_pages(2);
+        let b2 = a.allocate_pages(1);
+        assert_eq!(b2.raw(), b1.raw() + 2 * PAGE_SIZE);
+    }
+
+    #[test]
+    fn reproducible_for_same_seed() {
+        let mut a = AddressSpace::with_seed(11);
+        let mut b = AddressSpace::with_seed(11);
+        let va_a = a.allocate_pages(16);
+        let va_b = b.allocate_pages(16);
+        for i in 0..16u64 {
+            let pa_a = a.translate(va_a.offset(i * PAGE_SIZE)).expect("mapped");
+            let pa_b = b.translate(va_b.offset(i * PAGE_SIZE)).expect("mapped");
+            assert_eq!(pa_a, pa_b);
+        }
+    }
+
+    #[test]
+    fn allocate_bytes_rounds_up() {
+        let mut a = AddressSpace::with_seed(2);
+        let before = a.mapped_pages();
+        a.allocate_bytes(LINE_SIZE as usize);
+        assert_eq!(a.mapped_pages(), before + 1);
+        a.allocate_bytes(PAGE_SIZE as usize + 1);
+        assert_eq!(a.mapped_pages(), before + 3);
+    }
+}

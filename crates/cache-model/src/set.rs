@@ -1,0 +1,219 @@
+//! A single cache set: tag array plus replacement metadata.
+
+use crate::addr::LineAddr;
+use crate::replacement::{ReplacementKind, ReplacementState};
+
+/// One entry (way) of a cache set, pairing the line tag with caller-defined
+/// payload (coherence state, owner bitmap, ...).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry<T> {
+    /// Physical line stored in this way.
+    pub line: LineAddr,
+    /// Structure-specific payload.
+    pub payload: T,
+}
+
+/// A set-associative cache set with pluggable replacement policy.
+///
+/// The set stores full line addresses rather than tags; this wastes a few bits
+/// of simulator memory but keeps lookups by `LineAddr` trivial and avoids tag
+/// aliasing bugs.
+#[derive(Debug)]
+pub struct CacheSet<T> {
+    ways: Vec<Option<Entry<T>>>,
+    repl: Box<dyn ReplacementState>,
+}
+
+impl<T> CacheSet<T> {
+    /// Creates an empty set with `ways` ways and the given replacement policy.
+    pub fn new(ways: usize, kind: ReplacementKind, seed: u64) -> Self {
+        let mut v = Vec::with_capacity(ways);
+        v.resize_with(ways, || None);
+        Self { ways: v, repl: kind.build(ways, seed) }
+    }
+
+    /// Number of ways.
+    pub fn num_ways(&self) -> usize {
+        self.ways.len()
+    }
+
+    /// Number of currently valid entries.
+    pub fn occupancy(&self) -> usize {
+        self.ways.iter().filter(|w| w.is_some()).count()
+    }
+
+    /// Returns true if `line` is present.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find_way(line).is_some()
+    }
+
+    fn find_way(&self, line: LineAddr) -> Option<usize> {
+        self.ways
+            .iter()
+            .position(|w| matches!(w, Some(e) if e.line == line))
+    }
+
+    /// Looks up `line`; on a hit updates replacement state and returns a
+    /// reference to the payload.
+    pub fn lookup(&mut self, line: LineAddr) -> Option<&mut T> {
+        let way = self.find_way(line)?;
+        self.repl.touch(way, false);
+        Some(&mut self.ways[way].as_mut().expect("way just found").payload)
+    }
+
+    /// Looks up `line` without updating replacement state.
+    pub fn peek(&self, line: LineAddr) -> Option<&T> {
+        let way = self.find_way(line)?;
+        Some(&self.ways[way].as_ref().expect("way just found").payload)
+    }
+
+    /// Looks up `line` mutably without updating replacement state.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let way = self.find_way(line)?;
+        Some(&mut self.ways[way].as_mut().expect("way just found").payload)
+    }
+
+    /// Inserts `line` with `payload`, evicting a victim if the set is full.
+    ///
+    /// Returns the evicted entry, if any. If `line` was already present its
+    /// payload is replaced and no eviction occurs.
+    pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Entry<T>> {
+        if let Some(way) = self.find_way(line) {
+            self.repl.touch(way, false);
+            let slot = self.ways[way].as_mut().expect("way just found");
+            slot.payload = payload;
+            return None;
+        }
+        // Prefer an invalid way.
+        if let Some(way) = self.ways.iter().position(|w| w.is_none()) {
+            self.ways[way] = Some(Entry { line, payload });
+            self.repl.touch(way, true);
+            return None;
+        }
+        let way = self.repl.victim();
+        let evicted = self.ways[way].take();
+        self.ways[way] = Some(Entry { line, payload });
+        self.repl.touch(way, true);
+        evicted
+    }
+
+    /// Marks `line`'s way as the next replacement victim of this set, if the
+    /// line is present (models Prime+Scope's eviction-candidate priming).
+    pub fn demote(&mut self, line: LineAddr) -> bool {
+        match self.find_way(line) {
+            Some(way) => {
+                self.repl.demote(way);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes `line` from the set, returning its payload if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<T> {
+        let way = self.find_way(line)?;
+        self.ways[way].take().map(|e| e.payload)
+    }
+
+    /// Iterates over the valid entries of the set.
+    pub fn iter(&self) -> impl Iterator<Item = &Entry<T>> {
+        self.ways.iter().filter_map(|w| w.as_ref())
+    }
+
+    /// Removes every entry from the set.
+    pub fn clear(&mut self) {
+        for w in &mut self.ways {
+            *w = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(n: u64) -> LineAddr {
+        LineAddr::from_line_number(n)
+    }
+
+    #[test]
+    fn insert_until_full_then_evict() {
+        let mut set: CacheSet<u32> = CacheSet::new(4, ReplacementKind::Lru, 0);
+        for i in 0..4 {
+            assert!(set.insert(line(i), i as u32).is_none());
+        }
+        assert_eq!(set.occupancy(), 4);
+        let evicted = set.insert(line(100), 100).expect("must evict");
+        assert_eq!(evicted.line, line(0), "LRU victim is the oldest line");
+        assert!(set.contains(line(100)));
+        assert!(!set.contains(line(0)));
+    }
+
+    #[test]
+    fn lookup_updates_recency() {
+        let mut set: CacheSet<()> = CacheSet::new(2, ReplacementKind::Lru, 0);
+        set.insert(line(1), ());
+        set.insert(line(2), ());
+        // Touch line 1 so line 2 becomes LRU.
+        assert!(set.lookup(line(1)).is_some());
+        let evicted = set.insert(line(3), ()).expect("evicts");
+        assert_eq!(evicted.line, line(2));
+    }
+
+    #[test]
+    fn reinserting_existing_line_does_not_evict() {
+        let mut set: CacheSet<u8> = CacheSet::new(2, ReplacementKind::Lru, 0);
+        set.insert(line(1), 1);
+        set.insert(line(2), 2);
+        assert!(set.insert(line(1), 9).is_none());
+        assert_eq!(*set.peek(line(1)).expect("present"), 9);
+    }
+
+    #[test]
+    fn invalidate_removes_entry() {
+        let mut set: CacheSet<()> = CacheSet::new(2, ReplacementKind::Lru, 0);
+        set.insert(line(7), ());
+        assert!(set.invalidate(line(7)).is_some());
+        assert!(!set.contains(line(7)));
+        assert!(set.invalidate(line(7)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_change_victim() {
+        let mut set: CacheSet<()> = CacheSet::new(2, ReplacementKind::Lru, 0);
+        set.insert(line(1), ());
+        set.insert(line(2), ());
+        // Peek at 1 (no recency update) -> 1 is still LRU.
+        let _ = set.peek(line(1));
+        let evicted = set.insert(line(3), ()).expect("evicts");
+        assert_eq!(evicted.line, line(1));
+    }
+
+    #[test]
+    fn clear_empties_set() {
+        let mut set: CacheSet<()> = CacheSet::new(4, ReplacementKind::TreePlru, 0);
+        for i in 0..4 {
+            set.insert(line(i), ());
+        }
+        set.clear();
+        assert_eq!(set.occupancy(), 0);
+    }
+
+    #[test]
+    fn w_plus_one_congruent_lines_thrash() {
+        // The fundamental eviction-set property: cycling through W+1 lines in
+        // a W-way LRU set misses every time after warm-up.
+        let ways = 8;
+        let mut set: CacheSet<()> = CacheSet::new(ways, ReplacementKind::Lru, 0);
+        let lines: Vec<_> = (0..=ways as u64).map(line).collect();
+        for l in &lines {
+            set.insert(*l, ());
+        }
+        for round in 0..3 {
+            for l in &lines {
+                assert!(!set.contains(*l) || set.occupancy() == ways, "round {round}");
+                set.insert(*l, ());
+            }
+        }
+    }
+}

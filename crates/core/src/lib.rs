@@ -1,0 +1,50 @@
+//! # llc-core
+//!
+//! The end-to-end LLC/SF Prime+Probe attack pipeline of *"Last-Level Cache
+//! Side-Channel Attacks Are Feasible in the Modern Public Cloud"*
+//! (ASPLOS 2024), assembled from the workspace's building blocks:
+//!
+//! * **Step 1 — prepare LLC side channels**: bulk SF eviction-set
+//!   construction at the victim's page offset (`llc-evsets`, Sections 4–5);
+//! * **Step 2 — identify the target LLC/SF set**: Prime+Probe traces of each
+//!   candidate set are converted to power-spectral-density features
+//!   (`llc-sigproc`) and classified by an SVM (`llc-ml`), Sections 6.2/7.2;
+//! * **Step 3 — exfiltrate information**: the target set is monitored with
+//!   Parallel Probing (`llc-probe`), iteration boundaries are recognised with
+//!   a random forest and the ECDSA nonce bits are decoded and scored against
+//!   the victim's ground truth (`llc-ecdsa-victim`), Section 7.3.
+//!
+//! The [`EndToEndAttack`] driver runs all three steps against a simulated
+//! multi-tenant host and produces an [`AttackReport`] with the same metrics
+//! the paper reports (fraction of nonce bits recovered, bit error rate,
+//! end-to-end time).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use llc_core::{AttackConfig, EndToEndAttack};
+//!
+//! // A scaled-down configuration that runs in a few seconds.
+//! let report = EndToEndAttack::new(AttackConfig::fast_test()).run();
+//! assert!(report.identify.identified);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod extract;
+mod features;
+mod identify;
+mod pipeline;
+
+pub use extract::{
+    decode_bits, score_extraction, BoundaryClassifier, DecodedBit, ExtractionConfig,
+    ExtractionScore,
+};
+pub use features::{synthesize_trace, FeatureConfig};
+pub use identify::{
+    scan_for_target, ClassifierTrainingConfig, ScanConfig, ScanOutcome, TraceClassifier,
+};
+pub use pipeline::{
+    Algorithm, AttackConfig, AttackReport, EndToEndAttack, EvsetPhase, ExtractPhase, IdentifyPhase,
+};

@@ -1,0 +1,445 @@
+//! The end-to-end, cross-tenant attack pipeline (Section 7): Step 1 builds SF
+//! eviction sets at the victim's page offset, Step 2 identifies the target SF
+//! set with PSD + SVM while triggering the victim, and Step 3 monitors the
+//! target set with Parallel Probing and decodes the ECDSA nonce bits.
+
+use crate::extract::{
+    decode_bits, score_extraction, BoundaryClassifier, ExtractionConfig, ExtractionScore,
+};
+use crate::features::FeatureConfig;
+use crate::identify::{scan_for_target, ClassifierTrainingConfig, ScanConfig, TraceClassifier};
+use llc_ecdsa_victim::{EcdsaVictim, EcdsaVictimConfig, VictimHandle};
+use llc_evsets::{
+    BinarySearch, BulkBuilder, BulkConfig, GroupTesting, PrimeScope, PruningAlgorithm, Scope,
+};
+use llc_machine::{Machine, NoiseModel};
+use llc_probe::{AccessTrace, Monitor, Strategy};
+use llc_cache_model::{CacheSpec, SetLocation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Which address-pruning algorithm Step 1 uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// Baseline group testing.
+    Gt,
+    /// Optimised group testing (no early termination).
+    GtOp,
+    /// Baseline Prime+Scope.
+    Ps,
+    /// Optimised Prime+Scope (front recharging).
+    PsOp,
+    /// The paper's binary-search algorithm.
+    BinS,
+}
+
+impl Algorithm {
+    /// All algorithms in the order used by the paper's tables.
+    pub fn all() -> [Algorithm; 5] {
+        [Algorithm::Gt, Algorithm::GtOp, Algorithm::Ps, Algorithm::PsOp, Algorithm::BinS]
+    }
+
+    /// Instantiates the algorithm.
+    pub fn instance(&self) -> Box<dyn PruningAlgorithm> {
+        match self {
+            Algorithm::Gt => Box::new(GroupTesting::baseline()),
+            Algorithm::GtOp => Box::new(GroupTesting::optimized()),
+            Algorithm::Ps => Box::new(PrimeScope::baseline()),
+            Algorithm::PsOp => Box::new(PrimeScope::optimized()),
+            Algorithm::BinS => Box::new(BinarySearch::new()),
+        }
+    }
+
+    /// The paper's name for the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Gt => "Gt",
+            Algorithm::GtOp => "GtOp",
+            Algorithm::Ps => "Ps",
+            Algorithm::PsOp => "PsOp",
+            Algorithm::BinS => "BinS",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Configuration of the end-to-end attack.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// Cache hierarchy of the simulated host.
+    pub spec: CacheSpec,
+    /// Background-tenant noise level.
+    pub noise: NoiseModel,
+    /// The victim service's parameters.
+    pub victim: EcdsaVictimConfig,
+    /// Idle gap between victim requests (the service is kept busy by the
+    /// attacker's triggering requests).
+    pub victim_request_gap: u64,
+    /// Pruning algorithm used for eviction-set construction.
+    pub algorithm: Algorithm,
+    /// Bulk-construction configuration (filtering, per-set budget, sampling).
+    pub bulk: BulkConfig,
+    /// Scanning configuration for target-set identification.
+    pub scan: ScanConfig,
+    /// Classifier training parameters.
+    pub classifier: ClassifierTrainingConfig,
+    /// Nonce-extraction parameters.
+    pub extraction: ExtractionConfig,
+    /// Number of signings to capture in Step 3 (paper: 10).
+    pub signatures: usize,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        let victim = EcdsaVictimConfig::default();
+        let features = FeatureConfig {
+            expected_period_cycles: victim.expected_access_period(),
+            ..FeatureConfig::default()
+        };
+        Self {
+            spec: CacheSpec::skylake_sp_cloud(),
+            noise: NoiseModel::cloud_run(),
+            victim_request_gap: 200_000,
+            algorithm: Algorithm::BinS,
+            bulk: BulkConfig::default(),
+            scan: ScanConfig::default(),
+            classifier: ClassifierTrainingConfig { features, ..Default::default() },
+            extraction: ExtractionConfig::default(),
+            signatures: 10,
+            seed: 0xa77ac4,
+            victim,
+        }
+    }
+}
+
+impl AttackConfig {
+    /// A configuration sized for fast tests: the tiny cache hierarchy, a
+    /// short-nonce victim and a handful of signatures.
+    pub fn fast_test() -> Self {
+        let victim = EcdsaVictimConfig::fast_test();
+        let mut config = Self {
+            spec: CacheSpec::tiny_test(),
+            noise: NoiseModel::quiescent_local(),
+            victim_request_gap: 50_000,
+            signatures: 3,
+            ..Self::default()
+        };
+        config.classifier.features.expected_period_cycles = victim.expected_access_period();
+        config.classifier.positive_traces = 60;
+        config.classifier.negative_traces = 100;
+        config.classifier.trace_cycles = 400_000;
+        config.scan.trace_cycles = 400_000;
+        config.scan.timeout_cycles = 400_000_000;
+        config.extraction.iteration_cycles = victim.iteration_cycles;
+        config.victim = victim;
+        config
+    }
+}
+
+/// Step 1 report: eviction-set construction.
+#[derive(Debug, Clone)]
+pub struct EvsetPhase {
+    /// Eviction sets constructed, keyed by target address.
+    pub sets_built: usize,
+    /// Target addresses attempted.
+    pub attempted: usize,
+    /// Success rate over attempted sets.
+    pub success_rate: f64,
+    /// Simulated cycles spent.
+    pub cycles: u64,
+}
+
+/// Step 2 report: target-set identification.
+#[derive(Debug, Clone)]
+pub struct IdentifyPhase {
+    /// Whether a target set was identified.
+    pub identified: bool,
+    /// Whether the identified set is truly the victim's target set
+    /// (oracle-validated, as in the paper's ground-truth checks).
+    pub correct: bool,
+    /// Simulated cycles spent scanning.
+    pub cycles: u64,
+    /// Traces collected during the scan.
+    pub traces: u64,
+    /// Sets scanned per second of simulated time.
+    pub scan_rate_per_s: f64,
+}
+
+/// Step 3 report: nonce extraction.
+#[derive(Debug, Clone)]
+pub struct ExtractPhase {
+    /// Per-signing extraction scores.
+    pub scores: Vec<ExtractionScore>,
+    /// Simulated cycles spent monitoring.
+    pub cycles: u64,
+}
+
+impl ExtractPhase {
+    /// Median fraction of nonce bits recovered across signings.
+    pub fn median_recovered_fraction(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        let mut fracs: Vec<f64> = self.scores.iter().map(|s| s.recovered_fraction()).collect();
+        fracs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        fracs[fracs.len() / 2]
+    }
+
+    /// Mean bit error rate across signings.
+    pub fn mean_bit_error_rate(&self) -> f64 {
+        if self.scores.is_empty() {
+            return 0.0;
+        }
+        self.scores.iter().map(|s| s.bit_error_rate()).sum::<f64>() / self.scores.len() as f64
+    }
+}
+
+/// The complete end-to-end attack report (Section 7.3).
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Step 1 results.
+    pub evset: EvsetPhase,
+    /// Step 2 results.
+    pub identify: IdentifyPhase,
+    /// Step 3 results.
+    pub extract: ExtractPhase,
+    /// Total simulated cycles of the whole attack.
+    pub total_cycles: u64,
+    /// Machine frequency used to convert cycles to seconds.
+    pub freq_ghz: f64,
+}
+
+impl AttackReport {
+    /// Total attack time in seconds of simulated time.
+    pub fn total_seconds(&self) -> f64 {
+        self.total_cycles as f64 / (self.freq_ghz * 1e9)
+    }
+
+    /// True if the attack recovered a usable share of the nonce bits from at
+    /// least one signing.
+    pub fn succeeded(&self) -> bool {
+        self.identify.correct && self.extract.median_recovered_fraction() > 0.5
+    }
+}
+
+/// The end-to-end attack driver.
+#[derive(Debug)]
+pub struct EndToEndAttack {
+    config: AttackConfig,
+}
+
+impl EndToEndAttack {
+    /// Creates an attack driver for `config`.
+    pub fn new(config: AttackConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AttackConfig {
+        &self.config
+    }
+
+    /// Runs the complete attack and returns the report.
+    pub fn run(&self) -> AttackReport {
+        let cfg = &self.config;
+        let mut machine =
+            Machine::builder(cfg.spec.clone()).noise(cfg.noise.clone()).seed(cfg.seed).build();
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe2e);
+
+        // Install the co-located victim service. It serves requests
+        // back-to-back, driven by the attacker's triggering requests.
+        let (victim, handle) = EcdsaVictim::new(cfg.victim.clone());
+        machine.install_victim(Box::new(victim), true, cfg.victim_request_gap);
+        let layout = handle
+            .lock()
+            .expect("victim log available")
+            .layout
+            .clone()
+            .expect("victim setup ran");
+        let target_offset = layout.target_page_offset();
+        let true_target: SetLocation = machine.oracle_victim_location(layout.branch_line);
+
+        let start = machine.now();
+
+        // ---- Step 1: eviction sets at the target page offset --------------
+        let algorithm = cfg.algorithm.instance();
+        let bulk_cfg = BulkConfig { page_offset: target_offset, ..cfg.bulk.clone() };
+        let builder = BulkBuilder::new(algorithm.as_ref(), bulk_cfg);
+        let bulk = builder
+            .run(&mut machine, Scope::PageOffset, &mut rng)
+            .expect("bulk construction must at least start");
+        let evset_phase = EvsetPhase {
+            sets_built: bulk.successes,
+            attempted: bulk.attempted,
+            success_rate: bulk.success_rate(),
+            cycles: bulk.total_cycles,
+        };
+
+        // ---- Step 2: identify the target SF set ---------------------------
+        let classifier = TraceClassifier::train(&cfg.classifier);
+        let identify_start = machine.now();
+        let scan = scan_for_target(&mut machine, &bulk.eviction_sets, &classifier, &cfg.scan);
+        let correct = scan
+            .identified_ta
+            .map(|ta| machine.oracle_attacker_location(ta) == true_target)
+            .unwrap_or(false);
+        let identify_phase = IdentifyPhase {
+            identified: scan.identified.is_some(),
+            correct,
+            cycles: machine.now() - identify_start,
+            traces: scan.traces_collected,
+            scan_rate_per_s: scan.scan_rate_per_s,
+        };
+
+        // ---- Step 3: monitor the target set and extract nonce bits --------
+        let extract_start = machine.now();
+        let scores = if let Some(idx) = scan.identified {
+            self.extract_nonces(&mut machine, &bulk.eviction_sets[idx].1, &handle)
+        } else {
+            Vec::new()
+        };
+        let extract_phase = ExtractPhase { scores, cycles: machine.now() - extract_start };
+
+        AttackReport {
+            evset: evset_phase,
+            identify: identify_phase,
+            extract: extract_phase,
+            total_cycles: machine.now() - start,
+            freq_ghz: cfg.spec.freq_ghz,
+        }
+    }
+
+    /// Step 3: collect traces covering `signatures` victim signings and
+    /// decode their nonce bits, scoring each against the victim's ground
+    /// truth (the paper's validation instrumentation).
+    fn extract_nonces(
+        &self,
+        machine: &mut Machine,
+        eviction_set: &llc_evsets::EvictionSet,
+        handle: &VictimHandle,
+    ) -> Vec<ExtractionScore> {
+        let cfg = &self.config;
+        let runs_before = machine.victim_runs() as usize;
+
+        // Estimate one request's duration from the victim configuration.
+        let request_cycles = cfg.victim.pre_cycles
+            + cfg.victim.post_cycles
+            + cfg.victim.nonce_bits as u64 * cfg.victim.iteration_cycles
+            + cfg.victim_request_gap;
+        // One extra request's worth of monitoring for the training signing.
+        let window = request_cycles * (cfg.signatures as u64 + 2);
+
+        let mut monitor = Monitor::new(Strategy::Parallel, eviction_set.clone());
+        let trace = monitor.collect(machine, window);
+
+        // Align ground truth with the monitored window.
+        let log = handle.lock().expect("victim log available");
+        let run_starts = machine.victim_run_starts().to_vec();
+        let mut per_run: Vec<(u64, &llc_ecdsa_victim::RunGroundTruth)> = run_starts
+            .iter()
+            .copied()
+            .zip(log.runs.iter())
+            .skip(runs_before)
+            .filter(|(start, run)| *start >= trace.start && start + run.duration <= trace.end)
+            .collect();
+        if per_run.len() > cfg.signatures + 1 {
+            per_run.truncate(cfg.signatures + 1);
+        }
+        if per_run.is_empty() {
+            return Vec::new();
+        }
+
+        // Train the boundary classifier on the first captured signing.
+        let (train_start, train_run) = per_run[0];
+        let train_trace = slice_trace(&trace, train_start, train_start + train_run.duration);
+        let train_boundaries: Vec<u64> =
+            train_run.iteration_starts.iter().map(|&o| train_start + o).collect();
+        let boundary_classifier =
+            BoundaryClassifier::train(&cfg.extraction, &[(&train_trace, &train_boundaries)]);
+
+        // Decode and score the remaining signings.
+        per_run[1..]
+            .iter()
+            .map(|&(run_start, run)| {
+                let run_trace = slice_trace(&trace, run_start, run_start + run.duration);
+                let boundaries = boundary_classifier.boundaries(&run_trace);
+                let decoded = decode_bits(&run_trace, &boundaries, &cfg.extraction);
+                let starts: Vec<u64> =
+                    run.iteration_starts.iter().map(|&o| run_start + o).collect();
+                score_extraction(&decoded, &starts, &run.nonce_bits, &cfg.extraction)
+            })
+            .collect()
+    }
+}
+
+/// Restricts a trace to the detections inside `[start, end)`.
+fn slice_trace(trace: &AccessTrace, start: u64, end: u64) -> AccessTrace {
+    AccessTrace {
+        start,
+        end,
+        timestamps: trace
+            .timestamps
+            .iter()
+            .copied()
+            .filter(|&t| t >= start && t < end)
+            .collect(),
+        probes: trace.probes,
+        primes: trace.primes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_enum_round_trip() {
+        assert_eq!(Algorithm::all().len(), 5);
+        for a in Algorithm::all() {
+            assert_eq!(a.instance().name(), a.name());
+            assert_eq!(a.to_string(), a.name());
+        }
+    }
+
+    #[test]
+    fn fast_config_uses_tiny_machine() {
+        let cfg = AttackConfig::fast_test();
+        assert_eq!(cfg.spec.cores, 3);
+        assert!(cfg.victim.nonce_bits < 100);
+    }
+
+    #[test]
+    fn end_to_end_attack_on_tiny_machine_recovers_nonce_bits() {
+        let report = EndToEndAttack::new(AttackConfig::fast_test()).run();
+        assert!(report.evset.sets_built >= 1, "step 1 built no eviction sets");
+        assert!(report.identify.identified, "step 2 did not identify a target set");
+        assert!(report.identify.correct, "step 2 identified the wrong set");
+        assert!(!report.extract.scores.is_empty(), "step 3 produced no scores");
+        assert!(
+            report.extract.median_recovered_fraction() > 0.5,
+            "recovered only {:.2} of the nonce bits",
+            report.extract.median_recovered_fraction()
+        );
+        assert!(
+            report.extract.mean_bit_error_rate() < 0.2,
+            "bit error rate {:.2}",
+            report.extract.mean_bit_error_rate()
+        );
+        assert!(report.succeeded());
+        assert!(report.total_seconds() > 0.0);
+    }
+
+    #[test]
+    fn report_aggregations_handle_empty_results() {
+        let phase = ExtractPhase { scores: vec![], cycles: 0 };
+        assert_eq!(phase.median_recovered_fraction(), 0.0);
+        assert_eq!(phase.mean_bit_error_rate(), 0.0);
+    }
+}

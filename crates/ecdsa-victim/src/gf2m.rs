@@ -1,0 +1,473 @@
+//! Arithmetic in the binary field GF(2^571) with the sect571r1 reduction
+//! polynomial `f(x) = x^571 + x^10 + x^5 + x^2 + 1`.
+//!
+//! Elements are polynomials over GF(2) of degree < 571, stored as 9 little-
+//! endian 64-bit limbs. Addition is XOR; multiplication uses a 4-bit windowed
+//! shift-and-add followed by reduction; inversion uses the binary extended
+//! Euclidean algorithm for polynomials.
+
+/// Number of 64-bit limbs in a field element (ceil(571 / 64) = 9).
+pub const LIMBS: usize = 9;
+/// Field degree m = 571.
+pub const DEGREE: usize = 571;
+
+/// An element of GF(2^571).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Gf571 {
+    limbs: [u64; LIMBS],
+}
+
+impl Default for Gf571 {
+    fn default() -> Self {
+        Self::ZERO
+    }
+}
+
+impl Gf571 {
+    /// The additive identity.
+    pub const ZERO: Gf571 = Gf571 { limbs: [0; LIMBS] };
+    /// The multiplicative identity.
+    pub const ONE: Gf571 = {
+        let mut l = [0u64; LIMBS];
+        l[0] = 1;
+        Gf571 { limbs: l }
+    };
+
+    /// Creates an element from little-endian limbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value has degree >= 571 (bits above position 570 set).
+    pub fn from_limbs(limbs: [u64; LIMBS]) -> Self {
+        let e = Self { limbs };
+        assert!(e.degree() < DEGREE as i32 || e == Self::ZERO, "element exceeds field degree");
+        e
+    }
+
+    /// The little-endian limbs of this element.
+    pub fn limbs(&self) -> &[u64; LIMBS] {
+        &self.limbs
+    }
+
+    /// Parses a big-endian hexadecimal string (as printed in SEC 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-hex characters or values of degree >= 571.
+    pub fn from_hex(hex: &str) -> Self {
+        let clean: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
+        let clean = clean.trim_start_matches("0x");
+        let mut limbs = [0u64; LIMBS];
+        let mut nibble_idx = 0usize;
+        for c in clean.chars().rev() {
+            let v = c.to_digit(16).expect("invalid hex digit") as u64;
+            let bit = nibble_idx * 4;
+            let limb = bit / 64;
+            let shift = bit % 64;
+            assert!(limb < LIMBS, "hex value too large for GF(2^571)");
+            limbs[limb] |= v << shift;
+            nibble_idx += 1;
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Formats the element as a big-endian hexadecimal string.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::new();
+        for limb in self.limbs.iter().rev() {
+            s.push_str(&format!("{limb:016x}"));
+        }
+        let trimmed = s.trim_start_matches('0');
+        if trimmed.is_empty() {
+            "0".to_string()
+        } else {
+            trimmed.to_string()
+        }
+    }
+
+    /// True if this is the zero element.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Degree of the polynomial (-1 for zero).
+    pub fn degree(&self) -> i32 {
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return (i * 64 + 63 - l.leading_zeros() as usize) as i32;
+            }
+        }
+        -1
+    }
+
+    /// Returns bit `i` of the element.
+    pub fn bit(&self, i: usize) -> bool {
+        if i >= LIMBS * 64 {
+            return false;
+        }
+        (self.limbs[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Field addition (XOR).
+    pub fn add(&self, other: &Gf571) -> Gf571 {
+        let mut limbs = [0u64; LIMBS];
+        for i in 0..LIMBS {
+            limbs[i] = self.limbs[i] ^ other.limbs[i];
+        }
+        Gf571 { limbs }
+    }
+
+    /// Field multiplication.
+    pub fn mul(&self, other: &Gf571) -> Gf571 {
+        // 4-bit windowed left-to-right multiplication into an 18-limb product.
+        let mut table = [[0u64; LIMBS + 1]; 16];
+        // table[w] = w(x) * other, where w is a 4-bit polynomial.
+        for w in 1usize..16 {
+            let mut acc = [0u64; LIMBS + 1];
+            for bit in 0..4 {
+                if (w >> bit) & 1 == 1 {
+                    // acc ^= other << bit
+                    let mut carry = 0u64;
+                    for i in 0..LIMBS {
+                        let v = if bit == 0 {
+                            self_or(other.limbs[i], 0)
+                        } else {
+                            (other.limbs[i] << bit) | carry
+                        };
+                        acc[i] ^= v;
+                        carry = if bit == 0 { 0 } else { other.limbs[i] >> (64 - bit) };
+                    }
+                    acc[LIMBS] ^= carry;
+                }
+            }
+            table[w] = acc;
+        }
+
+        let mut product = [0u64; 2 * LIMBS];
+        // Process self 4 bits at a time, from the most significant nibble.
+        let total_nibbles = LIMBS * 16;
+        for n in (0..total_nibbles).rev() {
+            // product <<= 4 (skip on the very first processed nibble).
+            if n != total_nibbles - 1 {
+                let mut carry = 0u64;
+                for limb in product.iter_mut() {
+                    let new_carry = *limb >> 60;
+                    *limb = (*limb << 4) | carry;
+                    carry = new_carry;
+                }
+            }
+            let nib = ((self.limbs[n / 16] >> ((n % 16) * 4)) & 0xf) as usize;
+            if nib != 0 {
+                for i in 0..=LIMBS {
+                    product[i] ^= table[nib][i];
+                }
+            }
+        }
+        reduce(&mut product);
+        let mut limbs = [0u64; LIMBS];
+        limbs.copy_from_slice(&product[..LIMBS]);
+        Gf571 { limbs }
+    }
+
+    /// Field squaring (linear in GF(2), considerably faster than `mul`).
+    pub fn square(&self) -> Gf571 {
+        let mut product = [0u64; 2 * LIMBS];
+        for (i, &limb) in self.limbs.iter().enumerate() {
+            let (lo, hi) = spread_bits(limb);
+            product[2 * i] = lo;
+            product[2 * i + 1] = hi;
+        }
+        reduce(&mut product);
+        let mut limbs = [0u64; LIMBS];
+        limbs.copy_from_slice(&product[..LIMBS]);
+        Gf571 { limbs }
+    }
+
+    /// Multiplicative inverse via the binary extended Euclidean algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics when inverting zero.
+    pub fn inverse(&self) -> Gf571 {
+        assert!(!self.is_zero(), "zero has no multiplicative inverse");
+        // Polynomials can temporarily reach degree 571, so use LIMBS+1 words.
+        let mut u = Poly::from_element(self);
+        let mut v = Poly::modulus();
+        let mut g1 = Poly::one();
+        let mut g2 = Poly::zero();
+        loop {
+            if u.is_one() {
+                return g1.to_element();
+            }
+            let j = u.degree() - v.degree();
+            if j < 0 {
+                std::mem::swap(&mut u, &mut v);
+                std::mem::swap(&mut g1, &mut g2);
+                continue;
+            }
+            u.xor_shifted(&v, j as usize);
+            g1.xor_shifted(&g2, j as usize);
+        }
+    }
+
+    /// Exponentiation by squaring (used in tests to cross-check `inverse`).
+    pub fn pow(&self, exponent_bits: &[bool]) -> Gf571 {
+        let mut acc = Gf571::ONE;
+        for &bit in exponent_bits {
+            acc = acc.square();
+            if bit {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+}
+
+#[inline]
+fn self_or(v: u64, _z: u64) -> u64 {
+    v
+}
+
+/// Spreads the bits of `x` so that bit i lands at position 2i (squaring).
+fn spread_bits(x: u64) -> (u64, u64) {
+    fn spread32(mut v: u64) -> u64 {
+        v &= 0xffff_ffff;
+        v = (v | (v << 16)) & 0x0000_ffff_0000_ffff;
+        v = (v | (v << 8)) & 0x00ff_00ff_00ff_00ff;
+        v = (v | (v << 4)) & 0x0f0f_0f0f_0f0f_0f0f;
+        v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+        v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+        v
+    }
+    (spread32(x), spread32(x >> 32))
+}
+
+/// Reduces an up-to-1142-bit polynomial modulo f(x) = x^571 + x^10 + x^5 + x^2 + 1.
+fn reduce(product: &mut [u64; 2 * LIMBS]) {
+    // Process bits from the top down to bit 571; bit k reduces to
+    // k-571 + {10, 5, 2, 0}.
+    for bit in (DEGREE..2 * LIMBS * 64).rev() {
+        let limb = bit / 64;
+        let shift = bit % 64;
+        if (product[limb] >> shift) & 1 == 1 {
+            product[limb] ^= 1 << shift;
+            let base = bit - DEGREE;
+            for &offset in &[0usize, 2, 5, 10] {
+                let b = base + offset;
+                product[b / 64] ^= 1 << (b % 64);
+            }
+        }
+    }
+}
+
+/// A scratch polynomial of up to 10 limbs used by the inversion algorithm.
+#[derive(Debug, Clone, Copy)]
+struct Poly {
+    limbs: [u64; LIMBS + 1],
+}
+
+impl Poly {
+    fn zero() -> Self {
+        Self { limbs: [0; LIMBS + 1] }
+    }
+
+    fn one() -> Self {
+        let mut p = Self::zero();
+        p.limbs[0] = 1;
+        p
+    }
+
+    fn from_element(e: &Gf571) -> Self {
+        let mut p = Self::zero();
+        p.limbs[..LIMBS].copy_from_slice(&e.limbs);
+        p
+    }
+
+    fn modulus() -> Self {
+        let mut p = Self::zero();
+        p.limbs[0] = (1 << 10) | (1 << 5) | (1 << 2) | 1;
+        p.limbs[DEGREE / 64] |= 1 << (DEGREE % 64);
+        p
+    }
+
+    fn degree(&self) -> i32 {
+        for (i, &l) in self.limbs.iter().enumerate().rev() {
+            if l != 0 {
+                return (i * 64 + 63 - l.leading_zeros() as usize) as i32;
+            }
+        }
+        -1
+    }
+
+    fn is_one(&self) -> bool {
+        self.limbs[0] == 1 && self.limbs[1..].iter().all(|&l| l == 0)
+    }
+
+    /// `self ^= other << shift`
+    fn xor_shifted(&mut self, other: &Poly, shift: usize) {
+        let limb_shift = shift / 64;
+        let bit_shift = shift % 64;
+        for i in (0..=LIMBS).rev() {
+            if i < limb_shift {
+                break;
+            }
+            let src = i - limb_shift;
+            let mut v = other.limbs[src] << bit_shift;
+            if bit_shift > 0 && src > 0 {
+                v |= other.limbs[src - 1] >> (64 - bit_shift);
+            }
+            self.limbs[i] ^= v;
+        }
+    }
+
+    fn to_element(self) -> Gf571 {
+        let mut limbs = [0u64; LIMBS];
+        limbs.copy_from_slice(&self.limbs[..LIMBS]);
+        debug_assert_eq!(self.limbs[LIMBS], 0, "inverse result must fit the field");
+        Gf571 { limbs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(seed: u64) -> Gf571 {
+        // Deterministic pseudo-random field element.
+        let mut limbs = [0u64; LIMBS];
+        let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+        for l in limbs.iter_mut() {
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xbf58476d1ce4e5b9);
+            x ^= x >> 27;
+            x = x.wrapping_mul(0x94d049bb133111eb);
+            x ^= x >> 31;
+            *l = x;
+        }
+        limbs[LIMBS - 1] &= (1 << (DEGREE % 64)) - 1;
+        Gf571::from_limbs(limbs)
+    }
+
+    #[test]
+    fn addition_is_xor_and_self_inverse() {
+        let a = sample(1);
+        let b = sample(2);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&a), Gf571::ZERO);
+        assert_eq!(a.add(&Gf571::ZERO), a);
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity() {
+        let a = sample(3);
+        assert_eq!(a.mul(&Gf571::ONE), a);
+        assert_eq!(Gf571::ONE.mul(&a), a);
+        assert_eq!(a.mul(&Gf571::ZERO), Gf571::ZERO);
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        let a = sample(4);
+        let b = sample(5);
+        let c = sample(6);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+    }
+
+    #[test]
+    fn distributivity() {
+        let a = sample(7);
+        let b = sample(8);
+        let c = sample(9);
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    }
+
+    #[test]
+    fn square_matches_self_multiplication() {
+        for seed in 10..20 {
+            let a = sample(seed);
+            assert_eq!(a.square(), a.mul(&a));
+        }
+    }
+
+    #[test]
+    fn small_polynomial_products() {
+        // (x + 1) * (x + 1) = x^2 + 1
+        let x_plus_1 = Gf571::from_limbs({
+            let mut l = [0u64; LIMBS];
+            l[0] = 0b11;
+            l
+        });
+        let expected = Gf571::from_limbs({
+            let mut l = [0u64; LIMBS];
+            l[0] = 0b101;
+            l
+        });
+        assert_eq!(x_plus_1.mul(&x_plus_1), expected);
+    }
+
+    #[test]
+    fn reduction_wraps_high_bit_correctly() {
+        // x^570 * x = x^571 ≡ x^10 + x^5 + x^2 + 1 (mod f).
+        let mut l = [0u64; LIMBS];
+        l[570 / 64] = 1 << (570 % 64);
+        let x570 = Gf571::from_limbs(l);
+        let mut xl = [0u64; LIMBS];
+        xl[0] = 2;
+        let x = Gf571::from_limbs(xl);
+        let mut el = [0u64; LIMBS];
+        el[0] = (1 << 10) | (1 << 5) | (1 << 2) | 1;
+        assert_eq!(x570.mul(&x), Gf571::from_limbs(el));
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for seed in 20..26 {
+            let a = sample(seed);
+            if a.is_zero() {
+                continue;
+            }
+            let inv = a.inverse();
+            assert_eq!(a.mul(&inv), Gf571::ONE, "a * a^-1 must be 1");
+        }
+    }
+
+    #[test]
+    fn inverse_of_one_is_one() {
+        assert_eq!(Gf571::ONE.inverse(), Gf571::ONE);
+    }
+
+    #[test]
+    #[should_panic]
+    fn inverse_of_zero_panics() {
+        let _ = Gf571::ZERO.inverse();
+    }
+
+    #[test]
+    fn hex_round_trip() {
+        let a = sample(30);
+        let hex = a.to_hex();
+        assert_eq!(Gf571::from_hex(&hex), a);
+        assert_eq!(Gf571::from_hex("0"), Gf571::ZERO);
+        assert_eq!(Gf571::from_hex("1"), Gf571::ONE);
+    }
+
+    #[test]
+    fn degree_and_bits() {
+        assert_eq!(Gf571::ZERO.degree(), -1);
+        assert_eq!(Gf571::ONE.degree(), 0);
+        let a = Gf571::from_hex("10");
+        assert_eq!(a.degree(), 4);
+        assert!(a.bit(4));
+        assert!(!a.bit(3));
+    }
+
+    #[test]
+    fn pow_matches_repeated_multiplication() {
+        let a = sample(31);
+        // a^5 = a * a * a * a * a; exponent 5 = 101b (MSB first).
+        let a5 = a.pow(&[true, false, true]);
+        let expected = a.mul(&a).mul(&a).mul(&a).mul(&a);
+        assert_eq!(a5, expected);
+    }
+}

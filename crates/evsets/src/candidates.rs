@@ -1,0 +1,189 @@
+//! Candidate-set construction (Section 2.2.1, step 1).
+//!
+//! Because the attacker only controls the page offset of each physical
+//! address, a candidate set for a target cache set at page offset `o` is
+//! simply a large collection of attacker addresses whose page offset is `o`,
+//! drawn from freshly allocated 4 kB pages. The set must be large enough to
+//! contain at least `W` addresses congruent with *any* set reachable at that
+//! page offset; the paper finds `3·U·W` to be sufficient.
+
+use llc_machine::Machine;
+use llc_cache_model::{VirtAddr, LINE_SIZE, PAGE_SIZE};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A pool of candidate addresses sharing one page offset.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    page_offset: u64,
+    addresses: Vec<VirtAddr>,
+}
+
+impl CandidateSet {
+    /// Allocates `count` candidate addresses at `page_offset` on `machine`,
+    /// one per fresh 4 kB page, shuffled with `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset` is not cache-line aligned or not within a page.
+    pub fn allocate(
+        machine: &mut Machine,
+        page_offset: u64,
+        count: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(page_offset < PAGE_SIZE, "page offset must be below 4096");
+        assert_eq!(page_offset % LINE_SIZE, 0, "page offset must be line-aligned");
+        let base = machine.alloc_attacker_pages(count);
+        let mut addresses: Vec<VirtAddr> = (0..count as u64)
+            .map(|i| base.offset(i * PAGE_SIZE + page_offset))
+            .collect();
+        addresses.shuffle(rng);
+        Self { page_offset, addresses }
+    }
+
+    /// Builds a candidate set from pre-existing addresses.
+    ///
+    /// All addresses must share the same page offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the addresses do not share a page offset or the list is empty.
+    pub fn from_addresses(addresses: Vec<VirtAddr>) -> Self {
+        assert!(!addresses.is_empty(), "candidate set cannot be empty");
+        let page_offset = addresses[0].page_offset();
+        assert!(
+            addresses.iter().all(|a| a.page_offset() == page_offset),
+            "all candidates must share one page offset"
+        );
+        Self { page_offset, addresses }
+    }
+
+    /// The common page offset of every candidate.
+    pub fn page_offset(&self) -> u64 {
+        self.page_offset
+    }
+
+    /// The candidate addresses.
+    pub fn addresses(&self) -> &[VirtAddr] {
+        &self.addresses
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// True if no candidates remain.
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+
+    /// Removes and returns the first candidate (used to pick target addresses
+    /// during bulk construction).
+    pub fn pop(&mut self) -> Option<VirtAddr> {
+        if self.addresses.is_empty() {
+            None
+        } else {
+            Some(self.addresses.remove(0))
+        }
+    }
+
+    /// Removes the given addresses from the pool (e.g. after they have been
+    /// consumed by a constructed eviction set).
+    pub fn remove_all(&mut self, used: &[VirtAddr]) {
+        self.addresses.retain(|a| !used.contains(a));
+    }
+
+    /// Returns a new candidate set whose addresses are shifted by `delta`
+    /// bytes within their page.
+    ///
+    /// This implements the page-offset-δ trick of Section 5.3.1: if two
+    /// addresses are congruent in the L2, adding the same small δ (staying
+    /// within the page) keeps them congruent, so one filtered candidate set
+    /// per L2 set suffices for all 64 page offsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shifted offset leaves the page or breaks line alignment.
+    pub fn shifted(&self, delta: i64) -> CandidateSet {
+        let new_offset = self.page_offset as i64 + delta;
+        assert!(
+            (0..PAGE_SIZE as i64).contains(&new_offset),
+            "shifted page offset must stay within the page"
+        );
+        assert_eq!(new_offset % LINE_SIZE as i64, 0, "shift must preserve line alignment");
+        let addresses = self
+            .addresses
+            .iter()
+            .map(|a| VirtAddr::new((a.raw() as i64 + delta) as u64))
+            .collect();
+        CandidateSet { page_offset: new_offset as u64, addresses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llc_cache_model::CacheSpec;
+    use llc_machine::NoiseModel;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn machine() -> Machine {
+        Machine::builder(CacheSpec::tiny_test()).noise(NoiseModel::silent()).seed(1).build()
+    }
+
+    #[test]
+    fn allocate_produces_unique_candidates_at_offset() {
+        let mut m = machine();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let c = CandidateSet::allocate(&mut m, 0x240, 128, &mut rng);
+        assert_eq!(c.len(), 128);
+        assert_eq!(c.page_offset(), 0x240);
+        let mut seen = std::collections::HashSet::new();
+        for a in c.addresses() {
+            assert_eq!(a.page_offset(), 0x240);
+            assert!(seen.insert(*a), "duplicate candidate address");
+        }
+    }
+
+    #[test]
+    fn shifted_changes_offset_only() {
+        let mut m = machine();
+        let mut rng = SmallRng::seed_from_u64(3);
+        let c = CandidateSet::allocate(&mut m, 0x0, 16, &mut rng);
+        let s = c.shifted(128);
+        assert_eq!(s.page_offset(), 128);
+        assert_eq!(s.len(), c.len());
+        for (a, b) in c.addresses().iter().zip(s.addresses()) {
+            assert_eq!(b.raw() - a.raw(), 128);
+            assert_eq!(a.page_number(), b.page_number(), "shift must stay within the page");
+        }
+    }
+
+    #[test]
+    fn pop_and_remove_all_shrink_pool() {
+        let addrs: Vec<_> = (0..4).map(|i| VirtAddr::new(0x1000 * (i + 1) + 0x40)).collect();
+        let mut c = CandidateSet::from_addresses(addrs.clone());
+        let first = c.pop().expect("non-empty");
+        assert_eq!(first, addrs[0]);
+        c.remove_all(&[addrs[2]]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.addresses().contains(&addrs[2]));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_offsets_panic() {
+        let _ = CandidateSet::from_addresses(vec![VirtAddr::new(0x1040), VirtAddr::new(0x2080)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unaligned_offset_panics() {
+        let mut m = machine();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let _ = CandidateSet::allocate(&mut m, 0x43, 4, &mut rng);
+    }
+}

@@ -1,0 +1,127 @@
+//! Configuration shared by all eviction-set construction algorithms.
+
+use llc_cache_model::CacheSpec;
+
+/// Which cache structure an eviction set targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TargetCache {
+    /// The attacker core's private L2 (used for candidate filtering).
+    L2,
+    /// The shared last-level cache.
+    Llc,
+    /// The snoop filter (an SF eviction set is also an LLC eviction set).
+    Sf,
+}
+
+impl TargetCache {
+    /// Associativity of the targeted structure on `spec`.
+    pub fn ways(self, spec: &CacheSpec) -> usize {
+        match self {
+            TargetCache::L2 => spec.l2.ways(),
+            TargetCache::Llc => spec.llc.ways(),
+            TargetCache::Sf => spec.sf.ways(),
+        }
+    }
+
+    /// Cache uncertainty `U` of the targeted structure on `spec`.
+    pub fn uncertainty(self, spec: &CacheSpec) -> usize {
+        match self {
+            TargetCache::L2 => spec.l2.uncertainty(),
+            TargetCache::Llc => spec.llc.uncertainty(),
+            TargetCache::Sf => spec.sf.uncertainty(),
+        }
+    }
+}
+
+impl std::fmt::Display for TargetCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TargetCache::L2 => write!(f, "L2"),
+            TargetCache::Llc => write!(f, "LLC"),
+            TargetCache::Sf => write!(f, "SF"),
+        }
+    }
+}
+
+/// Tunables of the construction pipeline (Section 4.2's experimental setup).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvsetConfig {
+    /// Maximum construction attempts per eviction set (paper: 10).
+    pub max_attempts: u32,
+    /// Maximum backtracks per attempt (paper: 20).
+    pub max_backtracks: u32,
+    /// Per-eviction-set time budget in cycles (paper: 1,000 ms without
+    /// candidate filtering, 100 ms with filtering, at 2 GHz).
+    pub time_budget_cycles: u64,
+    /// Candidate-set size as a multiple of `U * W` (paper: 3).
+    pub candidate_scale: usize,
+    /// Number of consecutive positive `TestEviction` results required by the
+    /// final verification of a constructed set.
+    pub verify_rounds: u32,
+}
+
+impl Default for EvsetConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 10,
+            max_backtracks: 20,
+            // 1,000 ms at 2 GHz.
+            time_budget_cycles: 2_000_000_000,
+            candidate_scale: 3,
+            verify_rounds: 2,
+        }
+    }
+}
+
+impl EvsetConfig {
+    /// Configuration used in Table 3 (no candidate filtering, 1 s budget).
+    pub fn unfiltered() -> Self {
+        Self::default()
+    }
+
+    /// Configuration used in Table 4 (with candidate filtering, 100 ms budget).
+    pub fn filtered() -> Self {
+        Self { time_budget_cycles: 200_000_000, ..Self::default() }
+    }
+
+    /// Recommended candidate-set size for `target` on `spec`:
+    /// `candidate_scale * U * W` (Section 4.2).
+    pub fn candidate_count(&self, spec: &CacheSpec, target: TargetCache) -> usize {
+        self.candidate_scale * target.uncertainty(spec) * target.ways(spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ways_and_uncertainty_match_spec() {
+        let spec = CacheSpec::skylake_sp_cloud();
+        assert_eq!(TargetCache::L2.ways(&spec), 16);
+        assert_eq!(TargetCache::Llc.ways(&spec), 11);
+        assert_eq!(TargetCache::Sf.ways(&spec), 12);
+        assert_eq!(TargetCache::L2.uncertainty(&spec), 16);
+        assert_eq!(TargetCache::Sf.uncertainty(&spec), 896);
+    }
+
+    #[test]
+    fn candidate_count_is_3uw() {
+        let spec = CacheSpec::skylake_sp_cloud();
+        let cfg = EvsetConfig::default();
+        assert_eq!(cfg.candidate_count(&spec, TargetCache::Sf), 3 * 896 * 12);
+        assert_eq!(cfg.candidate_count(&spec, TargetCache::L2), 3 * 16 * 16);
+    }
+
+    #[test]
+    fn filtered_config_has_smaller_budget() {
+        assert!(EvsetConfig::filtered().time_budget_cycles < EvsetConfig::unfiltered().time_budget_cycles);
+    }
+
+    #[test]
+    fn target_cache_display() {
+        assert_eq!(TargetCache::Sf.to_string(), "SF");
+        assert_eq!(TargetCache::Llc.to_string(), "LLC");
+        assert_eq!(TargetCache::L2.to_string(), "L2");
+    }
+}

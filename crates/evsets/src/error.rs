@@ -1,0 +1,83 @@
+//! Error types for eviction-set construction.
+
+use std::fmt;
+
+/// Why an eviction-set construction attempt failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvsetError {
+    /// The per-attempt or per-set time budget was exhausted.
+    Timeout {
+        /// Simulated cycles spent before giving up.
+        spent_cycles: u64,
+    },
+    /// All allowed attempts failed to produce a verified eviction set.
+    AttemptsExhausted {
+        /// Number of attempts made.
+        attempts: u32,
+    },
+    /// The candidate set ran out of addresses before a full eviction set was
+    /// found (not enough congruent addresses).
+    InsufficientCandidates {
+        /// Number of congruent addresses found before running out.
+        found: usize,
+        /// Number of congruent addresses required.
+        required: usize,
+    },
+    /// The backtracking budget was exhausted (too many erroneous
+    /// `TestEviction` results, typically caused by noise).
+    BacktrackLimit {
+        /// Number of backtracks performed.
+        backtracks: u32,
+    },
+    /// The constructed set failed final verification.
+    VerificationFailed,
+}
+
+impl fmt::Display for EvsetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvsetError::Timeout { spent_cycles } => {
+                write!(f, "construction timed out after {spent_cycles} cycles")
+            }
+            EvsetError::AttemptsExhausted { attempts } => {
+                write!(f, "all {attempts} construction attempts failed")
+            }
+            EvsetError::InsufficientCandidates { found, required } => {
+                write!(f, "candidate set exhausted: found {found} of {required} congruent addresses")
+            }
+            EvsetError::BacktrackLimit { backtracks } => {
+                write!(f, "backtrack limit reached after {backtracks} backtracks")
+            }
+            EvsetError::VerificationFailed => write!(f, "constructed set failed verification"),
+        }
+    }
+}
+
+impl std::error::Error for EvsetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_nonempty() {
+        let errors = [
+            EvsetError::Timeout { spent_cycles: 10 },
+            EvsetError::AttemptsExhausted { attempts: 3 },
+            EvsetError::InsufficientCandidates { found: 2, required: 12 },
+            EvsetError::BacktrackLimit { backtracks: 20 },
+            EvsetError::VerificationFailed,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object_usable() {
+        let e: Box<dyn std::error::Error> = Box::new(EvsetError::VerificationFailed);
+        assert!(e.to_string().contains("verification"));
+    }
+}

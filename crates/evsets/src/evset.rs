@@ -1,0 +1,116 @@
+//! The [`EvictionSet`] type: the product of address pruning.
+
+use crate::config::TargetCache;
+use llc_cache_model::VirtAddr;
+
+/// A minimal eviction set: `W` attacker virtual addresses that are congruent
+/// with a target cache set and therefore, once accessed, evict any line
+/// mapped to that set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictionSet {
+    addresses: Vec<VirtAddr>,
+    target: TargetCache,
+}
+
+impl EvictionSet {
+    /// Creates an eviction set for `target` from its member addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addresses` is empty.
+    pub fn new(addresses: Vec<VirtAddr>, target: TargetCache) -> Self {
+        assert!(!addresses.is_empty(), "an eviction set cannot be empty");
+        Self { addresses, target }
+    }
+
+    /// The member addresses.
+    pub fn addresses(&self) -> &[VirtAddr] {
+        &self.addresses
+    }
+
+    /// Which structure this set targets.
+    pub fn target(&self) -> TargetCache {
+        self.target
+    }
+
+    /// Number of member addresses.
+    pub fn len(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// True if the set has no members (never true for constructed sets).
+    pub fn is_empty(&self) -> bool {
+        self.addresses.is_empty()
+    }
+
+    /// Returns true if `va` is a member of this set.
+    pub fn contains(&self, va: VirtAddr) -> bool {
+        self.addresses.contains(&va)
+    }
+
+    /// Extends an LLC eviction set with one more congruent address, turning
+    /// it into an SF eviction set (Section 4.2: an SF eviction set is an LLC
+    /// eviction set plus one additional congruent address, because the SF has
+    /// one more way than an LLC slice).
+    pub fn extended_to_sf(&self, extra: VirtAddr) -> EvictionSet {
+        let mut addresses = self.addresses.clone();
+        addresses.push(extra);
+        EvictionSet { addresses, target: TargetCache::Sf }
+    }
+
+    /// Iterates over the member addresses.
+    pub fn iter(&self) -> impl Iterator<Item = &VirtAddr> {
+        self.addresses.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a EvictionSet {
+    type Item = &'a VirtAddr;
+    type IntoIter = std::slice::Iter<'a, VirtAddr>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.addresses.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let addrs = vec![VirtAddr::new(0x1000), VirtAddr::new(0x2000)];
+        let s = EvictionSet::new(addrs.clone(), TargetCache::Llc);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert!(s.contains(VirtAddr::new(0x1000)));
+        assert!(!s.contains(VirtAddr::new(0x3000)));
+        assert_eq!(s.addresses(), addrs.as_slice());
+        assert_eq!(s.target(), TargetCache::Llc);
+    }
+
+    #[test]
+    fn extend_to_sf_appends_and_retargets() {
+        let s = EvictionSet::new(vec![VirtAddr::new(0x1000)], TargetCache::Llc);
+        let sf = s.extended_to_sf(VirtAddr::new(0x9000));
+        assert_eq!(sf.len(), 2);
+        assert_eq!(sf.target(), TargetCache::Sf);
+        assert!(sf.contains(VirtAddr::new(0x9000)));
+    }
+
+    #[test]
+    fn iteration_yields_all_members() {
+        let addrs: Vec<_> = (0..5).map(|i| VirtAddr::new(i * 0x1000)).collect();
+        let s = EvictionSet::new(addrs.clone(), TargetCache::Sf);
+        let collected: Vec<_> = s.iter().copied().collect();
+        assert_eq!(collected, addrs);
+        let by_ref: Vec<_> = (&s).into_iter().copied().collect();
+        assert_eq!(by_ref, addrs);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_set_panics() {
+        let _ = EvictionSet::new(vec![], TargetCache::Llc);
+    }
+}

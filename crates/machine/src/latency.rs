@@ -1,0 +1,200 @@
+//! Latency model: converts hit levels into cycle costs, including the
+//! memory-level-parallelism (MLP) model behind *parallel* access patterns.
+//!
+//! The paper's key observation (Sections 4.1 and 6.1) is that overlapping
+//! accesses to many candidate addresses exploits MLP and makes both
+//! `TestEviction` and probing an order of magnitude faster than pointer-chase
+//! style sequential accesses. The model here charges:
+//!
+//! * sequential accesses: the full latency of every access, plus a small
+//!   per-access issue overhead;
+//! * parallel (overlapped) accesses: one issue overhead per access, the
+//!   latency of the slowest access, and the remaining latencies divided by
+//!   the MLP width (outstanding-miss capacity).
+//!
+//! Constants default to values calibrated so that the simulated Skylake-SP
+//! reproduces the order of magnitude of the paper's Table 5 latencies at
+//! 2 GHz (Parallel prime ≈ 1.1k cycles, PS-Flush prime ≈ 6k cycles, probe
+//! ≈ 100–120 cycles).
+
+use llc_cache_model::HitLevel;
+use rand::Rng;
+
+/// Cycle costs of the memory system and measurement instructions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// L1 hit latency.
+    pub l1_hit: u64,
+    /// L2 hit latency.
+    pub l2_hit: u64,
+    /// LLC hit latency (includes mesh/slice traversal).
+    pub llc_hit: u64,
+    /// Cross-core snoop latency (line was private to another core).
+    pub sf_snoop: u64,
+    /// DRAM access latency.
+    pub memory: u64,
+    /// Cost of a `clflush` instruction.
+    pub clflush: u64,
+    /// Fixed cost of a timed measurement (serialising `rdtscp` pairs).
+    pub timer_overhead: u64,
+    /// Per-access issue/AGU overhead charged for every access.
+    pub issue_overhead: u64,
+    /// Number of outstanding misses the core can overlap (MSHR capacity).
+    pub mlp_width: u64,
+    /// Relative jitter applied to every latency sample (0.0 disables).
+    pub jitter: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            l1_hit: 4,
+            l2_hit: 14,
+            llc_hit: 62,
+            sf_snoop: 84,
+            memory: 190,
+            clflush: 110,
+            timer_overhead: 88,
+            issue_overhead: 6,
+            mlp_width: 10,
+            jitter: 0.04,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Latency of a single untimed access served at `level`, without jitter.
+    pub fn level_latency(&self, level: HitLevel) -> u64 {
+        match level {
+            HitLevel::L1 => self.l1_hit,
+            HitLevel::L2 => self.l2_hit,
+            HitLevel::Llc => self.llc_hit,
+            HitLevel::SfSnoop => self.sf_snoop,
+            HitLevel::Memory => self.memory,
+        }
+    }
+
+    /// Applies multiplicative jitter to a latency sample.
+    pub fn jittered(&self, base: u64, rng: &mut impl Rng) -> u64 {
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let factor = 1.0 + rng.gen_range(-self.jitter..self.jitter);
+        ((base as f64) * factor).round().max(1.0) as u64
+    }
+
+    /// Total cycles consumed by a *sequential* traversal of accesses served at
+    /// the given levels (pointer-chase style: no overlap).
+    pub fn sequential_cost(&self, levels: &[HitLevel]) -> u64 {
+        levels
+            .iter()
+            .map(|&l| self.level_latency(l) + self.issue_overhead)
+            .sum()
+    }
+
+    /// Total cycles consumed by an *overlapped* (parallel) traversal of
+    /// accesses served at the given levels.
+    ///
+    /// The slowest access is paid in full; the rest are overlapped subject to
+    /// the MLP width; every access pays its issue overhead.
+    pub fn parallel_cost(&self, levels: &[HitLevel]) -> u64 {
+        if levels.is_empty() {
+            return 0;
+        }
+        let latencies: Vec<u64> = levels.iter().map(|&l| self.level_latency(l)).collect();
+        let max = *latencies.iter().max().expect("non-empty");
+        let sum: u64 = latencies.iter().sum();
+        let issue = self.issue_overhead * levels.len() as u64;
+        issue + max + (sum - max) / self.mlp_width
+    }
+
+    /// Threshold (for a *timed* single access) above which the line was not
+    /// in the accessing core's private caches (L1/L2).
+    pub fn private_miss_threshold(&self) -> u64 {
+        self.timer_overhead + (self.l2_hit + self.llc_hit) / 2
+    }
+
+    /// Threshold (for a *timed* single access) above which the line was not
+    /// in the LLC either, i.e. it had been evicted to memory.
+    pub fn llc_miss_threshold(&self) -> u64 {
+        self.timer_overhead + (self.sf_snoop + self.memory) / 2
+    }
+
+    /// Threshold for a *timed parallel* probe of `count` lines above which at
+    /// least one of the lines missed the private caches.
+    pub fn parallel_probe_threshold(&self, count: usize) -> u64 {
+        // All-hit baseline plus half the gap to a single LLC/memory miss.
+        let all_hits = vec![HitLevel::L2; count];
+        let baseline = self.parallel_cost(&all_hits);
+        self.timer_overhead + baseline + (self.llc_hit.max(self.memory / 2)) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn parallel_is_much_faster_than_sequential_for_misses() {
+        let m = LatencyModel::default();
+        let levels = vec![HitLevel::Memory; 64];
+        let seq = m.sequential_cost(&levels);
+        let par = m.parallel_cost(&levels);
+        assert!(
+            par * 5 < seq,
+            "parallel ({par}) should be at least 5x faster than sequential ({seq})"
+        );
+    }
+
+    #[test]
+    fn parallel_cost_of_hits_is_small() {
+        let m = LatencyModel::default();
+        let probe = m.parallel_cost(&vec![HitLevel::L1; 12]);
+        // Ballpark of the paper's 118-cycle parallel probe (minus timer).
+        assert!(probe > 20 && probe < 200, "probe cost {probe} out of range");
+    }
+
+    #[test]
+    fn thresholds_are_ordered() {
+        let m = LatencyModel::default();
+        assert!(m.private_miss_threshold() < m.llc_miss_threshold());
+        assert!(m.timer_overhead + m.l2_hit < m.private_miss_threshold());
+        assert!(m.timer_overhead + m.memory > m.llc_miss_threshold());
+        assert!(m.timer_overhead + m.llc_hit < m.llc_miss_threshold());
+        assert!(m.timer_overhead + m.llc_hit > m.private_miss_threshold());
+    }
+
+    #[test]
+    fn jitter_zero_is_identity() {
+        let mut m = LatencyModel::default();
+        m.jitter = 0.0;
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(m.jittered(100, &mut rng), 100);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let m = LatencyModel::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = m.jittered(1000, &mut rng);
+            assert!(v >= 950 && v <= 1050, "jittered value {v} outside 5% band");
+        }
+    }
+
+    #[test]
+    fn empty_parallel_cost_is_zero() {
+        assert_eq!(LatencyModel::default().parallel_cost(&[]), 0);
+    }
+
+    #[test]
+    fn level_latencies_monotonic() {
+        let m = LatencyModel::default();
+        assert!(m.level_latency(HitLevel::L1) < m.level_latency(HitLevel::L2));
+        assert!(m.level_latency(HitLevel::L2) < m.level_latency(HitLevel::Llc));
+        assert!(m.level_latency(HitLevel::Llc) < m.level_latency(HitLevel::SfSnoop));
+        assert!(m.level_latency(HitLevel::SfSnoop) < m.level_latency(HitLevel::Memory));
+    }
+}

@@ -1,0 +1,50 @@
+//! # llc-machine
+//!
+//! A cycle-level, event-driven simulation of the multi-tenant host the paper
+//! attacks: the cache hierarchy from `llc-cache-model` plus
+//!
+//! * a [`LatencyModel`] that turns hit levels into cycle costs and models the
+//!   memory-level parallelism exploited by parallel `TestEviction` and
+//!   Parallel Probing;
+//! * a [`NoiseModel`]/[`NoiseProcess`] reproducing the background LLC/SF
+//!   traffic of other Cloud Run tenants (11.5 accesses/ms/set) or of a
+//!   quiescent lab machine (0.29 accesses/ms/set);
+//! * a co-located victim service, described by a [`VictimProgram`] that emits
+//!   one [`VictimSchedule`] per request;
+//! * the [`Machine`] itself, which exposes to the attack code exactly the
+//!   operations an unprivileged attacker has: timed/untimed loads of its own
+//!   memory, `clflush` of its own lines, and waiting.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use llc_cache_model::CacheSpec;
+//! use llc_machine::{Machine, NoiseModel};
+//!
+//! let mut m = Machine::builder(CacheSpec::skylake_sp_cloud())
+//!     .noise(NoiseModel::cloud_run())
+//!     .seed(1)
+//!     .build();
+//! let page = m.alloc_attacker_pages(1);
+//! let (latency, _level) = m.timed_access(page);
+//! assert!(latency > m.latency_model().llc_miss_threshold()); // cold miss
+//! let (latency, _level) = m.timed_access(page);
+//! assert!(latency < m.latency_model().private_miss_threshold()); // hot hit
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod latency;
+mod machine;
+mod noise;
+mod schedule;
+
+pub use latency::LatencyModel;
+pub use machine::{Machine, MachineBuilder, MachineStats};
+pub use noise::{sample_poisson, NoiseEvent, NoiseModel, NoiseProcess};
+pub use schedule::{PeriodicToucher, ScheduledAccess, VictimProgram, VictimSchedule};
+
+// Re-export the types attack code needs constantly, so downstream crates can
+// depend on a single façade for machine-level interaction.
+pub use llc_cache_model::{CacheSpec, HitLevel, SetLocation, VirtAddr};

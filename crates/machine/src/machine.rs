@@ -1,0 +1,615 @@
+//! The simulated host: cache hierarchy + cycle clock + latency model +
+//! background noise + co-located victim, driven by the attacker's operations.
+//!
+//! The attacker interacts with the machine exclusively through timed and
+//! untimed loads of its own virtual addresses, `clflush` of its own lines,
+//! and idling — exactly the interface an unprivileged Cloud Run container
+//! has. Everything else (victim progress, other tenants' noise) happens as a
+//! side effect of simulated time advancing.
+
+use crate::latency::LatencyModel;
+use crate::noise::{NoiseModel, NoiseProcess};
+use crate::schedule::{VictimProgram, VictimSchedule};
+use llc_cache_model::{
+    AccessKind, AddressSpace, CacheSpec, CoreId, Hierarchy, HierarchyOptions, HitLevel, LineAddr,
+    SetLocation, VirtAddr,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Counters describing how much work a simulation performed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MachineStats {
+    /// Memory accesses issued by the attacker (including helper echoes).
+    pub attacker_accesses: u64,
+    /// Memory accesses replayed on behalf of the victim.
+    pub victim_accesses: u64,
+    /// Background-noise insertions applied to the LLC/SF.
+    pub noise_events: u64,
+    /// Victim requests completed.
+    pub victim_runs: u64,
+}
+
+/// Builder for [`Machine`]; see [`Machine::builder`].
+#[derive(Debug)]
+pub struct MachineBuilder {
+    spec: CacheSpec,
+    noise: NoiseModel,
+    latency: LatencyModel,
+    hierarchy_options: HierarchyOptions,
+    seed: u64,
+}
+
+impl MachineBuilder {
+    /// Starts building a machine with the given cache specification.
+    pub fn new(spec: CacheSpec) -> Self {
+        Self {
+            spec,
+            noise: NoiseModel::quiescent_local(),
+            latency: LatencyModel::default(),
+            hierarchy_options: HierarchyOptions::default(),
+            seed: 0xC10D_5EED,
+        }
+    }
+
+    /// Sets the background-noise model (e.g. [`NoiseModel::cloud_run`]).
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets hierarchy behaviour options (reuse predictor, ...).
+    pub fn hierarchy_options(mut self, options: HierarchyOptions) -> Self {
+        self.hierarchy_options = options;
+        self
+    }
+
+    /// Sets the random seed controlling paging, noise and jitter.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the specification has fewer than 3 cores (attacker, helper
+    /// and victim need distinct physical cores).
+    pub fn build(self) -> Machine {
+        assert!(self.spec.cores >= 3, "need at least 3 cores (attacker, helper, victim)");
+        let mut hierarchy = Hierarchy::new(self.spec.clone(), self.seed);
+        hierarchy.set_options(self.hierarchy_options);
+        Machine {
+            hierarchy,
+            latency: self.latency,
+            noise: NoiseProcess::new(self.noise),
+            clock: 0,
+            rng: StdRng::seed_from_u64(self.seed ^ 0x6d61_6368),
+            attacker_aspace: AddressSpace::with_seed(self.seed ^ 0xa77a),
+            attacker_core: 0,
+            helper_core: 1,
+            helper_echo: false,
+            victim_core: 2,
+            victim: None,
+            victim_run_starts: Vec::new(),
+            stats: MachineStats::default(),
+        }
+    }
+}
+
+/// A running victim request.
+#[derive(Debug)]
+struct ActiveRun {
+    schedule: VictimSchedule,
+    start: u64,
+    next: usize,
+}
+
+#[derive(Debug)]
+struct VictimRuntime {
+    aspace: AddressSpace,
+    program: Box<dyn VictimProgram>,
+    active: Option<ActiveRun>,
+    next_start: Option<u64>,
+    auto_repeat: bool,
+    request_gap: u64,
+}
+
+/// The simulated host machine.
+#[derive(Debug)]
+pub struct Machine {
+    hierarchy: Hierarchy,
+    latency: LatencyModel,
+    noise: NoiseProcess,
+    clock: u64,
+    rng: StdRng,
+    attacker_aspace: AddressSpace,
+    attacker_core: CoreId,
+    helper_core: CoreId,
+    helper_echo: bool,
+    victim_core: CoreId,
+    victim: Option<VictimRuntime>,
+    victim_run_starts: Vec<u64>,
+    stats: MachineStats,
+}
+
+impl Machine {
+    /// Starts building a machine for the given cache specification.
+    pub fn builder(spec: CacheSpec) -> MachineBuilder {
+        MachineBuilder::new(spec)
+    }
+
+    /// Convenience constructor with default latency and quiescent noise.
+    pub fn new(spec: CacheSpec, seed: u64) -> Self {
+        MachineBuilder::new(spec).seed(seed).build()
+    }
+
+    /// Current simulated cycle count ("rdtsc").
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    /// The cache specification of this machine.
+    pub fn spec(&self) -> &CacheSpec {
+        self.hierarchy.spec()
+    }
+
+    /// The latency model in force.
+    pub fn latency_model(&self) -> &LatencyModel {
+        &self.latency
+    }
+
+    /// The background-noise model in force.
+    pub fn noise_model(&self) -> &NoiseModel {
+        self.noise.model()
+    }
+
+    /// Simulation work counters.
+    pub fn stats(&self) -> MachineStats {
+        self.stats
+    }
+
+    /// Enables or disables the helper thread that echoes every attacker
+    /// access from a second core, forcing the touched lines into Shared state
+    /// (and therefore into the LLC), as described in Section 4.2.
+    pub fn set_helper_echo(&mut self, enabled: bool) {
+        self.helper_echo = enabled;
+    }
+
+    /// Whether helper echoing is currently enabled.
+    pub fn helper_echo(&self) -> bool {
+        self.helper_echo
+    }
+
+    // ---- attacker memory management ---------------------------------------
+
+    /// Allocates `count` pages of attacker memory and returns the base VA.
+    pub fn alloc_attacker_pages(&mut self, count: usize) -> VirtAddr {
+        self.attacker_aspace.allocate_pages(count)
+    }
+
+    /// Ground-truth (slice, set) location of an attacker VA in the LLC/SF.
+    ///
+    /// This is an *oracle* for validation and success-rate accounting; the
+    /// attack algorithms themselves never rely on it.
+    pub fn oracle_attacker_location(&self, va: VirtAddr) -> SetLocation {
+        self.hierarchy.shared_location(self.attacker_line(va))
+    }
+
+    /// Ground-truth L2 set index of an attacker VA (oracle, validation only).
+    pub fn oracle_attacker_l2_set(&self, va: VirtAddr) -> usize {
+        self.hierarchy.l2_set(self.attacker_line(va))
+    }
+
+    /// Ground-truth (slice, set) location of a victim VA (oracle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no victim program is installed or the VA is unmapped.
+    pub fn oracle_victim_location(&self, va: VirtAddr) -> SetLocation {
+        let victim = self.victim.as_ref().expect("no victim installed");
+        self.hierarchy.shared_location(victim.aspace.translate_unchecked(va).line())
+    }
+
+    // ---- attacker operations ----------------------------------------------
+
+    /// Performs one untimed attacker load of `va`; returns the level that
+    /// served it. Advances the clock by the access latency.
+    pub fn access(&mut self, va: VirtAddr) -> HitLevel {
+        let line = self.attacker_line(va);
+        self.prepare_sets(&[line]);
+        let level = self.do_attacker_access(line);
+        let cost = self.latency.level_latency(level) + self.latency.issue_overhead;
+        let cost = self.latency.jittered(cost, &mut self.rng);
+        self.tick(cost);
+        level
+    }
+
+    /// Performs one *timed* attacker load of `va`; returns the measured
+    /// latency in cycles (including timer overhead) and the serving level.
+    pub fn timed_access(&mut self, va: VirtAddr) -> (u64, HitLevel) {
+        let line = self.attacker_line(va);
+        self.prepare_sets(&[line]);
+        let level = self.do_attacker_access(line);
+        let raw = self.latency.level_latency(level) + self.latency.timer_overhead;
+        let measured = self.latency.jittered(raw, &mut self.rng);
+        self.tick(measured);
+        (measured, level)
+    }
+
+    /// Traverses `vas` with overlapped (parallel) accesses, untimed.
+    /// Returns the total cycles consumed.
+    pub fn parallel_traverse(&mut self, vas: &[VirtAddr]) -> u64 {
+        let lines: Vec<LineAddr> = vas.iter().map(|&va| self.attacker_line(va)).collect();
+        self.prepare_sets(&lines);
+        let levels: Vec<HitLevel> = lines.iter().map(|&l| self.do_attacker_access(l)).collect();
+        let cost = self.latency.parallel_cost(&levels);
+        let cost = self.latency.jittered(cost, &mut self.rng);
+        self.tick(cost);
+        cost
+    }
+
+    /// Traverses `vas` with overlapped accesses and *times the traversal*;
+    /// returns the measured latency (including timer overhead).
+    pub fn timed_parallel_traverse(&mut self, vas: &[VirtAddr]) -> u64 {
+        let lines: Vec<LineAddr> = vas.iter().map(|&va| self.attacker_line(va)).collect();
+        self.prepare_sets(&lines);
+        let levels: Vec<HitLevel> = lines.iter().map(|&l| self.do_attacker_access(l)).collect();
+        let raw = self.latency.parallel_cost(&levels) + self.latency.timer_overhead;
+        let measured = self.latency.jittered(raw, &mut self.rng);
+        self.tick(measured);
+        measured
+    }
+
+    /// Traverses `vas` sequentially (pointer-chase style), untimed.
+    /// Returns the total cycles consumed.
+    pub fn sequential_traverse(&mut self, vas: &[VirtAddr]) -> u64 {
+        let lines: Vec<LineAddr> = vas.iter().map(|&va| self.attacker_line(va)).collect();
+        self.prepare_sets(&lines);
+        let levels: Vec<HitLevel> = lines.iter().map(|&l| self.do_attacker_access(l)).collect();
+        let cost = self.latency.sequential_cost(&levels);
+        let cost = self.latency.jittered(cost, &mut self.rng);
+        self.tick(cost);
+        cost
+    }
+
+    /// Re-establishes `va` as the eviction candidate (next victim) of its
+    /// LLC/SF set without touching it.
+    ///
+    /// This models the effect of Prime+Scope's replacement-state priming
+    /// pattern (Section 6.1 of the paper): after the pattern, the chosen line
+    /// is displaced by the very next conflicting insertion even though the
+    /// attacker keeps probing it. The operation costs a small fixed number of
+    /// cycles (the priming accesses are already charged by the caller's
+    /// strategy; this just marks the state).
+    pub fn prime_as_victim(&mut self, va: VirtAddr) {
+        let line = self.attacker_line(va);
+        self.hierarchy.prime_as_victim(line);
+    }
+
+    /// Performs a Prime+Scope-style *scope check* of `va`: a timed access
+    /// that additionally restores the line as the eviction candidate of its
+    /// LLC/SF set (see [`Machine::prime_as_victim`]).
+    pub fn scope_check(&mut self, va: VirtAddr) -> (u64, HitLevel) {
+        let result = self.timed_access(va);
+        let line = self.attacker_line(va);
+        self.hierarchy.prime_as_victim(line);
+        result
+    }
+
+    /// Flushes an attacker line from the whole hierarchy (`clflush`).
+    pub fn clflush(&mut self, va: VirtAddr) {
+        let line = self.attacker_line(va);
+        self.hierarchy.clflush(line);
+        let cost = self.latency.jittered(self.latency.clflush, &mut self.rng);
+        self.tick(cost);
+    }
+
+    /// Burns `cycles` cycles of attacker compute without touching memory.
+    pub fn idle(&mut self, cycles: u64) {
+        self.tick(cycles);
+    }
+
+    // ---- victim management -------------------------------------------------
+
+    /// Installs a victim program on its own core with its own address space.
+    ///
+    /// If `auto_repeat` is true the victim serves requests back-to-back with
+    /// `request_gap` idle cycles between them (a busy service); otherwise a
+    /// run only starts when [`Machine::request_victim`] is called.
+    pub fn install_victim(
+        &mut self,
+        mut program: Box<dyn VictimProgram>,
+        auto_repeat: bool,
+        request_gap: u64,
+    ) {
+        let mut aspace = AddressSpace::with_seed(self.rng_seed() ^ 0x71c7);
+        program.setup(&mut aspace);
+        self.victim = Some(VictimRuntime {
+            aspace,
+            program,
+            active: None,
+            next_start: if auto_repeat { Some(self.clock) } else { None },
+            auto_repeat,
+            request_gap,
+        });
+    }
+
+    /// Sends one request to the victim service (no-op if `auto_repeat`).
+    ///
+    /// The run starts after a short dispatch delay, mimicking request routing.
+    pub fn request_victim(&mut self) {
+        let now = self.clock;
+        if let Some(v) = &mut self.victim {
+            if v.active.is_none() && v.next_start.is_none() {
+                v.next_start = Some(now + 2_000);
+            }
+        }
+    }
+
+    /// Number of victim requests completed so far.
+    pub fn victim_runs(&self) -> u64 {
+        self.stats.victim_runs
+    }
+
+    /// Absolute start cycle of every victim run begun so far (completed or
+    /// in progress), in order. Experiment harnesses use this to align
+    /// attacker-observed traces with victim ground truth.
+    pub fn victim_run_starts(&self) -> &[u64] {
+        &self.victim_run_starts
+    }
+
+    /// True if the victim currently has a run in progress or queued.
+    pub fn victim_busy(&self) -> bool {
+        self.victim
+            .as_ref()
+            .map(|v| v.active.is_some() || v.next_start.is_some())
+            .unwrap_or(false)
+    }
+
+    // ---- internals ----------------------------------------------------------
+
+    fn rng_seed(&mut self) -> u64 {
+        use rand::Rng;
+        self.rng.gen()
+    }
+
+    fn attacker_line(&self, va: VirtAddr) -> LineAddr {
+        self.attacker_aspace.translate_unchecked(va).line()
+    }
+
+    /// Applies background noise to the shared sets of the given lines.
+    fn prepare_sets(&mut self, lines: &[LineAddr]) {
+        let now = self.clock;
+        let mut locs: Vec<SetLocation> = lines.iter().map(|&l| self.hierarchy.shared_location(l)).collect();
+        locs.sort();
+        locs.dedup();
+        for loc in locs {
+            let events = self.noise.catch_up(loc, now, &mut self.rng);
+            self.stats.noise_events += events.len() as u64;
+            for e in events {
+                self.hierarchy.noise_access(loc, e.shared);
+            }
+        }
+    }
+
+    fn do_attacker_access(&mut self, line: LineAddr) -> HitLevel {
+        let outcome = self.hierarchy.access(self.attacker_core, line, AccessKind::Read);
+        self.stats.attacker_accesses += 1;
+        if self.helper_echo {
+            // The helper thread repeats the access from another core shortly
+            // afterwards, turning the line Shared and pushing it to the LLC.
+            self.hierarchy.access(self.helper_core, line, AccessKind::Read);
+            self.stats.attacker_accesses += 1;
+        }
+        outcome.level
+    }
+
+    /// Advances the clock by `cost`, replaying victim activity that happens
+    /// in the meantime.
+    fn tick(&mut self, cost: u64) {
+        let target = self.clock + cost;
+        self.advance_victim(target);
+        self.clock = target;
+    }
+
+    fn advance_victim(&mut self, to: u64) {
+        // Take the runtime out to sidestep borrow conflicts with &mut self.
+        let Some(mut v) = self.victim.take() else {
+            return;
+        };
+        loop {
+            if let Some(run) = &mut v.active {
+                let mut finished = false;
+                while run.next < run.schedule.accesses().len() {
+                    let acc = run.schedule.accesses()[run.next];
+                    let at = run.start + acc.offset;
+                    if at > to {
+                        break;
+                    }
+                    let line = v.aspace.translate_unchecked(acc.va).line();
+                    // Background noise also hits the victim's sets.
+                    let loc = self.hierarchy.shared_location(line);
+                    let events = self.noise.catch_up(loc, at, &mut self.rng);
+                    self.stats.noise_events += events.len() as u64;
+                    for e in events {
+                        self.hierarchy.noise_access(loc, e.shared);
+                    }
+                    self.hierarchy.access(self.victim_core, line, AccessKind::Read);
+                    self.stats.victim_accesses += 1;
+                    run.next += 1;
+                }
+                let end = run.start + run.schedule.duration();
+                if run.next >= run.schedule.accesses().len() && end <= to {
+                    self.stats.victim_runs += 1;
+                    let gap = v.request_gap;
+                    let auto = v.auto_repeat;
+                    v.active = None;
+                    if auto {
+                        v.next_start = Some(end + gap);
+                    }
+                    finished = true;
+                }
+                if !finished {
+                    break;
+                }
+            } else if let Some(start) = v.next_start {
+                if start <= to {
+                    let schedule = v.program.on_request();
+                    v.next_start = None;
+                    v.active = Some(ActiveRun { schedule, start, next: 0 });
+                    self.victim_run_starts.push(start);
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        self.victim = Some(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::PeriodicToucher;
+    use llc_cache_model::CacheSpec;
+
+    fn quiet_machine() -> Machine {
+        Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::silent())
+            .seed(3)
+            .build()
+    }
+
+    #[test]
+    fn first_access_slow_second_fast() {
+        let mut m = quiet_machine();
+        let base = m.alloc_attacker_pages(1);
+        let (miss, level) = m.timed_access(base);
+        assert_eq!(level, HitLevel::Memory);
+        let (hit, level2) = m.timed_access(base);
+        assert_eq!(level2, HitLevel::L1);
+        assert!(miss > hit, "miss {miss} should be slower than hit {hit}");
+        assert!(hit < m.latency_model().private_miss_threshold());
+        assert!(miss > m.latency_model().llc_miss_threshold());
+    }
+
+    #[test]
+    fn clock_advances_with_every_operation() {
+        let mut m = quiet_machine();
+        let base = m.alloc_attacker_pages(1);
+        let t0 = m.now();
+        m.access(base);
+        assert!(m.now() > t0);
+        let t1 = m.now();
+        m.idle(500);
+        assert_eq!(m.now(), t1 + 500);
+    }
+
+    #[test]
+    fn helper_echo_moves_lines_into_llc() {
+        let mut m = quiet_machine();
+        let base = m.alloc_attacker_pages(1);
+        m.set_helper_echo(true);
+        m.access(base);
+        // The second access should now be served from a local cache, and
+        // the line must be in Shared state (observable by disabling echo and
+        // timing after a flush of private copies is not possible here, so we
+        // check via a fresh timed access level instead).
+        let (_lat, level) = m.timed_access(base);
+        assert!(level == HitLevel::L1 || level == HitLevel::L2);
+    }
+
+    #[test]
+    fn parallel_traverse_faster_than_sequential() {
+        let mut m = quiet_machine();
+        let base = m.alloc_attacker_pages(64);
+        let vas: Vec<VirtAddr> = (0..64).map(|i| base.offset(i * 4096)).collect();
+        // Cold misses both times: flush between runs by using disjoint lines.
+        let cost_par = m.parallel_traverse(&vas);
+        let vas2: Vec<VirtAddr> = (0..64).map(|i| base.offset(i * 4096 + 64)).collect();
+        let cost_seq = m.sequential_traverse(&vas2);
+        assert!(cost_par * 3 < cost_seq, "parallel {cost_par} vs sequential {cost_seq}");
+    }
+
+    #[test]
+    fn victim_periodic_accesses_show_up_in_time() {
+        let mut m = quiet_machine();
+        let toucher = PeriodicToucher::new(1_000, 10, 0x240);
+        m.install_victim(Box::new(toucher), true, 0);
+        // Let simulated time pass; the victim should complete runs.
+        m.idle(50_000);
+        assert!(m.victim_runs() >= 1, "victim should have completed at least one run");
+        assert!(m.stats().victim_accesses >= 10);
+    }
+
+    #[test]
+    fn request_victim_triggers_single_run() {
+        let mut m = quiet_machine();
+        let toucher = PeriodicToucher::new(100, 5, 0);
+        m.install_victim(Box::new(toucher), false, 0);
+        m.idle(10_000);
+        assert_eq!(m.victim_runs(), 0, "no run without a request");
+        m.request_victim();
+        m.idle(10_000);
+        assert_eq!(m.victim_runs(), 1);
+        assert!(!m.victim_busy());
+    }
+
+    #[test]
+    fn noise_fills_attacker_monitored_set_over_time() {
+        let mut m = Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::cloud_run())
+            .seed(5)
+            .build();
+        let base = m.alloc_attacker_pages(1);
+        // Bring the line into the private cache.
+        m.access(base);
+        let (hit, _) = m.timed_access(base);
+        assert!(hit < m.latency_model().private_miss_threshold());
+        // Wait ~10 ms of simulated time: the noise should have displaced the
+        // attacker's SF entry and back-invalidated the line.
+        m.idle(20_000_000);
+        let (lat, level) = m.timed_access(base);
+        assert!(
+            level != HitLevel::L1 && lat > m.latency_model().private_miss_threshold(),
+            "noise should evict the attacker's line (level {level:?}, lat {lat})"
+        );
+    }
+
+    #[test]
+    fn oracle_locations_are_consistent() {
+        let mut m = quiet_machine();
+        let base = m.alloc_attacker_pages(2);
+        let a = m.oracle_attacker_location(base);
+        let b = m.oracle_attacker_location(base.offset(64));
+        // Different line offsets in the same page map to different sets.
+        assert_ne!(a, b);
+        assert_eq!(a, m.oracle_attacker_location(base));
+    }
+
+    #[test]
+    fn stats_count_work() {
+        let mut m = quiet_machine();
+        let base = m.alloc_attacker_pages(1);
+        m.access(base);
+        m.access(base);
+        assert_eq!(m.stats().attacker_accesses, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn victim_oracle_without_victim_panics() {
+        let m = quiet_machine();
+        let _ = m.oracle_victim_location(VirtAddr::new(0x1000));
+    }
+}

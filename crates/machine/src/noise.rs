@@ -1,0 +1,270 @@
+//! Background-tenant noise: the multi-tenant LLC/SF interference that makes
+//! Cloud Run so much harder than a quiescent lab machine.
+//!
+//! Section 4.3 of the paper characterises the noise by the rate of background
+//! accesses observed on a randomly chosen LLC set: **11.5 accesses/ms/set on
+//! Cloud Run** versus **0.29 accesses/ms/set on the quiescent local machine**
+//! (Figure 2 shows the inter-access-time CDF). The model reproduces this with
+//! an independent Poisson process per (slice, set): whenever the simulation
+//! needs the state of a set, the elapsed interval since the set was last
+//! synchronised is converted into a Poisson-distributed number of background
+//! insertions.
+
+use llc_cache_model::SetLocation;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Parameters of the background-tenant access process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseModel {
+    /// Average background accesses per cycle per (slice, set).
+    ///
+    /// 11.5 accesses/ms/set at 2 GHz is `11.5 / 2e6` accesses/cycle/set.
+    pub accesses_per_cycle_per_set: f64,
+    /// Fraction of background accesses that behave like *shared* lines
+    /// (allocate in the LLC); the rest allocate snoop-filter entries.
+    pub shared_fraction: f64,
+    /// Human-readable label used in experiment reports.
+    pub label: String,
+}
+
+impl NoiseModel {
+    /// Cloud Run noise level: 11.5 accesses per millisecond per set at 2 GHz.
+    pub fn cloud_run() -> Self {
+        Self::from_accesses_per_ms(11.5, 2.0, "Cloud Run")
+    }
+
+    /// Quiescent local machine: 0.29 accesses per millisecond per set.
+    pub fn quiescent_local() -> Self {
+        Self::from_accesses_per_ms(0.29, 2.0, "Quiescent Local")
+    }
+
+    /// A completely silent machine (unit tests).
+    pub fn silent() -> Self {
+        Self {
+            accesses_per_cycle_per_set: 0.0,
+            shared_fraction: 0.5,
+            label: "Silent".to_string(),
+        }
+    }
+
+    /// Builds a noise model from an access rate expressed in accesses per
+    /// millisecond per set, at the given core frequency.
+    pub fn from_accesses_per_ms(per_ms: f64, freq_ghz: f64, label: &str) -> Self {
+        let cycles_per_ms = freq_ghz * 1e6;
+        Self {
+            accesses_per_cycle_per_set: per_ms / cycles_per_ms,
+            shared_fraction: 0.5,
+            label: label.to_string(),
+        }
+    }
+
+    /// The configured rate expressed in accesses per millisecond per set.
+    pub fn accesses_per_ms(&self, freq_ghz: f64) -> f64 {
+        self.accesses_per_cycle_per_set * freq_ghz * 1e6
+    }
+
+    /// Returns true if this model produces no noise at all.
+    pub fn is_silent(&self) -> bool {
+        self.accesses_per_cycle_per_set <= 0.0
+    }
+}
+
+/// Lazily-evaluated per-set Poisson noise process.
+#[derive(Debug)]
+pub struct NoiseProcess {
+    model: NoiseModel,
+    /// Last cycle at which each set was synchronised with the noise process.
+    last_sync: HashMap<SetLocation, u64>,
+    /// Maximum number of noise insertions applied in one catch-up; older
+    /// insertions are fully masked by newer ones, so this only needs to cover
+    /// a few times the associativity.
+    max_burst: u32,
+}
+
+/// One background access to apply to the hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseEvent {
+    /// Cycle at which the background access (notionally) happened.
+    pub at: u64,
+    /// Whether it allocates in the LLC (`true`) or the snoop filter.
+    pub shared: bool,
+}
+
+impl NoiseProcess {
+    /// Creates a noise process for `model`.
+    pub fn new(model: NoiseModel) -> Self {
+        Self { model, last_sync: HashMap::new(), max_burst: 96 }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &NoiseModel {
+        &self.model
+    }
+
+    /// Computes the background accesses that hit `loc` between the last
+    /// synchronisation of that set and `now`, and marks the set synchronised.
+    ///
+    /// The returned events are ordered by timestamp. At most `max_burst`
+    /// events are returned (the most recent ones); longer gaps simply mean the
+    /// set content is entirely noise, which a few dozen insertions already
+    /// guarantee.
+    pub fn catch_up(&mut self, loc: SetLocation, now: u64, rng: &mut impl Rng) -> Vec<NoiseEvent> {
+        let last = *self.last_sync.get(&loc).unwrap_or(&now);
+        self.last_sync.insert(loc, now);
+        if self.model.is_silent() || now <= last {
+            return Vec::new();
+        }
+        let dt = (now - last) as f64;
+        let lambda = dt * self.model.accesses_per_cycle_per_set;
+        let count = sample_poisson(lambda, rng).min(self.max_burst as u64);
+        let mut events: Vec<NoiseEvent> = (0..count)
+            .map(|_| NoiseEvent {
+                at: last + rng.gen_range(0..(now - last).max(1)),
+                shared: rng.gen_bool(self.model.shared_fraction),
+            })
+            .collect();
+        events.sort_by_key(|e| e.at);
+        events
+    }
+
+    /// Marks a set as synchronised at `now` without generating events.
+    ///
+    /// Used when a set is first observed so that an arbitrarily long
+    /// pre-history does not produce a burst on first touch.
+    pub fn mark_synced(&mut self, loc: SetLocation, now: u64) {
+        self.last_sync.insert(loc, now);
+    }
+
+    /// Samples the waiting time (in cycles) until the next background access
+    /// to a single set. Used by experiment harnesses that need explicit
+    /// inter-arrival samples (Figure 2).
+    pub fn sample_interarrival(&self, rng: &mut impl Rng) -> u64 {
+        if self.model.is_silent() {
+            return u64::MAX;
+        }
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        (-u.ln() / self.model.accesses_per_cycle_per_set).round() as u64
+    }
+}
+
+/// Samples a Poisson random variable with mean `lambda`.
+///
+/// Uses Knuth's multiplication method for small means and a normal
+/// approximation for large ones, which is plenty accurate for noise modelling.
+pub fn sample_poisson(lambda: f64, rng: &mut impl Rng) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.gen_range(0.0..1.0f64);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cloud_run_rate_matches_paper() {
+        let m = NoiseModel::cloud_run();
+        assert!((m.accesses_per_ms(2.0) - 11.5).abs() < 1e-9);
+        let l = NoiseModel::quiescent_local();
+        assert!((l.accesses_per_ms(2.0) - 0.29).abs() < 1e-9);
+        assert!(m.accesses_per_cycle_per_set > 30.0 * l.accesses_per_cycle_per_set);
+    }
+
+    #[test]
+    fn silent_noise_produces_no_events() {
+        let mut p = NoiseProcess::new(NoiseModel::silent());
+        let mut rng = SmallRng::seed_from_u64(0);
+        let loc = SetLocation::new(0, 0);
+        p.mark_synced(loc, 0);
+        assert!(p.catch_up(loc, 1_000_000, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn catch_up_mean_matches_rate() {
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut rng = SmallRng::seed_from_u64(7);
+        let loc = SetLocation::new(1, 5);
+        // 1 ms at 2 GHz = 2e6 cycles -> expect ~11.5 events per window.
+        let mut total = 0usize;
+        let windows = 200;
+        let mut now = 0u64;
+        p.mark_synced(loc, 0);
+        for _ in 0..windows {
+            now += 2_000_000;
+            total += p.catch_up(loc, now, &mut rng).len();
+        }
+        let mean = total as f64 / windows as f64;
+        assert!((mean - 11.5).abs() < 1.5, "mean {mean} too far from 11.5");
+    }
+
+    #[test]
+    fn first_touch_does_not_burst() {
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut rng = SmallRng::seed_from_u64(3);
+        // Never marked synced: first catch_up treats `now` as the sync point.
+        let events = p.catch_up(SetLocation::new(0, 3), 10_000_000_000, &mut rng);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn events_are_sorted_and_in_window() {
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut rng = SmallRng::seed_from_u64(11);
+        let loc = SetLocation::new(2, 9);
+        p.mark_synced(loc, 1000);
+        let events = p.catch_up(loc, 5_000_000, &mut rng);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at);
+        }
+        for e in &events {
+            assert!(e.at >= 1000 && e.at < 5_000_000);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_small_and_large() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for &lambda in &[0.5f64, 3.0, 50.0] {
+            let n = 4000;
+            let total: u64 = (0..n).map(|_| sample_poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.sqrt() * 0.2 + 0.1,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn interarrival_mean_is_inverse_rate() {
+        let p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut rng = SmallRng::seed_from_u64(13);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| p.sample_interarrival(&mut rng) as f64).sum();
+        let mean = total / n as f64;
+        let expected = 1.0 / NoiseModel::cloud_run().accesses_per_cycle_per_set;
+        assert!((mean - expected).abs() / expected < 0.05, "mean {mean} vs {expected}");
+    }
+}

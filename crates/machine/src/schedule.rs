@@ -1,0 +1,182 @@
+//! Victim access schedules: the memory-access behaviour of the co-located
+//! victim service, expressed as a timed sequence of virtual-address touches.
+//!
+//! The attack never sees victim code directly; it only observes the cache
+//! footprint of the victim's execution. A [`VictimSchedule`] is that
+//! footprint for one request: a list of `(cycle offset, virtual address)`
+//! pairs. [`VictimProgram`] produces a fresh schedule every time the victim
+//! service handles a request (e.g. one ECDSA signing with a fresh nonce).
+
+use llc_cache_model::{AddressSpace, VirtAddr};
+
+/// One victim memory access, relative to the start of the request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduledAccess {
+    /// Cycle offset from the start of the run.
+    pub offset: u64,
+    /// Victim virtual address touched.
+    pub va: VirtAddr,
+}
+
+/// The complete, ordered access schedule of one victim request.
+#[derive(Debug, Clone, Default)]
+pub struct VictimSchedule {
+    accesses: Vec<ScheduledAccess>,
+    duration: u64,
+}
+
+impl VictimSchedule {
+    /// Creates a schedule from a list of accesses and a total run duration.
+    ///
+    /// Accesses are sorted by offset; `duration` is clamped to at least the
+    /// last access offset.
+    pub fn new(mut accesses: Vec<ScheduledAccess>, duration: u64) -> Self {
+        accesses.sort_by_key(|a| a.offset);
+        let min_duration = accesses.last().map(|a| a.offset).unwrap_or(0);
+        Self { accesses, duration: duration.max(min_duration) }
+    }
+
+    /// An empty schedule of the given duration (victim busy on non-monitored
+    /// work, e.g. request parsing).
+    pub fn idle(duration: u64) -> Self {
+        Self { accesses: Vec::new(), duration }
+    }
+
+    /// The accesses, ordered by offset.
+    pub fn accesses(&self) -> &[ScheduledAccess] {
+        &self.accesses
+    }
+
+    /// Total duration of the run in cycles.
+    pub fn duration(&self) -> u64 {
+        self.duration
+    }
+
+    /// Number of accesses in the schedule.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if the schedule contains no accesses.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Appends another schedule after this one, shifting its offsets.
+    pub fn append(&mut self, other: &VictimSchedule) {
+        let base = self.duration;
+        self.accesses
+            .extend(other.accesses.iter().map(|a| ScheduledAccess { offset: base + a.offset, va: a.va }));
+        self.duration += other.duration;
+    }
+}
+
+/// A victim service: owns victim memory and produces one [`VictimSchedule`]
+/// per request.
+pub trait VictimProgram: std::fmt::Debug {
+    /// Called once when the program is installed on a machine, with the
+    /// victim's private address space. Implementations allocate their code
+    /// and data pages here.
+    fn setup(&mut self, aspace: &mut AddressSpace);
+
+    /// Called whenever the victim service receives a request; returns the
+    /// access schedule of that request.
+    fn on_request(&mut self) -> VictimSchedule;
+}
+
+/// A simple victim/sender that periodically touches a single line.
+///
+/// This is the "sender" of the covert-channel experiment used to evaluate
+/// monitoring strategies (Figure 6): it accesses the agreed-upon line every
+/// `interval` cycles, `count` times per request.
+#[derive(Debug)]
+pub struct PeriodicToucher {
+    interval: u64,
+    count: usize,
+    pages: usize,
+    target_page_offset: u64,
+    va: Option<VirtAddr>,
+}
+
+impl PeriodicToucher {
+    /// Creates a sender that touches its line every `interval` cycles,
+    /// `count` times per request, at the given page offset.
+    pub fn new(interval: u64, count: usize, target_page_offset: u64) -> Self {
+        Self { interval, count, pages: 1, target_page_offset, va: None }
+    }
+
+    /// The virtual address of the touched line (available after `setup`).
+    pub fn target_va(&self) -> Option<VirtAddr> {
+        self.va
+    }
+}
+
+impl VictimProgram for PeriodicToucher {
+    fn setup(&mut self, aspace: &mut AddressSpace) {
+        let base = aspace.allocate_pages(self.pages);
+        self.va = Some(base.offset(self.target_page_offset));
+    }
+
+    fn on_request(&mut self) -> VictimSchedule {
+        let va = self.va.expect("setup must run before on_request");
+        let accesses = (0..self.count)
+            .map(|i| ScheduledAccess { offset: i as u64 * self.interval, va })
+            .collect();
+        VictimSchedule::new(accesses, self.count as u64 * self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorts_accesses_and_clamps_duration() {
+        let s = VictimSchedule::new(
+            vec![
+                ScheduledAccess { offset: 500, va: VirtAddr::new(0x40) },
+                ScheduledAccess { offset: 100, va: VirtAddr::new(0x80) },
+            ],
+            10,
+        );
+        assert_eq!(s.accesses()[0].offset, 100);
+        assert_eq!(s.duration(), 500);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn append_shifts_offsets() {
+        let mut a = VictimSchedule::new(
+            vec![ScheduledAccess { offset: 10, va: VirtAddr::new(0) }],
+            100,
+        );
+        let b = VictimSchedule::new(
+            vec![ScheduledAccess { offset: 5, va: VirtAddr::new(64) }],
+            50,
+        );
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.accesses()[1].offset, 105);
+        assert_eq!(a.duration(), 150);
+    }
+
+    #[test]
+    fn idle_schedule_is_empty() {
+        let s = VictimSchedule::idle(1000);
+        assert!(s.is_empty());
+        assert_eq!(s.duration(), 1000);
+    }
+
+    #[test]
+    fn periodic_toucher_produces_expected_schedule() {
+        let mut aspace = AddressSpace::with_seed(1);
+        let mut p = PeriodicToucher::new(2000, 5, 0x240);
+        p.setup(&mut aspace);
+        let va = p.target_va().expect("set up");
+        assert_eq!(va.page_offset(), 0x240);
+        let s = p.on_request();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.accesses()[4].offset, 8000);
+        assert!(s.accesses().iter().all(|a| a.va == va));
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based and scenario tests for the machine layer: noise statistics,
+//! victim scheduling, and the attacker operation timing invariants.
+
+use llc_cache_model::CacheSpec;
+use llc_machine::{Machine, NoiseModel, PeriodicToucher, ScheduledAccess, VictimSchedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The clock is monotone and every operation consumes at least one cycle.
+    #[test]
+    fn clock_is_monotone(ops in prop::collection::vec(0u8..4, 1..60)) {
+        let mut m = Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::quiescent_local())
+            .seed(1)
+            .build();
+        let page = m.alloc_attacker_pages(4);
+        let vas: Vec<_> = (0..16u64).map(|i| page.offset(i * 256)).collect();
+        let mut last = m.now();
+        for op in ops {
+            match op {
+                0 => { m.access(vas[3]); }
+                1 => { m.timed_access(vas[5]); }
+                2 => { m.parallel_traverse(&vas); }
+                _ => { m.clflush(vas[7]); }
+            }
+            prop_assert!(m.now() > last, "operation did not advance the clock");
+            last = m.now();
+        }
+    }
+
+    /// Timed hits are always classified below the private-miss threshold and
+    /// cold misses above the LLC-miss threshold, for any page offset.
+    #[test]
+    fn timed_access_thresholds_hold(offset_lines in 0u64..64) {
+        let mut m = Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::silent())
+            .seed(2)
+            .build();
+        let page = m.alloc_attacker_pages(1);
+        let va = page.offset(offset_lines * 64);
+        let (cold, _) = m.timed_access(va);
+        let (hot, _) = m.timed_access(va);
+        prop_assert!(cold > m.latency_model().llc_miss_threshold());
+        prop_assert!(hot < m.latency_model().private_miss_threshold());
+    }
+
+    /// Victim schedules are replayed completely: every scheduled access is
+    /// performed exactly once per run, regardless of the attacker's activity.
+    #[test]
+    fn victim_schedules_are_replayed(count in 1usize..40, interval in 100u64..5_000) {
+        let mut m = Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::silent())
+            .seed(3)
+            .build();
+        let toucher = PeriodicToucher::new(interval, count, 0x40);
+        m.install_victim(Box::new(toucher), false, 0);
+        m.request_victim();
+        m.idle(interval * count as u64 + 10_000);
+        prop_assert_eq!(m.victim_runs(), 1);
+        prop_assert_eq!(m.stats().victim_accesses, count as u64);
+        prop_assert_eq!(m.victim_run_starts().len(), 1);
+    }
+}
+
+#[test]
+fn cloud_noise_rate_observed_by_hierarchy_matches_model() {
+    // Run the machine for 20 ms of simulated time while touching one set and
+    // check the number of injected noise events against the configured rate.
+    let mut m = Machine::builder(CacheSpec::tiny_test()).noise(NoiseModel::cloud_run()).seed(4).build();
+    let page = m.alloc_attacker_pages(1);
+    let window_ms = 20.0;
+    let cycles = (window_ms * 2e6) as u64;
+    let step = 10_000u64;
+    let mut elapsed = 0;
+    while elapsed < cycles {
+        m.access(page);
+        m.idle(step);
+        elapsed += step;
+    }
+    let per_ms = m.stats().noise_events as f64 / window_ms;
+    // The attacker line occupies one (slice, set); expect ~11.5 events/ms.
+    assert!(
+        (per_ms - 11.5).abs() < 5.0,
+        "observed {per_ms:.1} noise events/ms, expected about 11.5"
+    );
+}
+
+#[test]
+fn auto_repeat_victim_runs_back_to_back() {
+    let mut m =
+        Machine::builder(CacheSpec::tiny_test()).noise(NoiseModel::silent()).seed(5).build();
+    let schedule_len = 50u64 * 1_000;
+    let toucher = PeriodicToucher::new(1_000, 50, 0);
+    m.install_victim(Box::new(toucher), true, 500);
+    m.idle(5 * (schedule_len + 500));
+    assert!(m.victim_runs() >= 4, "expected several back-to-back runs, got {}", m.victim_runs());
+    let starts = m.victim_run_starts();
+    for pair in starts.windows(2) {
+        assert!(pair[1] - pair[0] >= schedule_len, "runs must not overlap");
+    }
+}
+
+#[test]
+fn empty_victim_schedule_is_handled() {
+    #[derive(Debug)]
+    struct Idler;
+    impl llc_machine::VictimProgram for Idler {
+        fn setup(&mut self, _aspace: &mut llc_cache_model::AddressSpace) {}
+        fn on_request(&mut self) -> VictimSchedule {
+            VictimSchedule::idle(10_000)
+        }
+    }
+    let mut m =
+        Machine::builder(CacheSpec::tiny_test()).noise(NoiseModel::silent()).seed(6).build();
+    m.install_victim(Box::new(Idler), false, 0);
+    m.request_victim();
+    m.idle(50_000);
+    assert_eq!(m.victim_runs(), 1);
+    assert_eq!(m.stats().victim_accesses, 0);
+}
+
+#[test]
+fn schedule_append_and_access_types_compose() {
+    let mut a = VictimSchedule::new(
+        vec![ScheduledAccess { offset: 10, va: llc_machine::VirtAddr::new(0x40) }],
+        1_000,
+    );
+    let b = VictimSchedule::new(
+        vec![ScheduledAccess { offset: 20, va: llc_machine::VirtAddr::new(0x80) }],
+        2_000,
+    );
+    a.append(&b);
+    assert_eq!(a.duration(), 3_000);
+    assert_eq!(a.accesses()[1].offset, 1_020);
+}

@@ -1,0 +1,315 @@
+//! Datasets and evaluation utilities for the classifiers.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A labelled dataset: feature vectors and binary/multiclass labels.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    labels: Vec<usize>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a dataset from parallel feature and label vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or feature dimensions
+    /// are inconsistent.
+    pub fn from_parts(features: Vec<Vec<f64>>, labels: Vec<usize>) -> Self {
+        assert_eq!(features.len(), labels.len(), "features and labels must align");
+        if let Some(first) = features.first() {
+            assert!(
+                features.iter().all(|f| f.len() == first.len()),
+                "all feature vectors must have the same dimension"
+            );
+        }
+        Self { features, labels }
+    }
+
+    /// Adds one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature dimension differs from existing samples.
+    pub fn push(&mut self, features: Vec<f64>, label: usize) {
+        if let Some(first) = self.features.first() {
+            assert_eq!(first.len(), features.len(), "inconsistent feature dimension");
+        }
+        self.features.push(features);
+        self.labels.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Feature dimension (0 for an empty dataset).
+    pub fn dimension(&self) -> usize {
+        self.features.first().map(|f| f.len()).unwrap_or(0)
+    }
+
+    /// The feature vectors.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// The labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of samples carrying `label`.
+    pub fn count_label(&self, label: usize) -> usize {
+        self.labels.iter().filter(|&&l| l == label).count()
+    }
+
+    /// Splits the dataset into a training and validation set, withholding
+    /// `holdout` (0..1) of the samples for validation, after shuffling.
+    pub fn split(&self, holdout: f64, rng: &mut impl Rng) -> (Dataset, Dataset) {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        let n_val = ((self.len() as f64) * holdout.clamp(0.0, 1.0)).round() as usize;
+        let (val_idx, train_idx) = indices.split_at(n_val.min(self.len()));
+        let subset = |idx: &[usize]| Dataset {
+            features: idx.iter().map(|&i| self.features[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+        };
+        (subset(train_idx), subset(val_idx))
+    }
+}
+
+/// Per-feature standardisation (z-scoring) fitted on a training set.
+///
+/// Kernel methods are sensitive to feature scales; the attack's PSD features
+/// mix counts, ratios and fractions, so they are standardised before being
+/// handed to the SVM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fits the standardiser to a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset) -> Self {
+        assert!(!data.is_empty(), "cannot fit a standardiser to an empty dataset");
+        let dim = data.dimension();
+        let n = data.len() as f64;
+        let mut means = vec![0.0; dim];
+        for f in data.features() {
+            for (m, v) in means.iter_mut().zip(f) {
+                *m += v / n;
+            }
+        }
+        let mut stds = vec![0.0; dim];
+        for f in data.features() {
+            for ((s, v), m) in stds.iter_mut().zip(f).zip(&means) {
+                *s += (v - m) * (v - m) / n;
+            }
+        }
+        for s in &mut stds {
+            *s = s.sqrt().max(1e-9);
+        }
+        Self { means, stds }
+    }
+
+    /// Standardises one feature vector.
+    pub fn transform(&self, features: &[f64]) -> Vec<f64> {
+        features
+            .iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    /// Standardises a whole dataset, preserving labels.
+    pub fn transform_dataset(&self, data: &Dataset) -> Dataset {
+        Dataset::from_parts(
+            data.features().iter().map(|f| self.transform(f)).collect(),
+            data.labels().to_vec(),
+        )
+    }
+}
+
+/// A binary-classification confusion matrix (label 1 = positive).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Tallies predictions against ground-truth labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn from_predictions(truth: &[usize], predicted: &[usize]) -> Self {
+        assert_eq!(truth.len(), predicted.len());
+        let mut m = Self::default();
+        for (&t, &p) in truth.iter().zip(predicted) {
+            match (t != 0, p != 0) {
+                (true, true) => m.tp += 1,
+                (false, true) => m.fp += 1,
+                (false, false) => m.tn += 1,
+                (true, false) => m.fn_ += 1,
+            }
+        }
+        m
+    }
+
+    /// Fraction of all samples classified correctly.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// False-positive rate: FP / (FP + TN).
+    pub fn false_positive_rate(&self) -> f64 {
+        let negatives = self.fp + self.tn;
+        if negatives == 0 {
+            0.0
+        } else {
+            self.fp as f64 / negatives as f64
+        }
+    }
+
+    /// False-negative rate: FN / (FN + TP).
+    pub fn false_negative_rate(&self) -> f64 {
+        let positives = self.fn_ + self.tp;
+        if positives == 0 {
+            0.0
+        } else {
+            self.fn_ as f64 / positives as f64
+        }
+    }
+
+    /// Precision: TP / (TP + FP).
+    pub fn precision(&self) -> f64 {
+        if self.tp + self.fp == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fp) as f64
+        }
+    }
+
+    /// Recall: TP / (TP + FN).
+    pub fn recall(&self) -> f64 {
+        if self.tp + self.fn_ == 0 {
+            0.0
+        } else {
+            self.tp as f64 / (self.tp + self.fn_) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dataset_push_and_counts() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0, 2.0], 1);
+        d.push(vec![3.0, 4.0], 0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.dimension(), 2);
+        assert_eq!(d.count_label(1), 1);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let features: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..100).map(|i| i % 2).collect();
+        let d = Dataset::from_parts(features, labels);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (train, val) = d.split(0.3, &mut rng);
+        assert_eq!(train.len() + val.len(), 100);
+        assert_eq!(val.len(), 30);
+    }
+
+    #[test]
+    fn confusion_matrix_metrics() {
+        let truth = vec![1, 1, 0, 0, 1, 0];
+        let pred = vec![1, 0, 0, 1, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&truth, &pred);
+        assert_eq!(m.tp, 2);
+        assert_eq!(m.fn_, 1);
+        assert_eq!(m.fp, 1);
+        assert_eq!(m.tn, 2);
+        assert!((m.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((m.false_negative_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.false_positive_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((m.precision() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_is_safe() {
+        let m = ConfusionMatrix::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.false_positive_rate(), 0.0);
+        assert_eq!(m.false_negative_rate(), 0.0);
+    }
+
+    #[test]
+    fn standardizer_zero_means_unit_stds() {
+        let features: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64, 1000.0 + 10.0 * i as f64]).collect();
+        let labels = vec![0; 50];
+        let d = Dataset::from_parts(features, labels);
+        let s = Standardizer::fit(&d);
+        let t = s.transform_dataset(&d);
+        for dim in 0..2 {
+            let vals: Vec<f64> = t.features().iter().map(|f| f[dim]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / vals.len() as f64;
+            assert!(mean.abs() < 1e-9);
+            assert!((var - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn standardizer_handles_constant_features() {
+        let d = Dataset::from_parts(vec![vec![5.0], vec![5.0]], vec![0, 1]);
+        let s = Standardizer::fit(&d);
+        let t = s.transform(&[5.0]);
+        assert!(t[0].is_finite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_dimensions_panic() {
+        let mut d = Dataset::new();
+        d.push(vec![1.0], 0);
+        d.push(vec![1.0, 2.0], 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! # llc-ml
+//!
+//! Small, dependency-free implementations of the classical machine-learning
+//! models the paper uses during target-set identification and nonce
+//! extraction (Sections 7.2–7.3):
+//!
+//! * a soft-margin **kernel SVM** trained with sequential minimal
+//!   optimisation — the paper trains a polynomial-kernel SVM on the PSD of
+//!   each access trace to recognise the victim's target SF set;
+//! * **decision trees** and a bagged **random forest** — the paper uses a
+//!   random forest to label detected accesses as Montgomery-ladder iteration
+//!   boundaries;
+//! * dataset handling and confusion-matrix evaluation utilities.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use llc_ml::{Dataset, Svm, SvmConfig, Kernel};
+//!
+//! let mut data = Dataset::new();
+//! for i in 0..40 {
+//!     let x = i as f64 / 10.0;
+//!     data.push(vec![x], usize::from(x > 2.0));
+//! }
+//! let svm = Svm::train(&data, &SvmConfig { kernel: Kernel::Linear, ..Default::default() });
+//! assert_eq!(svm.predict(&[3.5]), 1);
+//! assert_eq!(svm.predict(&[0.5]), 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dataset;
+mod svm;
+mod tree;
+
+pub use dataset::{ConfusionMatrix, Dataset, Standardizer};
+pub use svm::{Kernel, Svm, SvmConfig};
+pub use tree::{DecisionTree, ForestConfig, RandomForest, TreeConfig};

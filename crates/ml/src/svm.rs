@@ -1,0 +1,337 @@
+//! A kernel support-vector machine trained with a simplified SMO algorithm.
+//!
+//! The paper trains a polynomial-kernel SVM (scikit-learn) to decide whether
+//! the PSD of an access trace was collected from the victim's target SF set
+//! (Section 7.2). The classifier here reproduces that setup from scratch:
+//! binary soft-margin SVM, polynomial / RBF / linear kernels, trained by
+//! sequential minimal optimisation.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+
+/// Kernel functions for the SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// `K(x, y) = x·y`
+    Linear,
+    /// `K(x, y) = (gamma * x·y + coef0)^degree` — the paper's choice.
+    Polynomial {
+        /// Polynomial degree (scikit-learn default: 3).
+        degree: u32,
+        /// Scale applied to the dot product.
+        gamma: f64,
+        /// Additive constant.
+        coef0: f64,
+    },
+    /// `K(x, y) = exp(-gamma * |x - y|^2)`
+    Rbf {
+        /// Width parameter.
+        gamma: f64,
+    },
+}
+
+impl Kernel {
+    /// Evaluates the kernel on two feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths.
+    pub fn eval(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "kernel arguments must have equal dimension");
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        match *self {
+            Kernel::Linear => dot,
+            Kernel::Polynomial { degree, gamma, coef0 } => (gamma * dot + coef0).powi(degree as i32),
+            Kernel::Rbf { gamma } => {
+                let d2: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+                (-gamma * d2).exp()
+            }
+        }
+    }
+}
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvmConfig {
+    /// Kernel function.
+    pub kernel: Kernel,
+    /// Soft-margin penalty C.
+    pub c: f64,
+    /// Numerical tolerance of the KKT checks.
+    pub tolerance: f64,
+    /// Maximum number of passes over the data without any multiplier change.
+    pub max_passes: u32,
+    /// Hard cap on SMO iterations.
+    pub max_iterations: u32,
+    /// RNG seed for partner selection.
+    pub seed: u64,
+}
+
+impl Default for SvmConfig {
+    fn default() -> Self {
+        Self {
+            kernel: Kernel::Polynomial { degree: 3, gamma: 0.5, coef0: 1.0 },
+            c: 1.0,
+            tolerance: 1e-3,
+            max_passes: 8,
+            max_iterations: 20_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// A trained binary SVM classifier (labels 0 and 1).
+#[derive(Debug, Clone)]
+pub struct Svm {
+    kernel: Kernel,
+    support_vectors: Vec<Vec<f64>>,
+    coefficients: Vec<f64>, // alpha_i * y_i
+    bias: f64,
+}
+
+impl Svm {
+    /// Trains an SVM on `data` (labels must be 0 or 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or contains only one class.
+    pub fn train(data: &Dataset, config: &SvmConfig) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let n = data.len();
+        let y: Vec<f64> = data.labels().iter().map(|&l| if l == 0 { -1.0 } else { 1.0 }).collect();
+        assert!(
+            y.iter().any(|&v| v > 0.0) && y.iter().any(|&v| v < 0.0),
+            "training data must contain both classes"
+        );
+        let x = data.features();
+
+        // Cache the kernel matrix for small datasets; recompute lazily above
+        // the cap to bound memory.
+        let cache_matrix = n <= 2048;
+        let kernel_matrix: Vec<Vec<f64>> = if cache_matrix {
+            (0..n).map(|i| (0..n).map(|j| config.kernel.eval(&x[i], &x[j])).collect()).collect()
+        } else {
+            Vec::new()
+        };
+        let k = |i: usize, j: usize| -> f64 {
+            if cache_matrix {
+                kernel_matrix[i][j]
+            } else {
+                config.kernel.eval(&x[i], &x[j])
+            }
+        };
+
+        let mut alpha = vec![0.0f64; n];
+        let mut bias = 0.0f64;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        use rand::SeedableRng;
+
+        let f = |alpha: &[f64], bias: f64, i: usize, k: &dyn Fn(usize, usize) -> f64| -> f64 {
+            (0..n).map(|j| alpha[j] * y[j] * k(j, i)).sum::<f64>() + bias
+        };
+
+        let mut passes = 0u32;
+        let mut iterations = 0u32;
+        while passes < config.max_passes && iterations < config.max_iterations {
+            let mut changed = 0;
+            for i in 0..n {
+                iterations += 1;
+                let e_i = f(&alpha, bias, i, &k) - y[i];
+                let violates = (y[i] * e_i < -config.tolerance && alpha[i] < config.c)
+                    || (y[i] * e_i > config.tolerance && alpha[i] > 0.0);
+                if !violates {
+                    continue;
+                }
+                // Pick a random partner j != i.
+                let mut j = rng.gen_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                let e_j = f(&alpha, bias, j, &k) - y[j];
+                let (alpha_i_old, alpha_j_old) = (alpha[i], alpha[j]);
+                let (lo, hi) = if (y[i] - y[j]).abs() > f64::EPSILON {
+                    ((alpha[j] - alpha[i]).max(0.0), (config.c + alpha[j] - alpha[i]).min(config.c))
+                } else {
+                    ((alpha[i] + alpha[j] - config.c).max(0.0), (alpha[i] + alpha[j]).min(config.c))
+                };
+                if (hi - lo).abs() < 1e-12 {
+                    continue;
+                }
+                let eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+                if eta >= 0.0 {
+                    continue;
+                }
+                let mut aj = alpha[j] - y[j] * (e_i - e_j) / eta;
+                aj = aj.clamp(lo, hi);
+                if (aj - alpha_j_old).abs() < 1e-6 {
+                    continue;
+                }
+                let ai = alpha_i_old + y[i] * y[j] * (alpha_j_old - aj);
+                alpha[i] = ai;
+                alpha[j] = aj;
+                let b1 = bias
+                    - e_i
+                    - y[i] * (ai - alpha_i_old) * k(i, i)
+                    - y[j] * (aj - alpha_j_old) * k(i, j);
+                let b2 = bias
+                    - e_j
+                    - y[i] * (ai - alpha_i_old) * k(i, j)
+                    - y[j] * (aj - alpha_j_old) * k(j, j);
+                bias = if ai > 0.0 && ai < config.c {
+                    b1
+                } else if aj > 0.0 && aj < config.c {
+                    b2
+                } else {
+                    (b1 + b2) / 2.0
+                };
+                changed += 1;
+            }
+            if changed == 0 {
+                passes += 1;
+            } else {
+                passes = 0;
+            }
+        }
+
+        // Keep only support vectors.
+        let mut support_vectors = Vec::new();
+        let mut coefficients = Vec::new();
+        for i in 0..n {
+            if alpha[i] > 1e-8 {
+                support_vectors.push(x[i].clone());
+                coefficients.push(alpha[i] * y[i]);
+            }
+        }
+        Self { kernel: config.kernel, support_vectors, coefficients, bias }
+    }
+
+    /// Signed decision value; positive means class 1.
+    pub fn decision_value(&self, features: &[f64]) -> f64 {
+        self.support_vectors
+            .iter()
+            .zip(&self.coefficients)
+            .map(|(sv, c)| c * self.kernel.eval(sv, features))
+            .sum::<f64>()
+            + self.bias
+    }
+
+    /// Predicted label (0 or 1).
+    pub fn predict(&self, features: &[f64]) -> usize {
+        usize::from(self.decision_value(features) > 0.0)
+    }
+
+    /// Number of support vectors retained.
+    pub fn num_support_vectors(&self) -> usize {
+        self.support_vectors.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ConfusionMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn blob_dataset(n: usize, separation: f64, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for i in 0..n {
+            let label = i % 2;
+            let centre = if label == 1 { separation } else { -separation };
+            data.push(
+                vec![centre + rng.gen_range(-1.0..1.0), centre + rng.gen_range(-1.0..1.0)],
+                label,
+            );
+        }
+        data
+    }
+
+    #[test]
+    fn linear_svm_separates_blobs() {
+        let data = blob_dataset(120, 3.0, 1);
+        let svm = Svm::train(&data, &SvmConfig { kernel: Kernel::Linear, ..Default::default() });
+        let preds: Vec<usize> = data.features().iter().map(|f| svm.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(data.labels(), &preds);
+        assert!(cm.accuracy() > 0.95, "accuracy {}", cm.accuracy());
+        assert!(svm.num_support_vectors() > 0);
+    }
+
+    #[test]
+    fn polynomial_svm_handles_xor_pattern() {
+        // XOR is not linearly separable; a polynomial kernel handles it.
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut data = Dataset::new();
+        for _ in 0..200 {
+            let x = rng.gen_range(-1.0..1.0f64);
+            let y = rng.gen_range(-1.0..1.0f64);
+            // Keep a margin around the axes so the task is well-posed.
+            if x.abs() < 0.15 || y.abs() < 0.15 {
+                continue;
+            }
+            data.push(vec![x, y], usize::from(x * y > 0.0));
+        }
+        let svm = Svm::train(
+            &data,
+            &SvmConfig {
+                kernel: Kernel::Polynomial { degree: 2, gamma: 1.0, coef0: 0.0 },
+                c: 10.0,
+                ..Default::default()
+            },
+        );
+        let preds: Vec<usize> = data.features().iter().map(|f| svm.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(data.labels(), &preds);
+        assert!(cm.accuracy() > 0.9, "accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn rbf_svm_separates_concentric_rings() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut data = Dataset::new();
+        for i in 0..200 {
+            let label = i % 2;
+            let radius = if label == 1 { 3.0 } else { 1.0 };
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            data.push(vec![radius * angle.cos(), radius * angle.sin()], label);
+        }
+        let svm = Svm::train(
+            &data,
+            &SvmConfig { kernel: Kernel::Rbf { gamma: 1.0 }, c: 5.0, ..Default::default() },
+        );
+        let preds: Vec<usize> = data.features().iter().map(|f| svm.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(data.labels(), &preds);
+        assert!(cm.accuracy() > 0.95, "accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn generalises_to_held_out_data() {
+        let data = blob_dataset(300, 2.5, 7);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let (train, val) = data.split(0.3, &mut rng);
+        let svm = Svm::train(&train, &SvmConfig::default());
+        let preds: Vec<usize> = val.features().iter().map(|f| svm.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(val.labels(), &preds);
+        assert!(cm.accuracy() > 0.9, "validation accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_class_training_panics() {
+        let mut data = Dataset::new();
+        data.push(vec![1.0], 1);
+        data.push(vec![2.0], 1);
+        let _ = Svm::train(&data, &SvmConfig::default());
+    }
+
+    #[test]
+    fn kernel_evaluations() {
+        let a = [1.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(Kernel::Linear.eval(&a, &b), 11.0);
+        let poly = Kernel::Polynomial { degree: 2, gamma: 1.0, coef0: 1.0 };
+        assert_eq!(poly.eval(&a, &b), 144.0);
+        let rbf = Kernel::Rbf { gamma: 0.5 };
+        assert!((rbf.eval(&a, &a) - 1.0).abs() < 1e-12);
+        assert!(rbf.eval(&a, &b) < 1.0);
+    }
+}

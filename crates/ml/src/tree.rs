@@ -1,0 +1,370 @@
+//! Decision trees and random forests.
+//!
+//! The paper trains a random-forest classifier to decide whether a detected
+//! memory access corresponds to a Montgomery-ladder iteration boundary
+//! (Section 7.3). This module provides a CART-style decision tree (Gini
+//! impurity, axis-aligned splits) and a bagged random forest with feature
+//! subsampling.
+
+use crate::dataset::Dataset;
+use rand::Rng;
+
+/// Hyper-parameters of a decision tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of candidate features examined per split (`None` = all).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 4, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        label: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART decision tree classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+    num_classes: usize,
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    1.0 - counts
+        .iter()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            p * p
+        })
+        .sum::<f64>()
+}
+
+fn majority(counts: &[usize]) -> usize {
+    counts
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &c)| c)
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+impl DecisionTree {
+    /// Trains a decision tree on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn train(data: &Dataset, config: &TreeConfig, rng: &mut impl Rng) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        let num_classes = data.labels().iter().copied().max().unwrap_or(0) + 1;
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = Self::build(data, &indices, config, num_classes, 0, rng);
+        Self { root, num_classes }
+    }
+
+    fn class_counts(data: &Dataset, indices: &[usize], num_classes: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_classes];
+        for &i in indices {
+            counts[data.labels()[i]] += 1;
+        }
+        counts
+    }
+
+    fn build(
+        data: &Dataset,
+        indices: &[usize],
+        config: &TreeConfig,
+        num_classes: usize,
+        depth: usize,
+        rng: &mut impl Rng,
+    ) -> Node {
+        let counts = Self::class_counts(data, indices, num_classes);
+        let label = majority(&counts);
+        if depth >= config.max_depth
+            || indices.len() < config.min_samples_split
+            || gini(&counts) == 0.0
+        {
+            return Node::Leaf { label };
+        }
+
+        let dim = data.dimension();
+        let n_features = config.max_features.unwrap_or(dim).clamp(1, dim);
+        // Sample candidate features without replacement.
+        let mut features: Vec<usize> = (0..dim).collect();
+        for i in 0..n_features {
+            let j = rng.gen_range(i..dim);
+            features.swap(i, j);
+        }
+        let features = &features[..n_features];
+
+        let parent_gini = gini(&counts);
+        let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, impurity)
+        for &f in features {
+            let mut values: Vec<f64> = indices.iter().map(|&i| data.features()[i][f]).collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+            values.dedup();
+            if values.len() < 2 {
+                continue;
+            }
+            // Candidate thresholds: midpoints between consecutive distinct values.
+            for w in values.windows(2) {
+                let threshold = (w[0] + w[1]) / 2.0;
+                let (mut lc, mut rc) = (vec![0usize; num_classes], vec![0usize; num_classes]);
+                for &i in indices {
+                    if data.features()[i][f] <= threshold {
+                        lc[data.labels()[i]] += 1;
+                    } else {
+                        rc[data.labels()[i]] += 1;
+                    }
+                }
+                let ln: usize = lc.iter().sum();
+                let rn: usize = rc.iter().sum();
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let weighted = (ln as f64 * gini(&lc) + rn as f64 * gini(&rc)) / indices.len() as f64;
+                if best.map(|(_, _, b)| weighted < b).unwrap_or(weighted < parent_gini) {
+                    best = Some((f, threshold, weighted));
+                }
+            }
+        }
+
+        match best {
+            None => Node::Leaf { label },
+            Some((feature, threshold, _)) => {
+                let left_idx: Vec<usize> = indices
+                    .iter()
+                    .copied()
+                    .filter(|&i| data.features()[i][feature] <= threshold)
+                    .collect();
+                let right_idx: Vec<usize> = indices
+                    .iter()
+                    .copied()
+                    .filter(|&i| data.features()[i][feature] > threshold)
+                    .collect();
+                Node::Split {
+                    feature,
+                    threshold,
+                    left: Box::new(Self::build(data, &left_idx, config, num_classes, depth + 1, rng)),
+                    right: Box::new(Self::build(data, &right_idx, config, num_classes, depth + 1, rng)),
+                }
+            }
+        }
+    }
+
+    /// Predicts the class label of a feature vector.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { label } => return *label,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if features[*feature] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Number of classes seen during training.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+}
+
+/// Hyper-parameters of a random forest.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub num_trees: usize,
+    /// Per-tree configuration; `max_features` defaults to √dim when `None`.
+    pub tree: TreeConfig,
+    /// RNG seed for bagging and feature sampling.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            num_trees: 25,
+            tree: TreeConfig { max_depth: 12, min_samples_split: 4, max_features: None },
+            seed: 0xf0_7e57,
+        }
+    }
+}
+
+/// A bagged random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    num_classes: usize,
+}
+
+impl RandomForest {
+    /// Trains a random forest on `data`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `num_trees` is zero.
+    pub fn train(data: &Dataset, config: &ForestConfig) -> Self {
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert!(config.num_trees > 0, "a forest needs at least one tree");
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let num_classes = data.labels().iter().copied().max().unwrap_or(0) + 1;
+        let dim = data.dimension();
+        let max_features = config
+            .tree
+            .max_features
+            .unwrap_or_else(|| (dim as f64).sqrt().ceil() as usize)
+            .clamp(1, dim.max(1));
+        let tree_cfg = TreeConfig { max_features: Some(max_features), ..config.tree };
+
+        let trees = (0..config.num_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let mut boot = Dataset::new();
+                for _ in 0..data.len() {
+                    let i = rng.gen_range(0..data.len());
+                    boot.push(data.features()[i].clone(), data.labels()[i]);
+                }
+                DecisionTree::train(&boot, &tree_cfg, &mut rng)
+            })
+            .collect();
+        Self { trees, num_classes }
+    }
+
+    /// Predicts by majority vote over the trees.
+    pub fn predict(&self, features: &[f64]) -> usize {
+        let mut votes = vec![0usize; self.num_classes];
+        for tree in &self.trees {
+            let p = tree.predict(features);
+            if p < votes.len() {
+                votes[p] += 1;
+            }
+        }
+        majority(&votes)
+    }
+
+    /// Fraction of trees voting for class 1 (useful as a confidence score for
+    /// binary problems).
+    pub fn positive_fraction(&self, features: &[f64]) -> f64 {
+        let positive = self.trees.iter().filter(|t| t.predict(features) == 1).count();
+        positive as f64 / self.trees.len() as f64
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::ConfusionMatrix;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn striped_dataset(n: usize, seed: u64) -> Dataset {
+        // Label depends on a threshold over feature 0 and feature 1 jointly.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut data = Dataset::new();
+        for _ in 0..n {
+            let x = rng.gen_range(0.0..10.0f64);
+            let y = rng.gen_range(0.0..10.0f64);
+            let label = usize::from(x > 6.0 || (x > 2.0 && y < 3.0));
+            data.push(vec![x, y, rng.gen_range(0.0..1.0)], label);
+        }
+        data
+    }
+
+    #[test]
+    fn tree_fits_training_data() {
+        let data = striped_dataset(300, 1);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let tree = DecisionTree::train(&data, &TreeConfig::default(), &mut rng);
+        let preds: Vec<usize> = data.features().iter().map(|f| tree.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(data.labels(), &preds);
+        assert!(cm.accuracy() > 0.97, "train accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn tree_respects_max_depth() {
+        let data = striped_dataset(200, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let stump = DecisionTree::train(
+            &data,
+            &TreeConfig { max_depth: 1, ..TreeConfig::default() },
+            &mut rng,
+        );
+        // A depth-1 tree cannot be perfect on this data but must beat chance.
+        let preds: Vec<usize> = data.features().iter().map(|f| stump.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(data.labels(), &preds);
+        assert!(cm.accuracy() > 0.6 && cm.accuracy() < 1.0, "accuracy {}", cm.accuracy());
+    }
+
+    #[test]
+    fn forest_generalises_better_than_chance() {
+        let data = striped_dataset(600, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let (train, val) = data.split(0.3, &mut rng);
+        let forest = RandomForest::train(&train, &ForestConfig { num_trees: 15, ..Default::default() });
+        let preds: Vec<usize> = val.features().iter().map(|f| forest.predict(f)).collect();
+        let cm = ConfusionMatrix::from_predictions(val.labels(), &preds);
+        assert!(cm.accuracy() > 0.9, "validation accuracy {}", cm.accuracy());
+        assert_eq!(forest.num_trees(), 15);
+    }
+
+    #[test]
+    fn forest_confidence_is_calibrated_to_extremes() {
+        let data = striped_dataset(400, 7);
+        let forest = RandomForest::train(&data, &ForestConfig { num_trees: 20, ..Default::default() });
+        // A point deep inside the positive region.
+        assert!(forest.positive_fraction(&[9.0, 5.0, 0.5]) > 0.8);
+        // A point deep inside the negative region.
+        assert!(forest.positive_fraction(&[0.5, 8.0, 0.5]) < 0.2);
+    }
+
+    #[test]
+    fn multiclass_labels_supported() {
+        let mut data = Dataset::new();
+        for i in 0..120 {
+            let x = (i % 3) as f64 * 5.0 + (i as f64 * 0.01);
+            data.push(vec![x], i % 3);
+        }
+        let mut rng = SmallRng::seed_from_u64(8);
+        let tree = DecisionTree::train(&data, &TreeConfig::default(), &mut rng);
+        assert_eq!(tree.num_classes(), 3);
+        assert_eq!(tree.predict(&[0.1]), 0);
+        assert_eq!(tree.predict(&[5.1]), 1);
+        assert_eq!(tree.predict(&[10.1]), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_dataset_panics() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let _ = DecisionTree::train(&Dataset::new(), &TreeConfig::default(), &mut rng);
+    }
+}

@@ -1,0 +1,35 @@
+//! # llc-probe
+//!
+//! Prime+Probe monitoring of snoop-filter sets (Sections 6.1 and 7 of the
+//! paper): the three prime/probe strategies the paper compares (`PS-Flush`,
+//! `PS-Alt` and the paper's **Parallel Probing**), a continuous [`Monitor`]
+//! that produces timestamped access traces, and the covert-channel harness
+//! used to measure each strategy's detection rate (Figure 6) and prime/probe
+//! latencies (Table 5).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use llc_probe::{run_covert_channel, CovertChannelConfig, Strategy};
+//! use llc_machine::NoiseModel;
+//!
+//! let config = CovertChannelConfig {
+//!     access_interval: 5_000,
+//!     sender_accesses: 100,
+//!     noise: NoiseModel::silent(),
+//!     ..Default::default()
+//! };
+//! let result = run_covert_channel(&config, Strategy::Parallel);
+//! assert!(result.detection_rate > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod covert;
+mod monitor;
+mod strategies;
+
+pub use covert::{run_covert_channel, CovertChannelConfig, CovertChannelResult};
+pub use monitor::{AccessTrace, Monitor, MonitorStats};
+pub use strategies::{PrimedSet, ProbeOutcome, Strategy};

@@ -1,0 +1,194 @@
+//! Radix-2 fast Fourier transform over interleaved complex samples.
+//!
+//! A small, dependency-free FFT is all the Welch PSD estimator needs: segment
+//! lengths are powers of two chosen by the caller, typically 256–4096 points.
+
+use std::f64::consts::PI;
+
+/// A complex number (re, im) used by the FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// The complex number `0 + 0i`.
+    pub const ZERO: Complex = Complex::new(0.0, 0.0);
+
+    /// Squared magnitude `|z|^2`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    fn mul(self, other: Complex) -> Complex {
+        Complex::new(
+            self.re * other.re - self.im * other.im,
+            self.re * other.im + self.im * other.re,
+        )
+    }
+
+    fn add(self, other: Complex) -> Complex {
+        Complex::new(self.re + other.re, self.im + other.im)
+    }
+
+    fn sub(self, other: Complex) -> Complex {
+        Complex::new(self.re - other.re, self.im - other.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length of `data` is not a power of two.
+pub fn fft_in_place(data: &mut [Complex]) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let angle = -2.0 * PI / len as f64;
+        let wlen = Complex::new(angle.cos(), angle.sin());
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Computes the FFT of a real-valued signal, returning the complex spectrum.
+///
+/// # Panics
+///
+/// Panics if `signal.len()` is not a power of two.
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let mut data: Vec<Complex> = signal.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    fft_in_place(&mut data);
+    data
+}
+
+/// Returns the next power of two greater than or equal to `n` (minimum 1).
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut signal = vec![0.0; 8];
+        signal[0] = 1.0;
+        let spec = fft_real(&signal);
+        for bin in spec {
+            assert_close(bin.re, 1.0, 1e-12);
+            assert_close(bin.im, 0.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_constant_is_dc_only() {
+        let spec = fft_real(&vec![2.5; 16]);
+        assert_close(spec[0].re, 40.0, 1e-9);
+        for bin in &spec[1..] {
+            assert!(bin.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_its_bin() {
+        let n = 64;
+        let k = 5;
+        let signal: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = fft_real(&signal);
+        let mags: Vec<f64> = spec.iter().map(|c| c.abs()).collect();
+        // Energy at bins k and n-k (conjugate symmetry), ~N/2 each.
+        assert_close(mags[k], n as f64 / 2.0, 1e-6);
+        assert_close(mags[n - k], n as f64 / 2.0, 1e-6);
+        for (i, m) in mags.iter().enumerate() {
+            if i != k && i != n - k {
+                assert!(*m < 1e-6, "unexpected energy at bin {i}: {m}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let signal: Vec<f64> = (0..128).map(|i| ((i * 37 + 11) % 17) as f64 - 8.0).collect();
+        let time_energy: f64 = signal.iter().map(|x| x * x).sum();
+        let spec = fft_real(&signal);
+        let freq_energy: f64 = spec.iter().map(|c| c.norm_sqr()).sum::<f64>() / signal.len() as f64;
+        assert_close(time_energy, freq_energy, 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        let _ = fft_real(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn next_power_of_two_values() {
+        assert_eq!(next_power_of_two(0), 1);
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(5), 8);
+        assert_eq!(next_power_of_two(1024), 1024);
+    }
+
+    #[test]
+    fn complex_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        let p = a.mul(b);
+        assert_close(p.re, 5.0, 1e-12);
+        assert_close(p.im, 5.0, 1e-12);
+        assert_close(Complex::from(3.0).abs(), 3.0, 1e-12);
+    }
+}

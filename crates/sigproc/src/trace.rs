@@ -1,0 +1,130 @@
+//! Conversion of timestamped access traces into uniformly sampled signals.
+//!
+//! A Prime+Probe monitor produces a list of detection timestamps (cycles).
+//! To analyse the trace in the frequency domain it is binned into a regular
+//! time series: bin `i` counts the detections in `[i·Δ, (i+1)·Δ)`. The bin
+//! width Δ sets the sampling rate of the PSD estimate.
+
+/// A uniformly-sampled signal derived from a timestamped event trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinnedTrace {
+    samples: Vec<f64>,
+    bin_width_cycles: u64,
+    freq_ghz: f64,
+}
+
+impl BinnedTrace {
+    /// Bins event `timestamps` (cycles, need not be sorted) spanning
+    /// `duration_cycles`, using bins of `bin_width_cycles`, on a machine
+    /// running at `freq_ghz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width_cycles` is zero.
+    pub fn from_timestamps(
+        timestamps: &[u64],
+        start_cycle: u64,
+        duration_cycles: u64,
+        bin_width_cycles: u64,
+        freq_ghz: f64,
+    ) -> Self {
+        assert!(bin_width_cycles > 0, "bin width must be non-zero");
+        let bins = (duration_cycles / bin_width_cycles).max(1) as usize;
+        let mut samples = vec![0.0f64; bins];
+        for &t in timestamps {
+            if t < start_cycle {
+                continue;
+            }
+            let idx = ((t - start_cycle) / bin_width_cycles) as usize;
+            if idx < bins {
+                samples[idx] += 1.0;
+            }
+        }
+        Self { samples, bin_width_cycles, freq_ghz }
+    }
+
+    /// The binned samples (event counts per bin).
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// The sampling rate of this signal in Hz.
+    pub fn sample_rate_hz(&self) -> f64 {
+        self.freq_ghz * 1e9 / self.bin_width_cycles as f64
+    }
+
+    /// Total number of events captured in the binning window.
+    pub fn total_events(&self) -> usize {
+        self.samples.iter().sum::<f64>() as usize
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if the trace has no bins.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Converts a victim access period in cycles to the frequency (Hz) at which a
+/// PSD peak is expected, for a machine at `freq_ghz`.
+pub fn period_cycles_to_hz(period_cycles: u64, freq_ghz: f64) -> f64 {
+    if period_cycles == 0 {
+        return 0.0;
+    }
+    freq_ghz * 1e9 / period_cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_counts_events_per_bin() {
+        let trace = BinnedTrace::from_timestamps(&[0, 10, 95, 100, 150, 210], 0, 300, 100, 2.0);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.samples(), &[3.0, 2.0, 1.0]);
+        assert_eq!(trace.total_events(), 6);
+    }
+
+    #[test]
+    fn events_outside_window_are_dropped() {
+        let trace = BinnedTrace::from_timestamps(&[5, 250, 400], 100, 200, 100, 2.0);
+        assert_eq!(trace.samples(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn sample_rate_matches_bin_width() {
+        let trace = BinnedTrace::from_timestamps(&[], 0, 1_000_000, 2_000, 2.0);
+        // 2 GHz / 2000 cycles per bin = 1 MHz sampling.
+        assert!((trace.sample_rate_hz() - 1e6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn period_conversion_matches_paper_example() {
+        // 4,850-cycle victim access period at 2 GHz ≈ 0.41 MHz (Section 6.2).
+        let f = period_cycles_to_hz(4850, 2.0);
+        assert!((f - 412_371.0).abs() < 1_000.0, "got {f}");
+        assert_eq!(period_cycles_to_hz(0, 2.0), 0.0);
+    }
+
+    #[test]
+    fn psd_of_binned_periodic_trace_peaks_at_victim_frequency() {
+        use crate::welch::{welch_psd, WelchConfig};
+        // Simulate victim accesses every 4,850 cycles for 1 ms at 2 GHz.
+        let period = 4850u64;
+        let duration = 2_000_000u64;
+        let timestamps: Vec<u64> = (0..duration / period).map(|i| i * period).collect();
+        let trace = BinnedTrace::from_timestamps(&timestamps, 0, duration, 500, 2.0);
+        let psd = welch_psd(
+            trace.samples(),
+            &WelchConfig { sample_rate_hz: trace.sample_rate_hz(), ..Default::default() },
+        );
+        let expected = period_cycles_to_hz(period, 2.0);
+        let ratio = psd.peak_to_average_ratio(expected, 3.0 * psd.resolution_hz(), 50_000.0);
+        assert!(ratio > 5.0, "expected prominent peak at {expected} Hz, ratio {ratio}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Window functions for spectral estimation.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Window {
+    /// Rectangular (no tapering).
+    Rectangular,
+    /// Hann window — the default used by Welch's method.
+    Hann,
+    /// Hamming window.
+    Hamming,
+}
+
+impl Default for Window {
+    fn default() -> Self {
+        Window::Hann
+    }
+}
+
+impl Window {
+    /// Returns the window coefficients for a segment of length `n`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![1.0];
+        }
+        let m = (n - 1) as f64;
+        (0..n)
+            .map(|i| {
+                let x = i as f64 / m;
+                match self {
+                    Window::Rectangular => 1.0,
+                    Window::Hann => 0.5 - 0.5 * (2.0 * std::f64::consts::PI * x).cos(),
+                    Window::Hamming => 0.54 - 0.46 * (2.0 * std::f64::consts::PI * x).cos(),
+                }
+            })
+            .collect()
+    }
+
+    /// Sum of squared coefficients, used to normalise PSD estimates.
+    pub fn power(self, n: usize) -> f64 {
+        self.coefficients(n).iter().map(|w| w * w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular.coefficients(8).iter().all(|&w| w == 1.0));
+        assert_eq!(Window::Rectangular.power(8), 8.0);
+    }
+
+    #[test]
+    fn hann_is_zero_at_edges_and_one_in_middle() {
+        let w = Window::Hann.coefficients(9);
+        assert!(w[0].abs() < 1e-12);
+        assert!(w[8].abs() < 1e-12);
+        assert!((w[4] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_edges_are_nonzero() {
+        let w = Window::Hamming.coefficients(9);
+        assert!((w[0] - 0.08).abs() < 1e-9);
+        assert!(w.iter().cloned().fold(f64::MIN, f64::max) <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn symmetric_windows() {
+        for kind in [Window::Hann, Window::Hamming] {
+            let w = kind.coefficients(16);
+            for i in 0..8 {
+                assert!((w[i] - w[15 - i]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        assert!(Window::Hann.coefficients(0).is_empty());
+        assert_eq!(Window::Hann.coefficients(1), vec![1.0]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Covert-channel demo (the Figure 6 experiment): a sender process touches an
+//! agreed-upon snoop-filter set at a fixed interval and a receiver compares
+//! the three monitoring strategies' ability to see those accesses.
+//!
+//! Run with: `cargo run --release --example covert_channel`
+
+use llc_feasible::cache_model::CacheSpec;
+use llc_feasible::machine::NoiseModel;
+use llc_feasible::probe::{run_covert_channel, CovertChannelConfig, Strategy};
+
+fn main() {
+    let spec = CacheSpec::skylake_sp(2, 4);
+    println!("covert channel on {} under Cloud Run noise", spec.name);
+    println!(
+        "{:<12} {:>12} {:>16} {:>16} {:>16}",
+        "Strategy", "Interval", "Detection", "Prime (cyc)", "Probe (cyc)"
+    );
+    for interval in [2_000u64, 10_000, 100_000] {
+        for strategy in Strategy::all() {
+            let config = CovertChannelConfig {
+                spec: spec.clone(),
+                noise: NoiseModel::cloud_run(),
+                access_interval: interval,
+                sender_accesses: 500,
+                ..Default::default()
+            };
+            let result = run_covert_channel(&config, strategy);
+            println!(
+                "{:<12} {:>12} {:>15.1}% {:>16.0} {:>16.0}",
+                strategy.to_string(),
+                interval,
+                100.0 * result.detection_rate,
+                result.stats.mean_prime_cycles,
+                result.stats.mean_probe_cycles
+            );
+        }
+    }
+    println!();
+    println!("expected shape (paper, Figure 6): Parallel Probing detects the large");
+    println!("majority of sender accesses even at a 2k-cycle interval, while PS-Flush");
+    println!("and PS-Alt only catch up at much longer intervals.");
+}

@@ -1,0 +1,61 @@
+//! The full cross-tenant attack, end to end: build SF eviction sets at the
+//! victim's page offset, identify the target set with PSD + SVM while the
+//! victim signs, then monitor it with Parallel Probing and decode the ECDSA
+//! nonce bits (Section 7 of the paper).
+//!
+//! Run with: `cargo run --release --example end_to_end_attack`
+
+use llc_feasible::attack::{AttackConfig, EndToEndAttack};
+use llc_feasible::cache_model::CacheSpec;
+use llc_feasible::ecdsa_victim::EcdsaVictimConfig;
+use llc_feasible::machine::NoiseModel;
+
+fn main() {
+    // A scaled Skylake-SP host (4 slices) under Cloud Run noise, attacking a
+    // victim that signs with 128-bit nonces so the example finishes quickly.
+    let victim = EcdsaVictimConfig {
+        nonce_bits: 128,
+        pre_cycles: 2_000_000,
+        post_cycles: 800_000,
+        ..EcdsaVictimConfig::default()
+    };
+    let mut config = AttackConfig {
+        spec: CacheSpec::skylake_sp(4, 4),
+        noise: NoiseModel::cloud_run(),
+        signatures: 5,
+        ..AttackConfig::default()
+    };
+    config.classifier.features.expected_period_cycles = victim.expected_access_period();
+    config.classifier.noise_per_ms = 11.5;
+    config.extraction.iteration_cycles = victim.iteration_cycles;
+    config.victim = victim;
+
+    println!("running the end-to-end attack (this simulates several seconds of victim time)...");
+    let report = EndToEndAttack::new(config).run();
+
+    println!();
+    println!("Step 1 (eviction sets): built {} sets for {} targets ({:.1}% success) in {:.2} s",
+        report.evset.sets_built,
+        report.evset.attempted,
+        100.0 * report.evset.success_rate,
+        report.evset.cycles as f64 / (report.freq_ghz * 1e9));
+    println!(
+        "Step 2 (identification): identified = {}, correct = {}, {:.2} s, {} traces",
+        report.identify.identified,
+        report.identify.correct,
+        report.identify.cycles as f64 / (report.freq_ghz * 1e9),
+        report.identify.traces
+    );
+    println!(
+        "Step 3 (extraction): median {:.1}% of nonce bits recovered, {:.1}% bit errors over {} signings",
+        100.0 * report.extract.median_recovered_fraction(),
+        100.0 * report.extract.mean_bit_error_rate(),
+        report.extract.scores.len()
+    );
+    println!("total simulated attack time: {:.1} s", report.total_seconds());
+    println!();
+    println!(
+        "paper's headline numbers on the real 28-slice Cloud Run hosts: 81% median nonce \
+         bits, 3% bit error rate, ~19 s end to end"
+    );
+}

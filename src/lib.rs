@@ -1,0 +1,37 @@
+//! # llc-feasible
+//!
+//! Umbrella crate for the reproduction of *"Last-Level Cache Side-Channel
+//! Attacks Are Feasible in the Modern Public Cloud"* (ASPLOS 2024) on a
+//! simulated Skylake-SP multi-tenant host. It re-exports the workspace's
+//! member crates under short module names so examples and downstream users
+//! can depend on a single crate:
+//!
+//! * [`cache_model`] — Skylake-SP/Ice Lake-SP cache hierarchy model;
+//! * [`machine`] — cycle-level host simulation (noise, victim, attacker port);
+//! * [`evsets`] — eviction-set construction (candidate filtering, `BinS`, ...);
+//! * [`probe`] — Prime+Probe monitoring strategies (Parallel Probing, ...);
+//! * [`sigproc`] — FFT / Welch power spectral density;
+//! * [`ml`] — SVM and random-forest classifiers;
+//! * [`ecdsa_victim`] — the vulnerable sect571r1 ECDSA victim service;
+//! * [`attack`] — the end-to-end Steps 1–3 pipeline.
+//!
+//! See `README.md` for a walkthrough and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the experiment inventory.
+//!
+//! ```
+//! use llc_feasible::attack::{AttackConfig, EndToEndAttack};
+//!
+//! let report = EndToEndAttack::new(AttackConfig::fast_test()).run();
+//! assert!(report.identify.identified);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use llc_cache_model as cache_model;
+pub use llc_core as attack;
+pub use llc_ecdsa_victim as ecdsa_victim;
+pub use llc_evsets as evsets;
+pub use llc_machine as machine;
+pub use llc_ml as ml;
+pub use llc_probe as probe;
+pub use llc_sigproc as sigproc;

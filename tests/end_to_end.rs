@@ -1,0 +1,42 @@
+//! The full attack pipeline through the umbrella crate (the paper's Section 7
+//! demonstration, scaled down to the fast test machine).
+
+use llc_feasible::attack::{AttackConfig, EndToEndAttack};
+use llc_feasible::ecdsa_victim::{Ecdsa, KeyPair};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn full_attack_recovers_most_nonce_bits() {
+    let report = EndToEndAttack::new(AttackConfig::fast_test()).run();
+    assert!(report.evset.sets_built >= 1);
+    assert!(report.identify.identified && report.identify.correct);
+    assert!(
+        report.extract.median_recovered_fraction() > 0.5,
+        "recovered {:.2}",
+        report.extract.median_recovered_fraction()
+    );
+    assert!(
+        report.extract.mean_bit_error_rate() < 0.25,
+        "bit error rate {:.2}",
+        report.extract.mean_bit_error_rate()
+    );
+    assert!(report.succeeded());
+}
+
+#[test]
+fn the_attacked_implementation_still_produces_valid_signatures() {
+    // Sanity check that the "victim" really is a working ECDSA signer: the
+    // attack recovers bits of the nonce used by an otherwise correct
+    // implementation, not of a toy.
+    let ecdsa = Ecdsa::new();
+    let mut rng = SmallRng::seed_from_u64(1234);
+    let key = KeyPair::generate(ecdsa.curve(), &mut rng);
+    let transcript = ecdsa.sign(&key, b"integration test message", &mut rng);
+    assert!(ecdsa.verify(key.public(), b"integration test message", &transcript.signature));
+    assert_eq!(
+        transcript.ladder_bits,
+        transcript.nonce.bits_msb_first()[1..].to_vec(),
+        "the ladder's branch trace is exactly the nonce bits that leak"
+    );
+}
