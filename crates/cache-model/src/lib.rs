@@ -16,7 +16,9 @@
 //! ```
 //! use llc_cache_model::{AccessKind, CacheSpec, Hierarchy, LineAddr};
 //!
-//! let mut h = Hierarchy::new(CacheSpec::skylake_sp_cloud(), 42);
+//! // `tiny_test()` keeps the doctest feature-independent; the protocol below
+//! // is identical on the feature-gated `skylake_sp_cloud()` preset.
+//! let mut h = Hierarchy::new(CacheSpec::tiny_test(), 42);
 //! let line = LineAddr::from_line_number(0x1234);
 //!
 //! // Core 0 faults the line in: it becomes Exclusive and is tracked by the SF.

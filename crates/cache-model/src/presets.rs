@@ -2,9 +2,15 @@
 //!
 //! | Preset | Paper machine | LLC/SF slices | SF ways | L2 ways |
 //! |---|---|---|---|---|
-//! | [`CacheSpec::skylake_sp_cloud`] | Intel Xeon Platinum 8173M (Cloud Run) | 28 | 12 | 16 |
-//! | [`CacheSpec::skylake_sp_local`] | Intel Xeon Gold 6152 (local) | 22 | 12 | 16 |
-//! | [`CacheSpec::ice_lake_sp`] | Intel Xeon Gold 5320 | 26 | 16 | 20 |
+//! | `CacheSpec::skylake_sp_cloud` | Intel Xeon Platinum 8173M (Cloud Run) | 28 | 12 | 16 |
+//! | `CacheSpec::skylake_sp_local` | Intel Xeon Gold 6152 (local) | 22 | 12 | 16 |
+//! | `CacheSpec::ice_lake_sp` | Intel Xeon Gold 5320 | 26 | 16 | 20 |
+//!
+//! The named presets (and `CacheSpec::skylake_sp(slices, cores)`) are gated
+//! by the `skylake` / `icelake` cargo features, both on by default;
+//! `CacheSpec::tiny_test` and the geometry types stay available regardless.
+//! The table uses plain code spans rather than intra-doc links so
+//! `--no-default-features` docs stay warning-free.
 
 use crate::geometry::{CacheGeometry, SlicedGeometry};
 use crate::replacement::ReplacementKind;
@@ -37,6 +43,7 @@ impl CacheSpec {
     ///
     /// Parameters follow Table 2: L1 32 kB/8-way, L2 1 MB/16-way/1,024 sets,
     /// LLC slice 1.375 MB/11-way/2,048 sets, SF slice 12-way/2,048 sets.
+    #[cfg(feature = "skylake")]
     pub fn skylake_sp(num_slices: usize, cores: usize) -> Self {
         let llc_slice = CacheGeometry::new(2048, 11);
         let sf_slice = CacheGeometry::new(2048, 12);
@@ -59,18 +66,21 @@ impl CacheSpec {
 
     /// The 28-slice Skylake-SP (Xeon Platinum 8173M) that dominates Cloud Run
     /// datacenters in the paper's measurements.
+    #[cfg(feature = "skylake")]
     pub fn skylake_sp_cloud() -> Self {
         Self::skylake_sp(28, 4)
     }
 
     /// The 22-slice Skylake-SP (Xeon Gold 6152) used as the quiescent local
     /// machine in the paper.
+    #[cfg(feature = "skylake")]
     pub fn skylake_sp_local() -> Self {
         Self::skylake_sp(22, 4)
     }
 
     /// Ice Lake-SP (Xeon Gold 5320, 26 slices): 16-way SF and 20-way L2,
     /// used in Section 5.3.2 to study associativity sensitivity.
+    #[cfg(feature = "icelake")]
     pub fn ice_lake_sp() -> Self {
         let llc_slice = CacheGeometry::new(2048, 12);
         let sf_slice = CacheGeometry::new(2048, 16);
@@ -129,6 +139,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[cfg(feature = "skylake")]
     fn skylake_cloud_matches_paper_counts() {
         let spec = CacheSpec::skylake_sp_cloud();
         assert_eq!(spec.page_offset_sets(), 896);
@@ -139,6 +150,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "skylake")]
     fn skylake_local_matches_paper_counts() {
         let spec = CacheSpec::skylake_sp_local();
         assert_eq!(spec.page_offset_sets(), 704);
@@ -146,6 +158,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(all(feature = "skylake", feature = "icelake"))]
     fn ice_lake_has_higher_associativity() {
         let skx = CacheSpec::skylake_sp_cloud();
         let icx = CacheSpec::ice_lake_sp();
@@ -154,6 +167,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "skylake")]
     fn cycle_second_round_trip() {
         let spec = CacheSpec::skylake_sp_cloud();
         let cycles = 2_000_000_000;
@@ -163,6 +177,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "skylake")]
     fn llc_slice_capacity_is_1_375_mb() {
         let spec = CacheSpec::skylake_sp_cloud();
         assert_eq!(spec.llc.slice_geometry().size_bytes(), 1_441_792);

@@ -286,8 +286,9 @@ mod tests {
     fn failure_reports_attempts_and_error() {
         let mut m = quiet_machine(64);
         let mut rng = SmallRng::seed_from_u64(64);
-        // Far too few candidates to ever contain W congruent addresses.
-        let cands = CandidateSet::allocate(&mut m, 0x40, 8, &mut rng);
+        // Fewer candidates than the SF's associativity: construction cannot
+        // possibly find W congruent addresses, for any page coloring.
+        let cands = CandidateSet::allocate(&mut m, 0x40, 5, &mut rng);
         let ta = cands.addresses()[0];
         let algo = BinarySearch::new();
         let builder = EvsetBuilder::new(&algo).filtering(false);

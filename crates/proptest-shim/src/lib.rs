@@ -1,0 +1,336 @@
+//! Offline drop-in shim for the subset of the `proptest` 1.x API this
+//! workspace's property tests use.
+//!
+//! Provides the [`proptest!`] macro (deterministically seeded from the test
+//! name), the strategies the tests draw from — integer ranges, tuples of
+//! strategies, [`any`], and [`prop::collection::vec`] — plus
+//! [`prop_assert!`] / [`prop_assert_eq!`] and [`ProptestConfig::with_cases`].
+//!
+//! Differences from the real crate:
+//!
+//! * **no shrinking** — a failing case panics with the case number and the
+//!   assertion message, but the input is not minimised;
+//! * runs are deterministic per test (seeded from the test function's name),
+//!   so a failure always reproduces;
+//! * only the API surface exercised by the workspace is provided.
+//!
+//! Swap the `[workspace.dependencies]` entry back to crates.io `proptest` on
+//! a connected machine; the test sources compile unchanged against either.
+
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A source of random values of one type; the shim's stand-in for
+/// `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_for_tuple!(A: 0);
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Types with a canonical "uniform over the whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_std {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> Self {
+                <Self as rand::Standard>::sample_standard(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_std!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Uniform strategy over the whole domain of `T` (`any::<u64>()`, ...).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Built-in composite strategies (`prop::collection::vec`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::SmallRng;
+        use rand::Rng;
+
+        /// Strategy producing `Vec`s with random length and elements.
+        #[derive(Clone, Debug)]
+        pub struct VecStrategy<S> {
+            elem: S,
+            len: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+                let len = rng.gen_range(self.len.clone());
+                (0..len).map(|_| self.elem.sample(rng)).collect()
+            }
+        }
+
+        /// `Vec` strategy: `len` elements drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { elem, len }
+        }
+    }
+}
+
+/// Deterministic 64-bit FNV-1a, used to seed each property from its name.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut hash = 0xcbf29ce484222325u64;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// Fresh deterministic generator for one property function.
+pub fn runner_rng(name: &str) -> SmallRng {
+    SmallRng::seed_from_u64(seed_from_name(name))
+}
+
+#[doc(hidden)]
+pub fn __advance(rng: &mut SmallRng) -> u64 {
+    rng.next_u64()
+}
+
+#[doc(hidden)]
+pub use rand::rngs::SmallRng as __SmallRng;
+
+/// Everything the property tests import (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::{any, Arbitrary, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Mirrors the real macro's surface for the forms used in this workspace:
+/// an optional `#![proptest_config(...)]` inner attribute followed by test
+/// functions with `arg in strategy` parameter lists.
+#[macro_export]
+macro_rules! proptest {
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strategy),+) $body
+            )*
+        }
+    };
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $config;
+                let mut rng = $crate::runner_rng(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let result: ::std::result::Result<(), ::std::string::String> =
+                        (|rng: &mut $crate::__SmallRng| {
+                            $(let $arg = $crate::Strategy::sample(&($strategy), rng);)+
+                            $body
+                            ::std::result::Result::Ok(())
+                        })(&mut rng);
+                    if let ::std::result::Result::Err(message) = result {
+                        panic!(
+                            "property {} failed at case {}/{}: {}",
+                            stringify!($name), case + 1, config.cases, message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `assert_eq!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} == {}`\n  left: {left:?}\n right: {right:?}",
+                stringify!($left), stringify!($right),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err(format!(
+                "{}\n  left: {left:?}\n right: {right:?}",
+                format!($($fmt)+),
+            ));
+        }
+    }};
+}
+
+/// `assert_ne!` that fails the current property case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `{} != {}`\n  both: {left:?}",
+                stringify!($left), stringify!($right),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range strategies stay in bounds.
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, y in -4i32..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+        }
+
+        /// Vec strategies respect the length range, tuples compose.
+        #[test]
+        fn vec_and_tuple_strategies(v in prop::collection::vec((0usize..3, 0u64..512), 1..20)) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for (core, line) in v {
+                prop_assert!(core < 3);
+                prop_assert_eq!(line >> 9, 0);
+            }
+        }
+
+        /// `any` covers the full domain without panicking.
+        #[test]
+        fn any_samples(a in any::<u64>(), b in any::<u16>()) {
+            prop_assert!(u64::from(b) <= u64::MAX - (a >> 16) || true);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        assert_eq!(crate::seed_from_name("x"), crate::seed_from_name("x"));
+        assert_ne!(crate::seed_from_name("x"), crate::seed_from_name("y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_case_number() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0u8..8) {
+                prop_assert!(x > 200, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,481 @@
+//! Offline drop-in shim for the subset of the `rand` 0.8 API this workspace
+//! uses.
+//!
+//! The build container cannot reach crates.io, so the workspace vendors the
+//! few pieces of `rand` the attack simulation needs: [`Rng`] /
+//! [`RngCore`] / [`SeedableRng`], the [`rngs::SmallRng`] and [`rngs::StdRng`]
+//! generators (both xoshiro256++ seeded through SplitMix64), uniform range
+//! sampling for the integer and float types the simulators draw, and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! Differences from the real crate, none of which matter for the
+//! deterministic simulations here:
+//!
+//! * `gen_range` over integers uses Lemire-style widening multiplication,
+//!   which carries a negligible (< 2^-64) modulo bias instead of doing
+//!   rejection sampling;
+//! * `StdRng` is xoshiro256++ rather than ChaCha12, so its streams differ
+//!   from crates.io `rand` for the same seed (seeds in this repo only need to
+//!   be *reproducible*, not *identical* to the reference crate);
+//! * only the API surface exercised by the workspace is provided.
+//!
+//! To build against the real crate on a connected machine, point the
+//! `[workspace.dependencies]` entry for `rand` back at crates.io — as
+//! `rand = { version = "0.8.5", features = ["small_rng"] }`, since the real
+//! crate gates [`rngs::SmallRng`] behind that non-default feature — and
+//! delete the three shim crates (this one also backs the proptest shim);
+//! all call sites use the standard 0.8 API.
+
+#![warn(missing_docs)]
+
+/// Low-level source of random 64-bit words.
+///
+/// Mirrors `rand_core::RngCore` closely enough for the workspace: everything
+/// else ([`Rng::gen`], [`Rng::gen_range`], shuffling) is derived from
+/// [`RngCore::next_u64`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be produced uniformly at random by [`Rng::gen`].
+///
+/// Stand-in for `rand`'s `Standard: Distribution<T>` bound.
+pub trait Standard: Sized {
+    /// Draws one uniformly random value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Standard for [u8; N] {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Maps 64 random bits to a uniform `f64` in `[0, 1)` with 53 bits of
+/// precision.
+fn unit_f64(bits: u64) -> f64 {
+    ((bits >> 11) as f64) * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Scalar types usable as [`Rng::gen_range`] bounds.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Draws uniformly from `[low, high)` (`high` itself when `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Width of the range as an unsigned span; wrapping arithmetic
+                // keeps signed bounds (e.g. `-j..=j`) correct.
+                let span = (high as i128).wrapping_sub(low as i128) as u128
+                    + u128::from(inclusive);
+                assert!(span > 0, "cannot sample from an empty range");
+                if span > u128::from(u64::MAX) {
+                    return (low as i128 + (u128::sample_standard(rng) % span) as i128) as $t;
+                }
+                // Lemire-style widening multiply: maps a uniform u64 onto
+                // [0, span) with < 2^-64 bias.
+                let offset = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (low as i128 + offset) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        _inclusive: bool,
+    ) -> Self {
+        assert!(low < high || (_inclusive && low <= high), "empty float range");
+        let sample = low + (high - low) * unit_f64(rng.next_u64());
+        // Floating-point rounding can land exactly on `high`; fold it back
+        // for half-open ranges so callers' `< high` invariants hold.
+        if !_inclusive && sample >= high {
+            low
+        } else {
+            sample
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self {
+        f64::sample_uniform(rng, f64::from(low), f64::from(high), inclusive) as f32
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`] (`low..high` and `low..=high`).
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_uniform(rng, low, high, true)
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] exactly as in `rand` 0.8.
+pub trait Rng: RngCore {
+    /// Returns a uniformly random value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Returns a uniformly random value in `range`.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Builds a generator from OS-independent "entropy".
+    ///
+    /// The shim has no OS entropy source; this hashes the current time, which
+    /// is sufficient for the simulators (all reproducible paths use
+    /// [`Self::seed_from_u64`]).
+    fn from_entropy() -> Self {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e3779b97f4a7c15);
+        Self::seed_from_u64(nanos)
+    }
+}
+
+/// SplitMix64 step, used to expand a `u64` seed into xoshiro state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Core xoshiro256++ state shared by [`rngs::SmallRng`] and [`rngs::StdRng`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256 { s }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The concrete generators (`SmallRng`, `StdRng`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng, Xoshiro256};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++ here).
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct SmallRng(Xoshiro256);
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(Xoshiro256::from_u64(seed))
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// The "standard" generator.
+    ///
+    /// The real crate uses ChaCha12; this shim reuses xoshiro256++ on a
+    /// domain-separated seed. Nothing in the workspace needs cryptographic
+    /// randomness — the ECDSA victim is *deliberately* attackable.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub struct StdRng(Xoshiro256);
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Domain-separate from SmallRng so the two never emit identical
+            // streams for the same seed.
+            StdRng(Xoshiro256::from_u64(seed ^ 0x5354_4452_4e47_5f5f))
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+/// Sequence-related helpers (`SliceRandom`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// The element type of the slice.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::{SmallRng, StdRng};
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(8);
+            (0..8).map(|_| r.gen()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn std_and_small_streams_differ() {
+        let mut small = SmallRng::seed_from_u64(1);
+        let mut std = StdRng::seed_from_u64(1);
+        let s: Vec<u64> = (0..4).map(|_| small.gen()).collect();
+        let t: Vec<u64> = (0..4).map(|_| std.gen()).collect();
+        assert_ne!(s, t);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+        // Degenerate inclusive range is valid.
+        assert_eq!(rng.gen_range(3u32..=3), 3);
+    }
+
+    #[test]
+    fn gen_range_covers_span() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut seen = [false; 8];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit: {seen:?}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "p=0.25 gave {hits}/100000");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..64).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "64 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn array_and_float_standard_samples() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let bytes: [u8; 16] = rng.gen();
+        assert_ne!(bytes, [0u8; 16]);
+        for _ in 0..1_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_references() {
+        fn takes_impl(rng: &mut impl Rng) -> u64 {
+            rng.gen_range(0..100u64)
+        }
+        let mut rng = SmallRng::seed_from_u64(2);
+        let v = takes_impl(&mut rng);
+        assert!(v < 100);
+        // &mut SmallRng itself implements Rng, as in real rand.
+        let mut borrow = &mut rng;
+        let w = takes_impl(&mut borrow);
+        assert!(w < 100);
+    }
+}

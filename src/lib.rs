@@ -27,6 +27,11 @@
 
 #![warn(missing_docs)]
 
+// Compile-check and run the README's code blocks as doctests, so the
+// walkthrough can never drift from the actual API.
+#[doc = include_str!("../README.md")]
+mod readme_doctests {}
+
 pub use llc_cache_model as cache_model;
 pub use llc_core as attack;
 pub use llc_ecdsa_victim as ecdsa_victim;
