@@ -1,0 +1,46 @@
+//! Criterion bench behind the `llc-fleet` trial-execution substrate: the
+//! per-trial machine-acquisition cost that `Machine::snapshot()` /
+//! `reset_to()` replaces, and the fleet dispatch overhead itself.
+//!
+//! `build` is what every trial paid before this bench existed (full machine
+//! construction: geometry, paging, noise bookkeeping, replacement metadata);
+//! `reset` is what a trial pays now (rewinding a worker's machine to the
+//! warmed snapshot); `fleet_dispatch` is the whole executor round trip for a
+//! no-op trial.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_cache_model::CacheSpec;
+use llc_fleet::Fleet;
+use llc_machine::{Machine, NoiseModel};
+
+fn bench_snapshot_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_snapshot");
+    group.sample_size(10);
+    for slices in [2usize, 8] {
+        let spec = CacheSpec::skylake_sp(slices, 4);
+        group.bench_with_input(BenchmarkId::new("build", slices), &spec, |b, spec| {
+            b.iter(|| {
+                Machine::builder(spec.clone()).noise(NoiseModel::cloud_run()).seed(1).build()
+            });
+        });
+        let base =
+            Machine::builder(spec.clone()).noise(NoiseModel::cloud_run()).seed(1).build();
+        let snapshot = base.snapshot();
+        let mut machine = snapshot.to_machine();
+        group.bench_with_input(BenchmarkId::new("reset", slices), &spec, |b, _| {
+            b.iter(|| {
+                machine.reset_to(&snapshot);
+                machine.reseed(7);
+                machine.now()
+            });
+        });
+    }
+    group.bench_function("fleet_dispatch_1k_noop_trials", |b| {
+        let fleet = Fleet::new(2).with_chunk(16);
+        b.iter(|| fleet.run(1000, 3, |ctx| ctx.seed).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_reset);
+criterion_main!(benches);

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llc_bench::experiments::{measure_single_set, Environment};
+use llc_fleet::Fleet;
 use llc_core::Algorithm;
 use llc_cache_model::CacheSpec;
 
@@ -20,7 +21,7 @@ fn bench_pruning(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        measure_single_set(&spec, env, algo, false, 1, seed)
+                        measure_single_set(&spec, env, algo, false, 1, seed, &Fleet::single())
                     });
                 },
             );

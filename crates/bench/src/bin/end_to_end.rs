@@ -1,21 +1,26 @@
 //! Section 7.3: the complete end-to-end attack — eviction sets, target-set
 //! identification and nonce extraction — with the paper's summary metrics.
+//!
+//! Attack trials are independent and run through the `llc-fleet` executor
+//! (`--threads`/`LLC_THREADS`); `--smoke` runs one pinned trial.
 
 use llc_bench::experiments::{run_end_to_end, Environment};
-use llc_bench::{pct, scaled_skylake, trials};
+use llc_bench::{pct, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let trials = trials(2);
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let trials = opts.trials(1, 2);
     println!("Section 7.3 — end-to-end attack ({}, Cloud Run noise)", spec.name);
     println!(
         "{:<8} {:>10} {:>12} {:>12} {:>14} {:>12} {:>12}",
         "Trial", "Ev. sets", "Identified", "Correct", "Bits recov.", "Bit errors", "Total (s)"
     );
+    let reports =
+        opts.fleet().run(trials, 0xe2e, |ctx| run_end_to_end(&spec, Environment::CloudRun, ctx.seed));
     let mut recovered = Vec::new();
     let mut times = Vec::new();
-    for trial in 0..trials {
-        let report = run_end_to_end(&spec, Environment::CloudRun, 0xe2e + trial as u64);
+    for (trial, report) in reports.iter().enumerate() {
         println!(
             "{:<8} {:>10} {:>12} {:>12} {:>14} {:>12} {:>12.1}",
             trial,

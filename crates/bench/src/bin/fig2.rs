@@ -1,16 +1,23 @@
 //! Figure 2: CDF of the time between background (other-tenant) accesses to a
 //! randomly chosen LLC/SF set, on Cloud Run versus a quiescent local machine.
+//!
+//! The two environment curves are independent measurements sharded across
+//! the `llc-fleet` workers (`--threads`/`LLC_THREADS`); `--smoke` runs a
+//! pinned, smaller configuration.
 
 use llc_bench::experiments::{measure_noise_cdf, Environment};
-use llc_bench::{env_usize, scaled_skylake};
+use llc_bench::{env_usize, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let samples = env_usize("LLC_NOISE_SAMPLES", 400);
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let samples = if opts.smoke { 120 } else { env_usize("LLC_NOISE_SAMPLES", 400) };
     println!("Figure 2 — CDF of time between background accesses to one set ({})", spec.name);
 
-    let curves: Vec<_> =
-        Environment::all().iter().map(|&e| measure_noise_cdf(&spec, e, samples, 0xf16_2)).collect();
+    let envs = Environment::all();
+    let curves = opts
+        .fleet()
+        .run(envs.len(), 0xf16_2, |ctx| measure_noise_cdf(&spec, envs[ctx.trial], samples, ctx.seed));
 
     println!("{:<18} {:>22}", "Environment", "Mean accesses/ms/set");
     for c in &curves {

@@ -1,14 +1,19 @@
 //! Figure 3: execution time of parallel vs sequential `TestEviction` for a
 //! growing number of candidate addresses, under Cloud Run noise.
+//!
+//! Candidate-count points are sharded across the `llc-fleet` workers
+//! (`--threads`/`LLC_THREADS`); `--smoke` runs a pinned, smaller sweep.
 
 use llc_bench::experiments::{measure_test_eviction, Environment};
-use llc_bench::{env_usize, scaled_skylake};
+use llc_bench::{env_usize, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let repeats = env_usize("LLC_REPEATS", 20);
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let repeats = if opts.smoke { 5 } else { env_usize("LLC_REPEATS", 20) };
     let u = spec.sf.uncertainty();
-    let counts: Vec<usize> = [1usize, 3, 5, 7, 9, 11].iter().map(|k| k * u).collect();
+    let multiples: &[usize] = if opts.smoke { &[1, 5, 11] } else { &[1, 3, 5, 7, 9, 11] };
+    let counts: Vec<usize> = multiples.iter().map(|k| k * u).collect();
 
     println!("Figure 3 — TestEviction duration vs candidate count ({}, Cloud Run)", spec.name);
     println!("U_LLC = {u} candidate addresses per multiple");
@@ -16,7 +21,8 @@ fn main() {
         "{:<16} {:>16} {:>16} {:>10}",
         "Candidates", "Parallel (us)", "Sequential (us)", "Speed-up"
     );
-    let points = measure_test_eviction(&spec, Environment::CloudRun, &counts, repeats, 0xf16_3);
+    let points =
+        measure_test_eviction(&spec, Environment::CloudRun, &counts, repeats, 0xf16_3, &opts.fleet());
     for p in points {
         println!(
             "{:<16} {:>16.1} {:>16.1} {:>9.1}x",

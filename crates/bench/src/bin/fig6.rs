@@ -1,33 +1,45 @@
 //! Figure 6: covert-channel detection rate of each monitoring strategy as a
 //! function of the sender's access interval.
+//!
+//! The (interval x strategy) grid cells are independent measurements
+//! sharded across the `llc-fleet` workers (`--threads`/`LLC_THREADS`);
+//! `--smoke` runs a pinned, smaller grid.
 
 use llc_bench::experiments::{measure_monitoring, Environment};
-use llc_bench::{env_usize, scaled_skylake};
+use llc_bench::{env_usize, RunOpts};
 use llc_probe::Strategy;
 
 fn main() {
-    let spec = scaled_skylake();
-    let sender_accesses = env_usize("LLC_SENDER_ACCESSES", 500);
-    let intervals = [1_000u64, 2_000, 5_000, 7_000, 10_000, 50_000, 100_000];
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let sender_accesses = if opts.smoke { 120 } else { env_usize("LLC_SENDER_ACCESSES", 500) };
+    let intervals: &[u64] = if opts.smoke {
+        &[2_000, 10_000, 100_000]
+    } else {
+        &[1_000, 2_000, 5_000, 7_000, 10_000, 50_000, 100_000]
+    };
+    let strategies = Strategy::all();
+
+    // One fleet trial per (interval, strategy) cell, row-major.
+    let cells: Vec<(u64, Strategy)> = intervals
+        .iter()
+        .flat_map(|&i| strategies.iter().map(move |&s| (i, s)))
+        .collect();
+    let points = opts.fleet().run(cells.len(), 0xf16_6, |ctx| {
+        let (interval, strategy) = cells[ctx.trial];
+        measure_monitoring(&spec, Environment::CloudRun, strategy, interval, sender_accesses, ctx.seed)
+    });
 
     println!("Figure 6 — detection rate vs access interval ({}, Cloud Run noise)", spec.name);
     print!("{:<12}", "Interval");
-    for strategy in Strategy::all() {
+    for strategy in strategies {
         print!(" {:>12}", strategy.to_string());
     }
     println!();
-    for &interval in &intervals {
+    for (row, &interval) in intervals.iter().enumerate() {
         print!("{:<12}", interval);
-        for strategy in Strategy::all() {
-            let p = measure_monitoring(
-                &spec,
-                Environment::CloudRun,
-                strategy,
-                interval,
-                sender_accesses,
-                0xf16_6,
-            );
-            print!(" {:>11.1}%", 100.0 * p.detection_rate);
+        for col in 0..strategies.len() {
+            print!(" {:>11.1}%", 100.0 * points[row * strategies.len() + col].detection_rate);
         }
         println!();
     }

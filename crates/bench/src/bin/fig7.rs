@@ -1,13 +1,24 @@
 //! Figure 7: access traces and power spectral density of the victim's target
 //! SF set versus a non-target SF set, collected while the victim signs.
+//!
+//! Accepts the shared `--threads`/`--smoke` flags; the measurement itself is
+//! a single fleet trial.
 
 use llc_bench::experiments::{measure_psd_example, Environment};
-use llc_bench::scaled_skylake;
+use llc_bench::RunOpts;
 
 fn main() {
-    let spec = scaled_skylake();
-    let trace_cycles = 2_000_000; // 1 ms at 2 GHz, 10x the paper's 100 us snippet
-    let cmp = measure_psd_example(&spec, Environment::CloudRun, trace_cycles, 0xf16_7);
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    // 1 ms at 2 GHz, 10x the paper's 100 us snippet (halved in smoke mode).
+    let trace_cycles = if opts.smoke { 1_000_000 } else { 2_000_000 };
+    // A single measurement, but still dispatched through the fleet so the
+    // seed derivation matches every other experiment.
+    let cmp = opts
+        .fleet()
+        .run(1, 0xf16_7, |ctx| measure_psd_example(&spec, Environment::CloudRun, trace_cycles, ctx.seed))
+        .pop()
+        .expect("one trial");
 
     println!("Figure 7 — target vs non-target SF set ({}, Cloud Run noise)", spec.name);
     println!(

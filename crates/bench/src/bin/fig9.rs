@@ -1,13 +1,24 @@
 //! Figure 9: a snippet of the detected accesses to the target SF set together
 //! with the ground-truth nonce bits, plus the quantified decoding accuracy.
+//!
+//! Accepts the shared `--threads`/`--smoke` flags; the measurement itself is
+//! a single fleet trial.
 
 use llc_bench::experiments::{measure_extraction_example, Environment};
-use llc_bench::{env_usize, scaled_skylake};
+use llc_bench::{env_usize, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let nonce_bits = env_usize("LLC_NONCE_BITS", 96);
-    let example = measure_extraction_example(&spec, Environment::CloudRun, nonce_bits, 0xf16_9);
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let nonce_bits = if opts.smoke { 48 } else { env_usize("LLC_NONCE_BITS", 96) };
+    // A single measurement dispatched through the fleet for uniform seeding.
+    let example = opts
+        .fleet()
+        .run(1, 0xf16_9, |ctx| {
+            measure_extraction_example(&spec, Environment::CloudRun, nonce_bits, ctx.seed)
+        })
+        .pop()
+        .expect("one trial");
 
     println!("Figure 9 — detected accesses vs ground-truth nonce bits ({})", spec.name);
     println!(

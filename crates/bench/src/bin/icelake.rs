@@ -1,26 +1,32 @@
 //! Section 5.3.2: sensitivity to cache associativity — single eviction-set
 //! construction time for the SF and the L2 on Skylake-SP (12-way SF, 16-way
 //! L2) versus Ice Lake-SP (16-way SF, 20-way L2), quiescent local machines.
+//!
+//! Construction trials run through the `llc-fleet` executor
+//! (`--threads`/`LLC_THREADS`); `--smoke` pins slices and trial counts.
 
 use llc_bench::experiments::{measure_single_set, Environment};
-use llc_bench::{pct, trials};
+use llc_bench::{pct, RunOpts};
 use llc_cache_model::CacheSpec;
 use llc_core::Algorithm;
 
 fn main() {
-    let trials = trials(4);
+    let opts = RunOpts::parse();
+    let trials = opts.trials(2, 4);
+    let slices =
+        if opts.smoke { 4 } else { llc_bench::env_usize("LLC_SLICES", 8) };
     let machines = [
-        ("Skylake-SP", CacheSpec::skylake_sp(llc_bench::env_usize("LLC_SLICES", 8), 4)),
+        ("Skylake-SP", CacheSpec::skylake_sp(slices, 4)),
         ("Ice Lake-SP", {
             let mut icx = CacheSpec::ice_lake_sp();
             // Match the scaled slice count so only associativity differs.
-            let slices = llc_bench::env_usize("LLC_SLICES", 8);
             icx.llc = llc_cache_model::SlicedGeometry::new(icx.llc.slice_geometry(), slices);
             icx.sf = llc_cache_model::SlicedGeometry::new(icx.sf.slice_geometry(), slices);
             icx
         }),
     ];
     let algorithms = [Algorithm::Gt, Algorithm::GtOp, Algorithm::BinS];
+    let fleet = opts.fleet();
 
     println!("Section 5.3.2 — associativity sensitivity (quiescent local, {trials} trials)");
     println!(
@@ -31,7 +37,8 @@ fn main() {
     let mut gtop_time = [0.0f64; 2];
     for (idx, (name, spec)) in machines.iter().enumerate() {
         for algo in algorithms {
-            let s = measure_single_set(spec, Environment::QuiescentLocal, algo, true, trials, 0x1ce);
+            let s =
+                measure_single_set(spec, Environment::QuiescentLocal, algo, true, trials, 0x1ce, &fleet);
             println!(
                 "{:<14} {:>8} {:>8} {:<8} {:>10} {:>12.2}",
                 name,

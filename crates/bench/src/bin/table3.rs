@@ -1,36 +1,14 @@
 //! Table 3: effectiveness of the state-of-the-art address-pruning algorithms
 //! (`Gt`, `GtOp`, `Ps`, `PsOp`) without candidate filtering, in the quiescent
 //! local environment and on Cloud Run.
+//!
+//! Trials run through the `llc-fleet` executor: `--threads N` (or
+//! `LLC_THREADS`) shards them across workers with byte-identical output,
+//! and `--smoke` selects the pinned configuration the golden tests diff.
 
-use llc_bench::experiments::{measure_single_set, Environment};
-use llc_bench::{pct, scaled_skylake, trials};
-use llc_core::Algorithm;
+use llc_bench::{reports, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let trials = trials(4);
-    println!("Table 3 — existing pruning algorithms, no candidate filtering");
-    println!("machine: {} | trials per cell: {trials}", spec.name);
-    println!(
-        "{:<18} {:<8} {:>10} {:>12} {:>12} {:>12}",
-        "Environment", "Algo", "Succ.", "Avg (ms)", "Std (ms)", "Med (ms)"
-    );
-    for env in Environment::all() {
-        for algo in [Algorithm::Gt, Algorithm::GtOp, Algorithm::Ps, Algorithm::PsOp] {
-            let s = measure_single_set(&spec, env, algo, false, trials, 0x7ab1e3);
-            println!(
-                "{:<18} {:<8} {:>10} {:>12.1} {:>12.1} {:>12.1}",
-                s.environment,
-                s.algorithm,
-                pct(s.success_rate),
-                s.time_ms.mean,
-                s.time_ms.std_dev,
-                s.time_ms.median
-            );
-        }
-    }
-    println!();
-    println!("Paper (28-slice Xeon 8173M): local success 97-99%, 21-56 ms;");
-    println!("Cloud Run success 3-56%, 512-714 ms — the ordering (GtOp > Gt >> PsOp > Ps");
-    println!("under noise) is the reproduced claim.");
+    let opts = RunOpts::parse();
+    print!("{}", reports::table3_report(&opts));
 }

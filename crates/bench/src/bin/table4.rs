@@ -1,60 +1,14 @@
 //! Table 4: eviction-set construction with L2-driven candidate filtering,
 //! comparing `Gt`, `GtOp`, `PsBst` (best Prime+Scope variant) and `BinS` in
 //! the SingleSet, PageOffset and WholeSys scenarios.
+//!
+//! Trials run through the `llc-fleet` executor: `--threads N` (or
+//! `LLC_THREADS`) shards them across workers with byte-identical output,
+//! and `--smoke` selects the pinned configuration the golden tests diff.
 
-use llc_bench::experiments::{measure_bulk, measure_single_set, Environment};
-use llc_bench::{pct, scaled_skylake, trials};
-use llc_core::Algorithm;
-use llc_evsets::Scope;
+use llc_bench::{reports, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let trials = trials(3);
-    let sample_sets = llc_bench::env_usize("LLC_SAMPLE_SETS", 8);
-    let algorithms = [Algorithm::Gt, Algorithm::GtOp, Algorithm::PsOp, Algorithm::BinS];
-
-    println!("Table 4 — construction with candidate filtering ({})", spec.name);
-    println!("== SingleSet ({} trials per cell) ==", trials);
-    println!("{:<18} {:<8} {:>10} {:>12} {:>14}", "Environment", "Algo", "Succ.", "Avg (ms)", "Filter share");
-    for env in Environment::all() {
-        for algo in algorithms {
-            let s = measure_single_set(&spec, env, algo, true, trials, 0x7ab1e4);
-            println!(
-                "{:<18} {:<8} {:>10} {:>12.1} {:>13.0}%",
-                s.environment,
-                s.algorithm,
-                pct(s.success_rate),
-                s.time_ms.mean,
-                100.0 * s.filter_share
-            );
-        }
-    }
-
-    for (scope, label) in [(Scope::PageOffset, "PageOffset"), (Scope::WholeSys, "WholeSys")] {
-        println!();
-        println!("== {label} (sampled {sample_sets} sets, extrapolated with n_sets * t_avg / SR) ==");
-        println!(
-            "{:<18} {:<8} {:>8} {:>10} {:>14} {:>16}",
-            "Environment", "Algo", "Sets", "Succ.", "Sample (s)", "Est. total (s)"
-        );
-        for env in Environment::all() {
-            for algo in algorithms {
-                let e = measure_bulk(&spec, env, algo, scope, sample_sets, 0x7ab1e5);
-                println!(
-                    "{:<18} {:<8} {:>8} {:>10} {:>14.2} {:>16.1}",
-                    e.environment,
-                    e.algorithm,
-                    e.required_sets,
-                    pct(e.success_rate),
-                    e.sampled_seconds,
-                    e.estimated_total_seconds
-                );
-            }
-        }
-    }
-    println!();
-    println!("Paper: filtering cuts Cloud Run single-set time from ~512 ms to ~27 ms and");
-    println!("BinS covers all 57,344 SF sets in ~2.4 minutes (vs 14.6 h estimated for GtOp");
-    println!("without filtering); the reproduced claim is BinS < GtOp < Gt and the large");
-    println!("filtering speed-up, not the absolute seconds.");
+    let opts = RunOpts::parse();
+    print!("{}", reports::table4_report(&opts));
 }

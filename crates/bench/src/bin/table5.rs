@@ -1,22 +1,39 @@
 //! Table 5: prime and probe latencies of PS-Flush, PS-Alt and Parallel
 //! Probing on the (simulated) Cloud Run host.
+//!
+//! The three strategy cells are independent measurements and are sharded
+//! across the `llc-fleet` workers (`--threads`/`LLC_THREADS`); `--smoke`
+//! runs a pinned, smaller configuration.
 
 use llc_bench::experiments::{measure_monitoring, Environment};
-use llc_bench::scaled_skylake;
+use llc_bench::RunOpts;
 use llc_probe::Strategy;
 
 fn main() {
-    let spec = scaled_skylake();
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let sender_accesses = if opts.smoke { 100 } else { 400 };
+    let strategies = Strategy::all();
+
     println!("Table 5 — prime and probe latencies ({}, Cloud Run noise)", spec.name);
     println!(
         "{:<12} {:>18} {:>18} {:>16}",
         "Strategy", "Prime (cycles)", "Probe (cycles)", "Detection @10k"
     );
-    for strategy in Strategy::all() {
-        let point = measure_monitoring(&spec, Environment::CloudRun, strategy, 10_000, 400, 0x7ab1e5);
+    let points = opts.fleet().run(strategies.len(), 0x7ab1e5, |ctx| {
+        measure_monitoring(
+            &spec,
+            Environment::CloudRun,
+            strategies[ctx.trial],
+            10_000,
+            sender_accesses,
+            ctx.seed,
+        )
+    });
+    for point in points {
         println!(
             "{:<12} {:>10.0} ± {:<6.0} {:>10.0} ± {:<6.0} {:>15.1}%",
-            strategy.to_string(),
+            point.strategy.to_string(),
             point.stats.mean_prime_cycles,
             point.stats.std_prime_cycles,
             point.stats.mean_probe_cycles,

@@ -1,20 +1,34 @@
 //! Table 6: performance of PSD-based target-set identification in the
 //! PageOffset and (approximated) WholeSys scenarios.
+//!
+//! Identification trials run through the `llc-fleet` executor
+//! (`--threads`/`LLC_THREADS`, byte-identical output for any thread count);
+//! `--smoke` runs a pinned, smaller configuration.
 
 use llc_bench::experiments::{measure_identification, Environment};
-use llc_bench::{env_usize, pct, scaled_skylake, trials};
+use llc_bench::{env_usize, pct, RunOpts};
 
 fn main() {
-    let spec = scaled_skylake();
-    let trials = trials(3);
+    let opts = RunOpts::parse();
+    let spec = opts.spec();
+    let trials = opts.trials(2, 3);
     // PageOffset: scan the sets reachable at the target's page offset.
     // WholeSys is approximated by scanning several times as many sets in
     // random order (the full 64x sweep is available via LLC_WHOLESYS_SETS).
-    let page_offset_sets = spec.sf.uncertainty().min(env_usize("LLC_PAGEOFFSET_SETS", 24));
-    let wholesys_sets = env_usize("LLC_WHOLESYS_SETS", page_offset_sets * 4);
+    let page_offset_sets = if opts.smoke {
+        spec.sf.uncertainty().min(8)
+    } else {
+        spec.sf.uncertainty().min(env_usize("LLC_PAGEOFFSET_SETS", 24))
+    };
+    let wholesys_sets = if opts.smoke {
+        page_offset_sets * 2
+    } else {
+        env_usize("LLC_WHOLESYS_SETS", page_offset_sets * 4)
+    };
     let freq = spec.freq_ghz;
-    let timeout_po = (10.0 * freq * 1e9) as u64;
-    let timeout_ws = (40.0 * freq * 1e9) as u64;
+    let timeout_po = ((if opts.smoke { 5.0 } else { 10.0 }) * freq * 1e9) as u64;
+    let timeout_ws = ((if opts.smoke { 10.0 } else { 40.0 }) * freq * 1e9) as u64;
+    let fleet = opts.fleet();
 
     println!("Table 6 — PSD-based target-set identification ({})", spec.name);
     println!(
@@ -24,8 +38,15 @@ fn main() {
     for (label, sets, timeout) in
         [("PageOffset", page_offset_sets, timeout_po), ("WholeSys", wholesys_sets, timeout_ws)]
     {
-        let stats =
-            measure_identification(&spec, Environment::CloudRun, sets, trials, timeout, 0x7ab1e6);
+        let stats = measure_identification(
+            &spec,
+            Environment::CloudRun,
+            sets,
+            trials,
+            timeout,
+            0x7ab1e6,
+            &fleet,
+        );
         println!(
             "{:<12} {:>8} {:>10} {:>14.2} {:>14.2} {:>14.0}",
             label,

@@ -15,6 +15,7 @@ use llc_evsets::{
     oracle, test_eviction, CandidateSet, EvictionSet, EvsetBuilder,
     EvsetConfig, TargetCache, TraversalOrder,
 };
+use llc_fleet::{stream_seed, Aggregate, Counts, Fleet, Samples};
 use llc_machine::{Machine, NoiseModel};
 use llc_probe::{
     run_covert_channel, AccessTrace, CovertChannelConfig, Monitor, MonitorStats, Strategy,
@@ -23,6 +24,22 @@ use llc_sigproc::{welch_psd, BinnedTrace, PowerSpectrum, WelchConfig};
 use llc_cache_model::{CacheSpec, VirtAddr};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// RNG stream tags for the experiment harnesses (see
+/// [`llc_fleet::stream_seed`]): one tag per independent purpose, derived
+/// either from the experiment's master seed (machine construction, shared
+/// pools) or from a per-trial seed (noise/jitter, candidate allocation,
+/// victim key material).
+pub mod trial_streams {
+    /// Warm base-machine construction (paging, initial noise bookkeeping).
+    pub const MACHINE: u64 = u64::from_le_bytes(*b"xmachine");
+    /// Per-trial machine noise/jitter stream (applied via `Machine::reseed`).
+    pub const NOISE: u64 = u64::from_le_bytes(*b"noise\0\0\0");
+    /// Per-trial candidate-allocation RNG.
+    pub const ALLOC: u64 = u64::from_le_bytes(*b"alloc\0\0\0");
+    /// Per-trial victim configuration (ECDSA key/nonce material).
+    pub const VICTIM: u64 = u64::from_le_bytes(*b"victim\0\0");
+}
 
 /// Which environment an experiment models (the paper's two setups).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,7 +78,7 @@ impl Environment {
 // ---------------------------------------------------------------------------
 
 /// Result of repeatedly constructing single eviction sets with one algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PruningStats {
     /// Algorithm name (paper nomenclature).
     pub algorithm: &'static str,
@@ -79,10 +96,69 @@ pub struct PruningStats {
     pub mean_backtracks: f64,
 }
 
+/// One trial's outcome of the `SingleSet` measurement.
+#[derive(Debug, Clone, Copy)]
+struct SingleSetTrial {
+    time_ms: f64,
+    /// Oracle-validated success.
+    success: bool,
+    /// `Some` when a set was built (whether or not it validated).
+    built: Option<BuiltSetStats>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct BuiltSetStats {
+    filter_share: f64,
+    backtracks: u64,
+}
+
+/// Order-independent reduction of [`SingleSetTrial`]s (tentpole aggregate:
+/// bit-identical for any thread count / sharding).
+#[derive(Debug, Clone, Default)]
+struct SingleSetAgg {
+    times: Samples,
+    successes: Counts,
+    filter_share: Samples,
+    backtracks: Samples,
+}
+
+impl Aggregate for SingleSetAgg {
+    type Item = SingleSetTrial;
+
+    fn empty() -> Self {
+        Self::default()
+    }
+
+    fn record(&mut self, trial: u64, item: SingleSetTrial) {
+        self.times.record(trial, item.time_ms);
+        self.successes.record(trial, item.success);
+        // Filter-share and backtrack statistics are defined per *successful*
+        // (oracle-validated) construction, matching the paper's accounting
+        // and the `PruningStats` field docs.
+        if let (true, Some(built)) = (item.success, item.built) {
+            self.filter_share.record(trial, built.filter_share);
+            self.backtracks.record(trial, built.backtracks as f64);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.times.merge(other.times);
+        self.successes.merge(other.successes);
+        self.filter_share.merge(other.filter_share);
+        self.backtracks.merge(other.backtracks);
+    }
+}
+
 /// Runs the Table 3 / Table 4 `SingleSet` measurement for one algorithm.
 ///
 /// `filtering` selects between Table 3 (false: raw candidate sets, 1 s
 /// budget) and Table 4 (true: L2-driven candidate filtering, 100 ms budget).
+///
+/// Trials are sharded across `fleet`'s workers: one warmed machine is built
+/// and snapshotted up front, every worker materialises a private copy, and
+/// each trial rewinds it (`reset_to`) and reseeds the noise/jitter and
+/// candidate-allocation streams from its derived per-trial seed. The
+/// returned statistics are bit-identical for every thread count.
 pub fn measure_single_set(
     spec: &CacheSpec,
     environment: Environment,
@@ -90,49 +166,63 @@ pub fn measure_single_set(
     filtering: bool,
     trials: usize,
     seed: u64,
+    fleet: &Fleet,
 ) -> PruningStats {
-    let algo = algorithm.instance();
     let config = if filtering { EvsetConfig::filtered() } else { EvsetConfig::unfiltered() };
-    let mut times = Vec::with_capacity(trials);
-    let mut successes = 0usize;
-    let mut filter_share = 0.0;
-    let mut backtracks = 0u64;
+    let base = Machine::builder(spec.clone())
+        .noise(environment.noise())
+        .seed(stream_seed(seed, trial_streams::MACHINE))
+        .build();
+    let snapshot = base.snapshot();
 
-    for trial in 0..trials {
-        let mut machine = Machine::builder(spec.clone())
-            .noise(environment.noise())
-            .seed(seed ^ (trial as u64) << 8)
-            .build();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xbead ^ trial as u64);
-        let builder = EvsetBuilder::new(algo.as_ref())
-            .config(config.clone())
-            .target(TargetCache::Sf)
-            .filtering(filtering);
-        let result = builder.build_random_set(&mut machine, &mut rng);
-        times.push(crate::cycles_to_ms(result.total_cycles as f64, spec.freq_ghz));
-        if let Some(set) = &result.eviction_set {
-            // Validate against ground truth: every member must map to the
-            // same SF set (the paper validates with its instrumented victim).
-            let ta = set.addresses()[0];
-            if oracle::is_true_eviction_set(&machine, ta, set.addresses(), spec.sf.ways()) {
-                successes += 1;
+    let agg: SingleSetAgg = fleet.run_fold_with(
+        trials,
+        seed,
+        |_worker| snapshot.to_machine(),
+        |machine, ctx| {
+            machine.reset_to(&snapshot);
+            machine.reseed(ctx.stream(trial_streams::NOISE));
+            let mut rng = ctx.stream_rng(trial_streams::ALLOC);
+            let algo = algorithm.instance();
+            let builder = EvsetBuilder::new(algo.as_ref())
+                .config(config.clone())
+                .target(TargetCache::Sf)
+                .filtering(filtering);
+            let result = builder.build_random_set(machine, &mut rng);
+            let time_ms = crate::cycles_to_ms(result.total_cycles as f64, spec.freq_ghz);
+            match &result.eviction_set {
+                Some(set) => {
+                    // Validate against ground truth: every member must map to
+                    // the same SF set (the paper validates with its
+                    // instrumented victim).
+                    let ta = set.addresses()[0];
+                    let success =
+                        oracle::is_true_eviction_set(machine, ta, set.addresses(), spec.sf.ways());
+                    let filter_share = if result.total_cycles > 0 {
+                        result.filter_cycles as f64 / result.total_cycles as f64
+                    } else {
+                        0.0
+                    };
+                    SingleSetTrial {
+                        time_ms,
+                        success,
+                        built: Some(BuiltSetStats { filter_share, backtracks: result.backtracks as u64 }),
+                    }
+                }
+                None => SingleSetTrial { time_ms, success: false, built: None },
             }
-            filter_share += if result.total_cycles > 0 {
-                result.filter_cycles as f64 / result.total_cycles as f64
-            } else {
-                0.0
-            };
-            backtracks += result.backtracks as u64;
-        }
-    }
+        },
+    );
 
+    let filter = agg.filter_share.summary();
+    let backtracks = agg.backtracks.summary();
     PruningStats {
         algorithm: algorithm.name(),
         environment: environment.label(),
-        success_rate: successes as f64 / trials.max(1) as f64,
-        time_ms: SampleStats::from(&times),
-        filter_share: if successes > 0 { filter_share / successes as f64 } else { 0.0 },
-        mean_backtracks: if successes > 0 { backtracks as f64 / successes as f64 } else { 0.0 },
+        success_rate: agg.successes.rate(),
+        time_ms: SampleStats::from_summary(agg.times.summary()),
+        filter_share: filter.mean,
+        mean_backtracks: backtracks.mean,
     }
 }
 
@@ -335,38 +425,48 @@ pub struct TestEvictionPoint {
 }
 
 /// Measures parallel vs sequential `TestEviction` durations (Figure 3).
+///
+/// The candidate pool is allocated once into a warmed machine; each
+/// candidate-count point then runs as one fleet trial against a rewound copy
+/// of that machine, so points are mutually independent (the serial version
+/// leaked cache state from smaller points into larger ones) and the sweep
+/// parallelises across workers.
 pub fn measure_test_eviction(
     spec: &CacheSpec,
     environment: Environment,
     candidate_counts: &[usize],
     repeats: usize,
     seed: u64,
+    fleet: &Fleet,
 ) -> Vec<TestEvictionPoint> {
-    let mut machine =
-        Machine::builder(spec.clone()).noise(environment.noise()).seed(seed).build();
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xf16_3);
+    let mut base = Machine::builder(spec.clone())
+        .noise(environment.noise())
+        .seed(stream_seed(seed, trial_streams::MACHINE))
+        .build();
+    let mut rng = StdRng::seed_from_u64(stream_seed(seed, trial_streams::ALLOC));
     let max = *candidate_counts.iter().max().unwrap_or(&0);
-    let pool = CandidateSet::allocate(&mut machine, 0x240, max + 1, &mut rng);
+    let pool = CandidateSet::allocate(&mut base, 0x240, max + 1, &mut rng);
     let ta = pool.addresses()[0];
     let freq = spec.freq_ghz;
+    let snapshot = base.snapshot();
 
-    candidate_counts
-        .iter()
-        .map(|&n| {
+    fleet.run_with(
+        candidate_counts.len(),
+        seed,
+        |_worker| snapshot.to_machine(),
+        |machine, ctx| {
+            machine.reset_to(&snapshot);
+            machine.reseed(ctx.stream(trial_streams::NOISE));
+            let n = candidate_counts[ctx.trial];
             let cands = &pool.addresses()[1..=n];
             let mut par = Vec::with_capacity(repeats);
             let mut seq = Vec::with_capacity(repeats);
             for _ in 0..repeats {
                 let (_, t) =
-                    test_eviction(&mut machine, ta, cands, TargetCache::Llc, TraversalOrder::Parallel);
+                    test_eviction(machine, ta, cands, TargetCache::Llc, TraversalOrder::Parallel);
                 par.push(t as f64 / (freq * 1e3));
-                let (_, t) = test_eviction(
-                    &mut machine,
-                    ta,
-                    cands,
-                    TargetCache::Llc,
-                    TraversalOrder::Sequential,
-                );
+                let (_, t) =
+                    test_eviction(machine, ta, cands, TargetCache::Llc, TraversalOrder::Sequential);
                 seq.push(t as f64 / (freq * 1e3));
             }
             TestEvictionPoint {
@@ -374,8 +474,8 @@ pub fn measure_test_eviction(
                 parallel_us: SampleStats::from(&par),
                 sequential_us: SampleStats::from(&seq),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -395,9 +495,56 @@ pub struct IdentificationStats {
     pub scan_rate_per_s: f64,
 }
 
+/// One trial's outcome of the identification experiment.
+#[derive(Debug, Clone, Copy)]
+struct IdentTrial {
+    /// Oracle-validated correct identification.
+    success: bool,
+    /// Time-to-identify in seconds (successes only).
+    time_s: Option<f64>,
+    /// Scan rate (trials that actually scanned).
+    scan_rate: Option<f64>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct IdentAgg {
+    successes: Counts,
+    times: Samples,
+    scan_rates: Samples,
+}
+
+impl Aggregate for IdentAgg {
+    type Item = IdentTrial;
+
+    fn empty() -> Self {
+        Self::default()
+    }
+
+    fn record(&mut self, trial: u64, item: IdentTrial) {
+        self.successes.record(trial, item.success);
+        if let Some(t) = item.time_s {
+            self.times.record(trial, t);
+        }
+        if let Some(r) = item.scan_rate {
+            self.scan_rates.record(trial, r);
+        }
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.successes.merge(other.successes);
+        self.times.merge(other.times);
+        self.scan_rates.merge(other.scan_rates);
+    }
+}
+
 /// Runs the Table 6 identification experiment: the victim signs continuously
 /// while the attacker scans oracle-built eviction sets (Step 1 is out of
 /// scope here) until the PSD+SVM classifier flags the target.
+///
+/// The classifier is trained once (it only depends on the environment and
+/// victim period, not on the trial), then the trials are sharded across
+/// `fleet`'s workers; each trial rewinds a snapshotted machine and installs
+/// a fresh victim with per-trial key material.
 pub fn measure_identification(
     spec: &CacheSpec,
     environment: Environment,
@@ -405,87 +552,104 @@ pub fn measure_identification(
     trials: usize,
     timeout_cycles: u64,
     seed: u64,
+    fleet: &Fleet,
 ) -> IdentificationStats {
-    let mut successes = 0usize;
-    let mut times = Vec::new();
-    let mut scan_rates = Vec::new();
+    let base = Machine::builder(spec.clone())
+        .noise(environment.noise())
+        .seed(stream_seed(seed, trial_streams::MACHINE))
+        .build();
+    let snapshot = base.snapshot();
 
-    for trial in 0..trials {
-        let trial_seed = seed ^ ((trial as u64) << 20);
-        let mut machine =
-            Machine::builder(spec.clone()).noise(environment.noise()).seed(trial_seed).build();
-        let mut rng = StdRng::seed_from_u64(trial_seed ^ 0x1de);
+    // Victim parameters are shared; only the per-trial seed differs.
+    let victim_template = EcdsaVictimConfig { nonce_bits: 192, ..EcdsaVictimConfig::default() };
+    let expected_period = victim_template.expected_access_period();
+    let features = FeatureConfig {
+        expected_period_cycles: expected_period,
+        ..FeatureConfig::default()
+    };
+    let classifier = TraceClassifier::train(&ClassifierTrainingConfig {
+        features,
+        noise_per_ms: environment.noise().accesses_per_ms(spec.freq_ghz),
+        ..Default::default()
+    });
+    let scan_cfg = ScanConfig { timeout_cycles, ..ScanConfig::default() };
 
-        // Victim: full-size ECDSA service signing continuously.
-        let victim_cfg = EcdsaVictimConfig { nonce_bits: 192, ..EcdsaVictimConfig::default() };
-        let expected_period = victim_cfg.expected_access_period();
-        let (victim, handle) = EcdsaVictim::new(victim_cfg);
-        machine.install_victim(Box::new(victim), true, 100_000);
-        let layout = handle.lock().expect("log").layout.clone().expect("layout");
-        let target_loc = machine.oracle_victim_location(layout.branch_line);
+    let agg: IdentAgg = fleet.run_fold_with(
+        trials,
+        seed,
+        |_worker| snapshot.to_machine(),
+        |machine, ctx| {
+            machine.reset_to(&snapshot);
+            machine.reseed(ctx.stream(trial_streams::NOISE));
+            let mut rng = ctx.stream_rng(trial_streams::ALLOC);
 
-        // Oracle-built eviction sets for `candidate_sets` SF sets at the
-        // target page offset, always including the true target set.
-        let pool = CandidateSet::allocate(
-            &mut machine,
-            layout.target_page_offset(),
-            spec.sf.uncertainty() * spec.sf.ways() * 3,
-            &mut rng,
-        );
-        let groups = oracle::group_by_location(&machine, pool.addresses());
-        let ways = spec.sf.ways();
-        let mut sets: Vec<(VirtAddr, EvictionSet)> = Vec::new();
-        if let Some((_, members)) = groups.iter().find(|(loc, m)| **loc == target_loc && m.len() > ways)
-        {
-            sets.push((members[0], EvictionSet::new(members[1..=ways].to_vec(), TargetCache::Sf)));
-        }
-        for (loc, members) in groups.iter() {
-            if sets.len() >= candidate_sets {
-                break;
+            // Victim: full-size ECDSA service signing continuously.
+            let victim_cfg = EcdsaVictimConfig {
+                seed: ctx.stream(trial_streams::VICTIM),
+                ..victim_template.clone()
+            };
+            let (victim, handle) = EcdsaVictim::new(victim_cfg);
+            machine.install_victim(Box::new(victim), true, 100_000);
+            let layout = handle.lock().expect("log").layout.clone().expect("layout");
+            let target_loc = machine.oracle_victim_location(layout.branch_line);
+
+            // Oracle-built eviction sets for `candidate_sets` SF sets at the
+            // target page offset, always including the true target set.
+            let pool = CandidateSet::allocate(
+                machine,
+                layout.target_page_offset(),
+                spec.sf.uncertainty() * spec.sf.ways() * 3,
+                &mut rng,
+            );
+            let groups = oracle::group_by_location(machine, pool.addresses());
+            let ways = spec.sf.ways();
+            let mut sets: Vec<(VirtAddr, EvictionSet)> = Vec::new();
+            if let Some((_, members)) =
+                groups.iter().find(|(loc, m)| **loc == target_loc && m.len() > ways)
+            {
+                sets.push((
+                    members[0],
+                    EvictionSet::new(members[1..=ways].to_vec(), TargetCache::Sf),
+                ));
             }
-            if *loc == target_loc || members.len() <= ways {
-                continue;
+            for (loc, members) in groups.iter() {
+                if sets.len() >= candidate_sets {
+                    break;
+                }
+                if *loc == target_loc || members.len() <= ways {
+                    continue;
+                }
+                sets.push((
+                    members[0],
+                    EvictionSet::new(members[1..=ways].to_vec(), TargetCache::Sf),
+                ));
             }
-            sets.push((members[0], EvictionSet::new(members[1..=ways].to_vec(), TargetCache::Sf)));
-        }
-        if sets.is_empty() {
-            continue;
-        }
-        // Scan in random order, as the paper does for WholeSys.
-        use rand::seq::SliceRandom;
-        sets.shuffle(&mut rng);
+            if sets.is_empty() {
+                return IdentTrial { success: false, time_s: None, scan_rate: None };
+            }
+            // Scan in random order, as the paper does for WholeSys.
+            use rand::seq::SliceRandom;
+            sets.shuffle(&mut rng);
 
-        let features = FeatureConfig {
-            expected_period_cycles: expected_period,
-            ..FeatureConfig::default()
-        };
-        let classifier = TraceClassifier::train(&ClassifierTrainingConfig {
-            features,
-            noise_per_ms: environment.noise().accesses_per_ms(spec.freq_ghz),
-            ..Default::default()
-        });
-        let scan_cfg = ScanConfig { timeout_cycles, ..ScanConfig::default() };
-        let outcome = llc_core::scan_for_target(&mut machine, &sets, &classifier, &scan_cfg);
-        scan_rates.push(outcome.scan_rate_per_s);
-        let correct = outcome
-            .identified_ta
-            .map(|ta| machine.oracle_attacker_location(ta) == target_loc)
-            .unwrap_or(false);
-        if correct {
-            successes += 1;
-            times.push(outcome.elapsed_cycles as f64 / (spec.freq_ghz * 1e9));
-        }
-    }
+            let outcome = llc_core::scan_for_target(machine, &sets, &classifier, &scan_cfg);
+            let correct = outcome
+                .identified_ta
+                .map(|ta| machine.oracle_attacker_location(ta) == target_loc)
+                .unwrap_or(false);
+            IdentTrial {
+                success: correct,
+                time_s: correct
+                    .then(|| outcome.elapsed_cycles as f64 / (spec.freq_ghz * 1e9)),
+                scan_rate: Some(outcome.scan_rate_per_s),
+            }
+        },
+    );
 
     IdentificationStats {
         scenario: if candidate_sets <= spec.sf.uncertainty() { "PageOffset" } else { "WholeSys" },
-        success_rate: successes as f64 / trials.max(1) as f64,
-        success_time_s: SampleStats::from(&times),
-        scan_rate_per_s: if scan_rates.is_empty() {
-            0.0
-        } else {
-            scan_rates.iter().sum::<f64>() / scan_rates.len() as f64
-        },
+        success_rate: agg.successes.rate(),
+        success_time_s: SampleStats::from_summary(agg.times.summary()),
+        scan_rate_per_s: if agg.scan_rates.is_empty() { 0.0 } else { agg.scan_rates.summary().mean },
     }
 }
 
@@ -730,9 +894,35 @@ mod tests {
 
     #[test]
     fn single_set_measurement_succeeds_locally() {
-        let stats = measure_single_set(&tiny(), Environment::QuiescentLocal, Algorithm::BinS, true, 3, 1);
+        let stats = measure_single_set(
+            &tiny(),
+            Environment::QuiescentLocal,
+            Algorithm::BinS,
+            true,
+            3,
+            1,
+            &Fleet::single(),
+        );
         assert!(stats.success_rate > 0.5, "success rate {}", stats.success_rate);
         assert!(stats.time_ms.mean > 0.0);
+    }
+
+    #[test]
+    fn single_set_measurement_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            measure_single_set(
+                &tiny(),
+                Environment::CloudRun,
+                Algorithm::BinS,
+                true,
+                6,
+                0x7e57,
+                &Fleet::new(threads).with_chunk(1),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(4));
     }
 
     #[test]
@@ -764,8 +954,14 @@ mod tests {
 
     #[test]
     fn test_eviction_points_show_parallel_speedup() {
-        let points =
-            measure_test_eviction(&tiny(), Environment::QuiescentLocal, &[32, 128], 3, 4);
+        let points = measure_test_eviction(
+            &tiny(),
+            Environment::QuiescentLocal,
+            &[32, 128],
+            3,
+            4,
+            &Fleet::single(),
+        );
         assert_eq!(points.len(), 2);
         for p in points {
             assert!(p.parallel_us.mean < p.sequential_us.mean);

@@ -24,18 +24,27 @@
 //!
 //! The paper's measurement campaign covers tens of thousands of trials on
 //! 28-slice machines; by default the harnesses run scaled-down versions that
-//! finish in seconds to minutes. Two environment variables control scale:
+//! finish in seconds to minutes. Environment variables and flags control
+//! scale:
 //!
 //! * `LLC_TRIALS` — trials per configuration (default: experiment-specific);
 //! * `LLC_SLICES` — number of LLC/SF slices of the simulated Skylake-SP
-//!   (default 8 for bulk experiments; set 28 for the paper's geometry).
+//!   (default 8 for bulk experiments; set 28 for the paper's geometry);
+//! * `--threads N` / `LLC_THREADS` — worker threads of the `llc-fleet` trial
+//!   executor (default: available parallelism). Results are bit-identical
+//!   for every thread count;
+//! * `--smoke` — a pinned, environment-independent configuration with small
+//!   trial counts and stable output, used by the golden regression tests and
+//!   the CI smoke job.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod experiments;
+pub mod reports;
 
 use llc_cache_model::CacheSpec;
+use llc_fleet::{Fleet, Summary};
 
 /// Reads a positive integer from the environment, with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -61,6 +70,108 @@ pub fn full_skylake() -> CacheSpec {
     CacheSpec::skylake_sp_cloud()
 }
 
+/// The pinned 4-slice host used by `--smoke` runs. Deliberately ignores
+/// `LLC_SLICES` so that smoke output is bit-stable regardless of the
+/// caller's environment (the golden files depend on it).
+pub fn smoke_skylake() -> CacheSpec {
+    CacheSpec::skylake_sp(4, 4)
+}
+
+/// Command-line options shared by every experiment binary.
+///
+/// All 11 binaries accept `--threads N` (worker threads of the `llc-fleet`
+/// executor; `LLC_THREADS` or the machine's parallelism when omitted) and
+/// `--smoke` (small pinned trial counts with environment-independent,
+/// thread-count-independent output, for CI and the golden tests).
+#[derive(Debug, Clone)]
+pub struct RunOpts {
+    /// Worker threads for the trial executor.
+    pub threads: usize,
+    /// Run the pinned smoke configuration.
+    pub smoke: bool,
+}
+
+impl Default for RunOpts {
+    fn default() -> Self {
+        Self { threads: llc_fleet::default_threads(), smoke: false }
+    }
+}
+
+impl RunOpts {
+    /// Parses `std::env::args`, exiting with a usage message on bad input.
+    pub fn parse() -> Self {
+        match Self::from_iter(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("{msg}");
+                eprintln!("usage: <experiment> [--threads N] [--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`RunOpts::parse`]).
+    pub fn from_iter<I, S>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut opts = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            let arg = arg.as_ref();
+            if arg == "--smoke" {
+                opts.smoke = true;
+            } else if arg == "--threads" {
+                let v = iter.next().ok_or("--threads requires a value")?;
+                opts.threads = parse_threads(v.as_ref())?;
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                opts.threads = parse_threads(v)?;
+            } else {
+                return Err(format!("unknown argument: {arg}"));
+            }
+        }
+        Ok(opts)
+    }
+
+    /// A smoke-mode options value (used by the golden tests).
+    pub fn smoke_with_threads(threads: usize) -> Self {
+        Self { threads, smoke: true }
+    }
+
+    /// The trial executor these options select.
+    pub fn fleet(&self) -> Fleet {
+        Fleet::new(self.threads)
+    }
+
+    /// Trials per configuration: the pinned `smoke` count in smoke mode,
+    /// otherwise `LLC_TRIALS` with the experiment's `default`.
+    pub fn trials(&self, smoke: usize, default: usize) -> usize {
+        if self.smoke {
+            smoke
+        } else {
+            trials(default)
+        }
+    }
+
+    /// The host specification: the pinned 4-slice host in smoke mode,
+    /// otherwise the `LLC_SLICES`-scaled host.
+    pub fn spec(&self) -> CacheSpec {
+        if self.smoke {
+            smoke_skylake()
+        } else {
+            scaled_skylake()
+        }
+    }
+}
+
+fn parse_threads(v: &str) -> Result<usize, String> {
+    v.parse::<usize>()
+        .ok()
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("--threads expects a positive integer, got {v:?}"))
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}%", 100.0 * x)
@@ -83,6 +194,12 @@ pub struct SampleStats {
 }
 
 impl SampleStats {
+    /// Converts an `llc-fleet` [`Summary`] (whose mean/σ/median are folded in
+    /// canonical trial order and therefore thread-count-independent).
+    pub fn from_summary(s: Summary) -> Self {
+        Self { mean: s.mean, std_dev: s.std_dev, median: s.median }
+    }
+
     /// Computes mean, standard deviation and median of `values`.
     pub fn from(values: &[f64]) -> Self {
         if values.is_empty() {
@@ -119,6 +236,41 @@ mod tests {
     fn formatting_helpers() {
         assert_eq!(pct(0.123), "12.3%");
         assert!((cycles_to_ms(2_000_000.0, 2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_opts_parse_forms() {
+        let o = RunOpts::from_iter(["--threads", "4", "--smoke"]).unwrap();
+        assert_eq!(o.threads, 4);
+        assert!(o.smoke);
+        let o = RunOpts::from_iter(["--threads=2"]).unwrap();
+        assert_eq!(o.threads, 2);
+        assert!(!o.smoke);
+        assert!(RunOpts::from_iter(["--bogus"]).is_err());
+        assert!(RunOpts::from_iter(["--threads", "0"]).is_err());
+        assert!(RunOpts::from_iter(["--threads"]).is_err());
+        assert!(RunOpts::from_iter(Vec::<String>::new()).unwrap().threads >= 1);
+    }
+
+    #[test]
+    fn smoke_spec_is_env_independent() {
+        let o = RunOpts::smoke_with_threads(1);
+        assert_eq!(o.spec().sf.num_slices(), 4);
+        assert_eq!(o.trials(2, 100), 2);
+        let loud = RunOpts { smoke: false, threads: 1 };
+        assert_eq!(loud.trials(2, 100), trials(100));
+    }
+
+    #[test]
+    fn sample_stats_from_summary_round_trips() {
+        let mut samples = llc_fleet::Samples::default();
+        for (t, v) in [(0u64, 1.0), (1, 3.0), (2, 5.0)] {
+            use llc_fleet::Aggregate;
+            samples.record(t, v);
+        }
+        let stats = SampleStats::from_summary(samples.summary());
+        let direct = SampleStats::from(&[1.0, 3.0, 5.0]);
+        assert_eq!(stats, direct);
     }
 
     #[test]

@@ -1,0 +1,153 @@
+//! In-process report generation for the experiment binaries.
+//!
+//! The binaries used to format their tables inline in `main`, which made
+//! their output untestable short of spawning processes. The table
+//! generators that back the golden smoke tests live here instead: a binary
+//! is now `print!("{}", reports::table3_report(&RunOpts::parse()))`, and
+//! `tests/experiment_smoke.rs` calls the same function in-process and
+//! compares against the checked-in expected output.
+//!
+//! Report text in `--smoke` mode is pinned: fixed 4-slice host, fixed trial
+//! counts, no environment-variable dependence — and, because every trial
+//! seed is derived from `(master seed, trial index)` and aggregation is
+//! order-independent, the bytes are identical for every `--threads` value.
+
+use crate::experiments::{measure_bulk, measure_single_set, Environment};
+use crate::{pct, RunOpts};
+use llc_core::Algorithm;
+use llc_evsets::Scope;
+use std::fmt::Write;
+
+/// Renders Table 3 — existing pruning algorithms without candidate
+/// filtering, quiescent local vs Cloud Run.
+pub fn table3_report(opts: &RunOpts) -> String {
+    let spec = opts.spec();
+    let trials = opts.trials(2, 4);
+    let fleet = opts.fleet();
+    let mut out = String::new();
+
+    let w = &mut out;
+    writeln!(w, "Table 3 — existing pruning algorithms, no candidate filtering").unwrap();
+    writeln!(w, "machine: {} | trials per cell: {trials}", spec.name).unwrap();
+    writeln!(
+        w,
+        "{:<18} {:<8} {:>10} {:>12} {:>12} {:>12}",
+        "Environment", "Algo", "Succ.", "Avg (ms)", "Std (ms)", "Med (ms)"
+    )
+    .unwrap();
+    for env in Environment::all() {
+        for algo in [Algorithm::Gt, Algorithm::GtOp, Algorithm::Ps, Algorithm::PsOp] {
+            let s = measure_single_set(&spec, env, algo, false, trials, 0x7ab1e3, &fleet);
+            writeln!(
+                w,
+                "{:<18} {:<8} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+                s.environment,
+                s.algorithm,
+                pct(s.success_rate),
+                s.time_ms.mean,
+                s.time_ms.std_dev,
+                s.time_ms.median
+            )
+            .unwrap();
+        }
+    }
+    writeln!(w).unwrap();
+    writeln!(w, "Paper (28-slice Xeon 8173M): local success 97-99%, 21-56 ms;").unwrap();
+    writeln!(w, "Cloud Run success 3-56%, 512-714 ms — the ordering (GtOp > Gt >> PsOp > Ps")
+        .unwrap();
+    writeln!(w, "under noise) is the reproduced claim.").unwrap();
+    out
+}
+
+/// Renders Table 4 — construction with candidate filtering: SingleSet plus
+/// the extrapolated PageOffset / WholeSys scenarios.
+pub fn table4_report(opts: &RunOpts) -> String {
+    let spec = opts.spec();
+    let trials = opts.trials(2, 3);
+    let sample_sets = if opts.smoke { 4 } else { crate::env_usize("LLC_SAMPLE_SETS", 8) };
+    let fleet = opts.fleet();
+    let algorithms = [Algorithm::Gt, Algorithm::GtOp, Algorithm::PsOp, Algorithm::BinS];
+    let mut out = String::new();
+
+    let w = &mut out;
+    writeln!(w, "Table 4 — construction with candidate filtering ({})", spec.name).unwrap();
+    writeln!(w, "== SingleSet ({} trials per cell) ==", trials).unwrap();
+    writeln!(
+        w,
+        "{:<18} {:<8} {:>10} {:>12} {:>14}",
+        "Environment", "Algo", "Succ.", "Avg (ms)", "Filter share"
+    )
+    .unwrap();
+    for env in Environment::all() {
+        for algo in algorithms {
+            let s = measure_single_set(&spec, env, algo, true, trials, 0x7ab1e4, &fleet);
+            writeln!(
+                w,
+                "{:<18} {:<8} {:>10} {:>12.1} {:>13.0}%",
+                s.environment,
+                s.algorithm,
+                pct(s.success_rate),
+                s.time_ms.mean,
+                100.0 * s.filter_share
+            )
+            .unwrap();
+        }
+    }
+
+    for (scope_idx, (scope, label)) in
+        [(Scope::PageOffset, "PageOffset"), (Scope::WholeSys, "WholeSys")].into_iter().enumerate()
+    {
+        writeln!(w).unwrap();
+        writeln!(
+            w,
+            "== {label} (sampled {sample_sets} sets, extrapolated with n_sets * t_avg / SR) =="
+        )
+        .unwrap();
+        writeln!(
+            w,
+            "{:<18} {:<8} {:>8} {:>10} {:>14} {:>16}",
+            "Environment", "Algo", "Sets", "Succ.", "Sample (s)", "Est. total (s)"
+        )
+        .unwrap();
+        // Bulk cells are independent single-shot measurements: shard the
+        // (environment x algorithm) grid itself across the fleet.
+        let cells: Vec<(Environment, Algorithm)> = Environment::all()
+            .into_iter()
+            .flat_map(|env| algorithms.into_iter().map(move |algo| (env, algo)))
+            .collect();
+        // Per-scope master seed: with a shared master, both scopes would
+        // sample the identical per-cell measurements and WholeSys would be
+        // a pure rescaling of PageOffset.
+        let scope_master = llc_fleet::stream_seed(0x7ab1e5, scope_idx as u64 + 1);
+        let estimates = fleet.run(cells.len(), scope_master, |ctx| {
+            let (env, algo) = cells[ctx.trial];
+            measure_bulk(&spec, env, algo, scope, sample_sets, ctx.seed)
+        });
+        for e in estimates {
+            writeln!(
+                w,
+                "{:<18} {:<8} {:>8} {:>10} {:>14.2} {:>16.1}",
+                e.environment,
+                e.algorithm,
+                e.required_sets,
+                pct(e.success_rate),
+                e.sampled_seconds,
+                e.estimated_total_seconds
+            )
+            .unwrap();
+        }
+    }
+    writeln!(w).unwrap();
+    writeln!(w, "Paper: filtering cuts Cloud Run single-set time from ~512 ms to ~27 ms and")
+        .unwrap();
+    writeln!(w, "BinS covers all 57,344 SF sets in ~2.4 minutes (vs 14.6 h estimated for GtOp")
+        .unwrap();
+    writeln!(w, "without filtering); the reproduced claim is BinS < GtOp < Gt and the large")
+        .unwrap();
+    writeln!(w, "filtering speed-up, not the absolute seconds.").unwrap();
+    out
+}
+
+// The report generators are covered end-to-end by `tests/experiment_smoke.rs`,
+// which diffs their smoke output against the checked-in golden files (and
+// would double the suite's runtime if repeated here as unit tests).

@@ -1,0 +1,64 @@
+//! Golden smoke tests for the experiment binaries.
+//!
+//! `table3 --smoke` and `table4 --smoke` are generated **in-process** through
+//! `llc_bench::reports` (the binaries are one-line wrappers around the same
+//! functions) and compared byte-for-byte against the checked-in expected
+//! output under `tests/golden/`. Until now the 11 experiment binaries had no
+//! regression coverage beyond "they compile"; any change to the simulation,
+//! the seed derivation, or the aggregation now shows up as a golden diff.
+//!
+//! The smoke configuration is pinned (fixed 4-slice host, fixed trial
+//! counts, no environment-variable dependence) and, because trial seeds are
+//! derived from `(master seed, trial index)` and aggregation is
+//! order-independent, the same bytes must come back at any thread count —
+//! which these tests also assert.
+//!
+//! To regenerate after an intentional change:
+//! `cargo run --release -p llc-bench --bin table3 -- --smoke > crates/bench/tests/golden/table3_smoke.txt`
+//! (same for table4), then review the diff like any other code change.
+
+use llc_bench::{reports, RunOpts};
+
+const TABLE3_GOLDEN: &str = include_str!("golden/table3_smoke.txt");
+const TABLE4_GOLDEN: &str = include_str!("golden/table4_smoke.txt");
+
+/// Diffs `actual` against `expected` with a readable first-mismatch report.
+fn assert_matches_golden(name: &str, actual: &str, expected: &str) {
+    if actual == expected {
+        return;
+    }
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        assert_eq!(
+            a,
+            e,
+            "{name}: first difference at line {} (regenerate the golden file if intentional)",
+            i + 1
+        );
+    }
+    let (a, e) = (actual.lines().count(), expected.lines().count());
+    if a != e {
+        panic!("{name}: line count differs (actual {a} vs golden {e})");
+    }
+    // Same lines but different bytes: trailing newline / terminator drift.
+    assert_eq!(actual, expected, "{name}: outputs differ only in line-terminator bytes");
+}
+
+#[test]
+fn table3_smoke_matches_golden() {
+    let report = reports::table3_report(&RunOpts::smoke_with_threads(2));
+    assert_matches_golden("table3 --smoke", &report, TABLE3_GOLDEN);
+}
+
+#[test]
+fn table4_smoke_matches_golden() {
+    let report = reports::table4_report(&RunOpts::smoke_with_threads(2));
+    assert_matches_golden("table4 --smoke", &report, TABLE4_GOLDEN);
+}
+
+#[test]
+fn table3_smoke_is_thread_count_invariant() {
+    let one = reports::table3_report(&RunOpts::smoke_with_threads(1));
+    let eight = reports::table3_report(&RunOpts::smoke_with_threads(8));
+    assert_eq!(one, eight, "table3 --smoke must be byte-identical at 1 and 8 threads");
+    assert_matches_golden("table3 --smoke --threads 1", &one, TABLE3_GOLDEN);
+}

@@ -9,7 +9,7 @@ use std::sync::Arc;
 
 /// A non-sliced cache (L1 or L2): an array of [`CacheSet`]s indexed by the
 /// physical-address set-index bits.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Cache<T> {
     geometry: CacheGeometry,
     sets: Vec<CacheSet<T>>,
@@ -81,9 +81,21 @@ impl<T> Cache<T> {
     }
 }
 
+impl<T: Clone> Cache<T> {
+    /// Copies `source`'s contents into `self` in place, reusing every
+    /// allocation. Both caches must share a geometry (true when restoring
+    /// from a snapshot of the same specification).
+    pub fn restore_from(&mut self, source: &Cache<T>) {
+        debug_assert_eq!(self.geometry, source.geometry, "snapshot geometry mismatch");
+        for (dst, src) in self.sets.iter_mut().zip(&source.sets) {
+            dst.restore_from(src);
+        }
+    }
+}
+
 /// A sliced shared structure (LLC or snoop filter): `num_slices` independent
 /// set arrays, selected by a [`SliceHash`] over the physical line address.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SlicedCache<T> {
     geometry: SlicedGeometry,
     hash: Arc<dyn SliceHash>,
@@ -200,6 +212,19 @@ impl<T> SlicedCache<T> {
         for slice in &mut self.slices {
             for set in slice {
                 set.clear();
+            }
+        }
+    }
+}
+
+impl<T: Clone> SlicedCache<T> {
+    /// Copies `source`'s contents into `self` in place, reusing every
+    /// allocation (see [`Cache::restore_from`]).
+    pub fn restore_from(&mut self, source: &SlicedCache<T>) {
+        debug_assert_eq!(self.geometry, source.geometry, "snapshot geometry mismatch");
+        for (dst_slice, src_slice) in self.slices.iter_mut().zip(&source.slices) {
+            for (dst, src) in dst_slice.iter_mut().zip(src_slice) {
+                dst.restore_from(src);
             }
         }
     }

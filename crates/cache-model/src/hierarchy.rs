@@ -117,7 +117,12 @@ impl Default for HierarchyOptions {
 }
 
 /// The complete cache hierarchy of one simulated host.
-#[derive(Debug)]
+///
+/// Cloning a hierarchy produces an exact, independent copy of every tag
+/// array and all replacement metadata; `llc-machine`'s snapshot/reset
+/// machinery relies on this to reuse one warmed hierarchy across many
+/// parallel trials instead of reconstructing it.
+#[derive(Debug, Clone)]
 pub struct Hierarchy {
     spec: CacheSpec,
     options: HierarchyOptions,
@@ -169,6 +174,27 @@ impl Hierarchy {
     /// Sets hierarchy behaviour options.
     pub fn set_options(&mut self, options: HierarchyOptions) {
         self.options = options;
+    }
+
+    /// Copies `source`'s complete state — every tag array and all
+    /// replacement metadata — into `self` **in place**, reusing `self`'s
+    /// allocations. Both hierarchies must come from the same specification
+    /// (true when rewinding a machine to a snapshot of itself); restoring a
+    /// warmed 8-slice Skylake-SP this way performs zero heap allocations,
+    /// where `clone()` performs one per cache set and replacement box.
+    pub fn restore_from(&mut self, source: &Hierarchy) {
+        debug_assert_eq!(self.spec, source.spec, "snapshot specification mismatch");
+        self.options = source.options;
+        for (dst, src) in self.l1.iter_mut().zip(&source.l1) {
+            dst.restore_from(src);
+        }
+        for (dst, src) in self.l2.iter_mut().zip(&source.l2) {
+            dst.restore_from(src);
+        }
+        self.llc.restore_from(&source.llc);
+        self.sf.restore_from(&source.sf);
+        self.noise_counter = source.noise_counter;
+        self.reuse_counter = source.reuse_counter;
     }
 
     /// The machine specification used to build this hierarchy.

@@ -38,7 +38,7 @@ impl std::error::Error for TranslateError {}
 /// assert_eq!(pa.page_offset(), base.page_offset());
 /// # Ok::<(), llc_cache_model::TranslateError>(())
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AddressSpace {
     /// Virtual page number -> physical frame number.
     page_table: HashMap<u64, u64>,
@@ -73,6 +73,25 @@ impl AddressSpace {
     /// Creates an address space with the default 16 GiB of physical memory.
     pub fn with_seed(seed: u64) -> Self {
         Self::new(Self::DEFAULT_FRAMES, seed)
+    }
+
+    /// Reseeds the frame-lottery RNG. Existing mappings keep their frames;
+    /// only future allocations draw from the new stream. Machine snapshot
+    /// restores use this so that each rewound trial samples a fresh
+    /// physical layout instead of replaying the snapshot's.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
+    }
+
+    /// Copies `source`'s mappings and RNG position into `self` in place,
+    /// reusing the page-table and frame-set allocations (hot path of
+    /// machine restores).
+    pub fn restore_from(&mut self, source: &AddressSpace) {
+        self.page_table.clone_from(&source.page_table);
+        self.used_frames.clone_from(&source.used_frames);
+        self.total_frames = source.total_frames;
+        self.next_va_page = source.next_va_page;
+        self.rng = source.rng.clone();
     }
 
     /// Number of virtual pages currently mapped.

@@ -48,7 +48,7 @@ impl ReplacementKind {
 /// [`ReplacementState::victim`] when it needs to evict. `touch` receives
 /// whether the access was a fill (new line) or a hit, which SRRIP uses to
 /// assign different re-reference predictions.
-pub trait ReplacementState: std::fmt::Debug + Send {
+pub trait ReplacementState: std::fmt::Debug + Send + Sync {
     /// Records an access to `way`. `is_fill` is true when a new line was just
     /// installed in that way.
     fn touch(&mut self, way: usize, is_fill: bool);
@@ -65,6 +65,28 @@ pub trait ReplacementState: std::fmt::Debug + Send {
     /// chosen line as the eviction candidate (EVC) even though the attacker
     /// keeps touching it.
     fn demote(&mut self, way: usize);
+
+    /// Clones this state behind a fresh box, preserving the exact replacement
+    /// metadata (including any internal RNG stream position). This is what
+    /// makes whole cache hierarchies — and therefore machines — snapshottable.
+    fn boxed_clone(&self) -> Box<dyn ReplacementState>;
+
+    /// `self` as [`Any`](std::any::Any), for [`ReplacementState::restore_from`].
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Copies `source`'s metadata into `self` **in place**, reusing `self`'s
+    /// allocations. Both sides must be the same concrete policy (guaranteed
+    /// when restoring a structure from a snapshot of itself); panics
+    /// otherwise. This is the hot path of `Machine::reset_to` — a trial
+    /// rewind touches every cache set, and re-boxing ~10^5 replacement
+    /// states per trial would dominate the executor's profile.
+    fn restore_from(&mut self, source: &dyn ReplacementState);
+}
+
+impl Clone for Box<dyn ReplacementState> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
 }
 
 /// True LRU: maintains an exact recency ordering of the ways.
@@ -82,6 +104,22 @@ impl LruState {
 }
 
 impl ReplacementState for LruState {
+    fn boxed_clone(&self) -> Box<dyn ReplacementState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn restore_from(&mut self, source: &dyn ReplacementState) {
+        let source = source
+            .as_any()
+            .downcast_ref::<LruState>()
+            .expect("restore_from requires matching replacement policies");
+        self.order.clone_from(&source.order);
+    }
+
     fn touch(&mut self, way: usize, _is_fill: bool) {
         if let Some(pos) = self.order.iter().position(|&w| w == way) {
             self.order.remove(pos);
@@ -142,6 +180,24 @@ impl TreePlruState {
 }
 
 impl ReplacementState for TreePlruState {
+    fn boxed_clone(&self) -> Box<dyn ReplacementState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn restore_from(&mut self, source: &dyn ReplacementState) {
+        let source = source
+            .as_any()
+            .downcast_ref::<TreePlruState>()
+            .expect("restore_from requires matching replacement policies");
+        self.ways = source.ways;
+        self.bits.clone_from(&source.bits);
+        self.leaves = source.leaves;
+    }
+
     fn touch(&mut self, way: usize, _is_fill: bool) {
         if way < self.ways {
             self.set_path_away_from(way);
@@ -209,6 +265,22 @@ impl SrripState {
 }
 
 impl ReplacementState for SrripState {
+    fn boxed_clone(&self) -> Box<dyn ReplacementState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn restore_from(&mut self, source: &dyn ReplacementState) {
+        let source = source
+            .as_any()
+            .downcast_ref::<SrripState>()
+            .expect("restore_from requires matching replacement policies");
+        self.rrpv.clone_from(&source.rrpv);
+    }
+
     fn touch(&mut self, way: usize, is_fill: bool) {
         self.rrpv[way] = if is_fill { Self::MAX_RRPV - 1 } else { 0 };
     }
@@ -230,7 +302,7 @@ impl ReplacementState for SrripState {
 }
 
 /// Seeded pseudo-random victim selection.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RandomState {
     ways: usize,
     rng: SmallRng,
@@ -244,6 +316,23 @@ impl RandomState {
 }
 
 impl ReplacementState for RandomState {
+    fn boxed_clone(&self) -> Box<dyn ReplacementState> {
+        Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn restore_from(&mut self, source: &dyn ReplacementState) {
+        let source = source
+            .as_any()
+            .downcast_ref::<RandomState>()
+            .expect("restore_from requires matching replacement policies");
+        self.ways = source.ways;
+        self.rng = source.rng.clone();
+    }
+
     fn touch(&mut self, _way: usize, _is_fill: bool) {}
 
     fn demote(&mut self, _way: usize) {}

@@ -18,10 +18,21 @@ pub struct Entry<T> {
 /// The set stores full line addresses rather than tags; this wastes a few bits
 /// of simulator memory but keeps lookups by `LineAddr` trivial and avoids tag
 /// aliasing bugs.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CacheSet<T> {
     ways: Vec<Option<Entry<T>>>,
     repl: Box<dyn ReplacementState>,
+}
+
+impl<T: Clone> CacheSet<T> {
+    /// Copies `source`'s entries and replacement metadata into `self` in
+    /// place, reusing `self`'s allocations (the hot path of machine
+    /// snapshot restores). Both sets must have the same associativity and
+    /// replacement policy.
+    pub fn restore_from(&mut self, source: &CacheSet<T>) {
+        self.ways.clone_from(&source.ways);
+        self.repl.restore_from(source.repl.as_ref());
+    }
 }
 
 impl<T> CacheSet<T> {

@@ -46,5 +46,6 @@ pub use identify::{
     scan_for_target, ClassifierTrainingConfig, ScanConfig, ScanOutcome, TraceClassifier,
 };
 pub use pipeline::{
-    Algorithm, AttackConfig, AttackReport, EndToEndAttack, EvsetPhase, ExtractPhase, IdentifyPhase,
+    streams, Algorithm, AttackConfig, AttackReport, EndToEndAttack, EvsetPhase, ExtractPhase,
+    IdentifyPhase,
 };

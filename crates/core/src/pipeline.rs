@@ -9,6 +9,7 @@ use crate::extract::{
 use crate::features::FeatureConfig;
 use crate::identify::{scan_for_target, ClassifierTrainingConfig, ScanConfig, TraceClassifier};
 use llc_ecdsa_victim::{EcdsaVictim, EcdsaVictimConfig, VictimHandle};
+use llc_fleet::stream_seed;
 use llc_evsets::{
     BinarySearch, BulkBuilder, BulkConfig, GroupTesting, PrimeScope, PruningAlgorithm, Scope,
 };
@@ -17,6 +18,27 @@ use llc_probe::{AccessTrace, Monitor, Strategy};
 use llc_cache_model::{CacheSpec, SetLocation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stream tags for the attack pipeline's RNG streams.
+///
+/// Every random stream the pipeline consumes is derived from the single
+/// `AttackConfig::seed` through [`llc_fleet::stream_seed`], which is
+/// injective per tag. The previous recipe derived Steps 1–3 from the same
+/// `StdRng::seed_from_u64` base with ad-hoc XOR constants — a latent
+/// seed-reuse footgun where two streams could collide or end up as shifted
+/// copies of each other. The `pinned_stream_derivation` unit test locks the
+/// exact derived values so a change to the derivation cannot slip in
+/// unnoticed (it would silently re-randomise every experiment).
+pub mod streams {
+    /// Machine construction: paging lottery, background noise, jitter.
+    pub const MACHINE: u64 = u64::from_le_bytes(*b"machine\0");
+    /// Step 1: candidate allocation and pruning randomness.
+    pub const STEP1: u64 = u64::from_le_bytes(*b"step1\0\0\0");
+    /// Step 2: classifier-training trace synthesis and holdout split.
+    pub const STEP2: u64 = u64::from_le_bytes(*b"step2\0\0\0");
+    /// Step 3: machine noise/jitter stream during nonce extraction.
+    pub const STEP3: u64 = u64::from_le_bytes(*b"step3\0\0\0");
+}
 
 /// Which address-pruning algorithm Step 1 uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -249,9 +271,11 @@ impl EndToEndAttack {
     /// Runs the complete attack and returns the report.
     pub fn run(&self) -> AttackReport {
         let cfg = &self.config;
-        let mut machine =
-            Machine::builder(cfg.spec.clone()).noise(cfg.noise.clone()).seed(cfg.seed).build();
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xe2e);
+        let mut machine = Machine::builder(cfg.spec.clone())
+            .noise(cfg.noise.clone())
+            .seed(stream_seed(cfg.seed, streams::MACHINE))
+            .build();
+        let mut rng = StdRng::seed_from_u64(stream_seed(cfg.seed, streams::STEP1));
 
         // Install the co-located victim service. It serves requests
         // back-to-back, driven by the attacker's triggering requests.
@@ -283,7 +307,15 @@ impl EndToEndAttack {
         };
 
         // ---- Step 2: identify the target SF set ---------------------------
-        let classifier = TraceClassifier::train(&cfg.classifier);
+        // The training seed folds the user's `classifier.seed` into the
+        // derived STEP2 stream (injective in both), so classifier-training
+        // sensitivity experiments still see their configured seed while
+        // distinct attack seeds still train on distinct streams.
+        let classifier_cfg = ClassifierTrainingConfig {
+            seed: stream_seed(stream_seed(cfg.seed, streams::STEP2), cfg.classifier.seed),
+            ..cfg.classifier.clone()
+        };
+        let classifier = TraceClassifier::train(&classifier_cfg);
         let identify_start = machine.now();
         let scan = scan_for_target(&mut machine, &bulk.eviction_sets, &classifier, &cfg.scan);
         let correct = scan
@@ -299,6 +331,10 @@ impl EndToEndAttack {
         };
 
         // ---- Step 3: monitor the target set and extract nonce bits --------
+        // Give Step 3 its own noise/jitter stream: without this, the
+        // machine-RNG position Step 3 observes depends on exactly how many
+        // draws Steps 1–2 consumed, coupling the phases for no reason.
+        machine.reseed(stream_seed(cfg.seed, streams::STEP3));
         let extract_start = machine.now();
         let scores = if let Some(idx) = scan.identified {
             self.extract_nonces(&mut machine, &bulk.eviction_sets[idx].1, &handle)
@@ -398,6 +434,34 @@ fn slice_trace(trace: &AccessTrace, start: u64, end: u64) -> AccessTrace {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Pins the derived RNG streams of the default attack seed. If the
+    /// derivation (or a stream tag) changes, every experiment re-randomises;
+    /// this test makes that an explicit, reviewed event instead of a silent
+    /// one. The four streams must also be pairwise distinct — the seed-reuse
+    /// bug this derivation replaced.
+    #[test]
+    fn pinned_stream_derivation() {
+        let seed = AttackConfig::default().seed;
+        assert_eq!(seed, 0xa77ac4);
+        let derived = [
+            stream_seed(seed, streams::MACHINE),
+            stream_seed(seed, streams::STEP1),
+            stream_seed(seed, streams::STEP2),
+            stream_seed(seed, streams::STEP3),
+        ];
+        assert_eq!(
+            derived,
+            [
+                0xdc9809837a93b73c,
+                0x14b5712f4e6f0c4a,
+                0x775841021fc5166f,
+                0x3a620e029a110201,
+            ]
+        );
+        let unique: std::collections::HashSet<u64> = derived.iter().copied().collect();
+        assert_eq!(unique.len(), derived.len(), "streams must never collide");
+    }
 
     #[test]
     fn algorithm_enum_round_trip() {

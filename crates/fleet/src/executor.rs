@@ -1,0 +1,320 @@
+//! The scoped-thread trial executor.
+//!
+//! No crates.io access means no rayon; the pool is a `std::thread::scope`
+//! with a single chunked atomic cursor as the work queue. Workers grab
+//! contiguous chunks of trial indices (`fetch_add`), so there is no lock, no
+//! channel, and idle workers naturally steal the remaining trials from slow
+//! ones. Determinism does not depend on the schedule: each trial's behaviour
+//! is a pure function of its [`TrialCtx`] (derived seed), and results are
+//! re-assembled in trial order before they are returned.
+
+use crate::aggregate::Aggregate;
+use crate::seed::{stream_seed, trial_seed};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker-thread count to use when the caller does not specify one: the
+/// `LLC_THREADS` environment variable if set, otherwise the machine's
+/// available parallelism.
+pub fn default_threads() -> usize {
+    std::env::var("LLC_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v: &usize| v > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Everything a trial may depend on: its index and its derived seed.
+///
+/// A trial that uses only `TrialCtx` (plus immutable captured state and
+/// worker-local state rewound per trial, e.g. a machine reset from a
+/// snapshot) is deterministic regardless of which worker runs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrialCtx {
+    /// This trial's index, `0..trials`.
+    pub trial: usize,
+    /// Total number of trials in the sweep.
+    pub trials: usize,
+    /// This trial's seed, derived as [`trial_seed`]`(master_seed, trial)`.
+    pub seed: u64,
+}
+
+impl TrialCtx {
+    /// A fresh RNG seeded with this trial's seed.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// The seed of a named sub-stream of this trial (see [`stream_seed`]).
+    pub fn stream(&self, tag: u64) -> u64 {
+        stream_seed(self.seed, tag)
+    }
+
+    /// A fresh RNG for a named sub-stream of this trial.
+    pub fn stream_rng(&self, tag: u64) -> StdRng {
+        StdRng::seed_from_u64(self.stream(tag))
+    }
+}
+
+/// The trial executor: a thread count plus a work-queue chunk size.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    threads: usize,
+    chunk: Option<usize>,
+}
+
+impl Fleet {
+    /// An executor with `threads` worker threads (0 is clamped to 1).
+    pub fn new(threads: usize) -> Self {
+        Self { threads: threads.max(1), chunk: None }
+    }
+
+    /// A serial executor (one worker; runs on the calling thread).
+    pub fn single() -> Self {
+        Self::new(1)
+    }
+
+    /// An executor sized by `LLC_THREADS` / available parallelism.
+    pub fn from_env() -> Self {
+        Self::new(default_threads())
+    }
+
+    /// The worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Overrides the work-queue chunk size (default: `trials / (threads * 4)`,
+    /// at least 1). Smaller chunks steal better; larger chunks touch the
+    /// shared cursor less.
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        self.chunk = Some(chunk.max(1));
+        self
+    }
+
+    fn chunk_for(&self, trials: usize) -> usize {
+        self.chunk.unwrap_or_else(|| (trials / (self.threads * 4)).max(1))
+    }
+
+    /// Runs `trials` independent trials of `job` and returns their results
+    /// **in trial order**, regardless of which worker finished which trial
+    /// when.
+    pub fn run<T, F>(&self, trials: usize, master_seed: u64, job: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(TrialCtx) -> T + Sync,
+    {
+        self.run_with(trials, master_seed, |_| (), move |_, ctx| job(ctx))
+    }
+
+    /// Like [`Fleet::run`], with per-worker state: `init(worker_id)` runs
+    /// once on each worker thread (e.g. materialising a machine from a shared
+    /// [`MachineSnapshot`](../../llc_machine/struct.MachineSnapshot.html)),
+    /// and `job` receives the worker's state mutably for every trial.
+    ///
+    /// Worker state must not leak information between trials — rewind it at
+    /// the start of each trial (snapshot reset) or treat it as a scratch
+    /// allocation. The determinism suite enforces this for the workspace's
+    /// own jobs by comparing 1/2/8-thread runs bit-for-bit.
+    pub fn run_with<S, T, I, F>(&self, trials: usize, master_seed: u64, init: I, job: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, TrialCtx) -> T + Sync,
+    {
+        let ctx = |trial: usize| TrialCtx {
+            trial,
+            trials,
+            seed: trial_seed(master_seed, trial as u64),
+        };
+
+        if self.threads == 1 || trials <= 1 {
+            let mut state = init(0);
+            return (0..trials).map(|t| job(&mut state, ctx(t))).collect();
+        }
+
+        let workers = self.threads.min(trials);
+        let chunk = self.chunk_for(trials);
+        let cursor = AtomicUsize::new(0);
+
+        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let cursor = &cursor;
+                    let init = &init;
+                    let job = &job;
+                    scope.spawn(move || {
+                        let mut state = init(worker);
+                        let mut local: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= trials {
+                                break;
+                            }
+                            for t in start..(start + chunk).min(trials) {
+                                local.push((t, job(&mut state, ctx(t))));
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("fleet worker panicked"))
+                .collect()
+        });
+
+        tagged.sort_unstable_by_key(|(t, _)| *t);
+        debug_assert!(tagged.iter().enumerate().all(|(i, (t, _))| i == *t));
+        tagged.into_iter().map(|(_, v)| v).collect()
+    }
+
+    /// Runs `trials` trials and reduces their results through an
+    /// order-independent [`Aggregate`]: each worker folds its trials into a
+    /// thread-local partial aggregate, and the partials are merged at the
+    /// end. Because aggregates canonicalise by trial index, the reduction is
+    /// bit-identical to a serial fold for any thread count.
+    pub fn run_fold<A, F>(&self, trials: usize, master_seed: u64, job: F) -> A
+    where
+        A: Aggregate + Send,
+        A::Item: Send,
+        F: Fn(TrialCtx) -> A::Item + Sync,
+    {
+        self.run_fold_with(trials, master_seed, |_| (), move |_, ctx| job(ctx))
+    }
+
+    /// [`Fleet::run_fold`] with per-worker state (see [`Fleet::run_with`]).
+    pub fn run_fold_with<S, A, I, F>(
+        &self,
+        trials: usize,
+        master_seed: u64,
+        init: I,
+        job: F,
+    ) -> A
+    where
+        S: Send,
+        A: Aggregate + Send,
+        A::Item: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, TrialCtx) -> A::Item + Sync,
+    {
+        let ctx = |trial: usize| TrialCtx {
+            trial,
+            trials,
+            seed: trial_seed(master_seed, trial as u64),
+        };
+
+        if self.threads == 1 || trials <= 1 {
+            let mut state = init(0);
+            let mut agg = A::empty();
+            for t in 0..trials {
+                let item = job(&mut state, ctx(t));
+                agg.record(t as u64, item);
+            }
+            return agg;
+        }
+
+        let workers = self.threads.min(trials);
+        let chunk = self.chunk_for(trials);
+        let cursor = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let cursor = &cursor;
+                    let init = &init;
+                    let job = &job;
+                    scope.spawn(move || {
+                        let mut state = init(worker);
+                        let mut partial = A::empty();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= trials {
+                                break;
+                            }
+                            for t in start..(start + chunk).min(trials) {
+                                let item = job(&mut state, ctx(t));
+                                partial.record(t as u64, item);
+                            }
+                        }
+                        partial
+                    })
+                })
+                .collect();
+            let mut agg = A::empty();
+            for h in handles {
+                agg.merge(h.join().expect("fleet worker panicked"));
+            }
+            agg
+        })
+    }
+}
+
+impl Default for Fleet {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::Counts;
+
+    #[test]
+    fn results_come_back_in_trial_order() {
+        let fleet = Fleet::new(4).with_chunk(1);
+        let out = fleet.run(64, 1, |ctx| ctx.trial);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seeds_match_serial_derivation() {
+        let fleet = Fleet::new(3);
+        let seeds = fleet.run(32, 99, |ctx| ctx.seed);
+        for (t, &s) in seeds.iter().enumerate() {
+            assert_eq!(s, trial_seed(99, t as u64));
+        }
+    }
+
+    #[test]
+    fn worker_state_is_initialised_per_worker() {
+        let fleet = Fleet::new(2).with_chunk(4);
+        // State counts trials handled by this worker; every trial sees >= 1.
+        let counts = fleet.run_with(
+            16,
+            5,
+            |_worker| 0usize,
+            |state, _ctx| {
+                *state += 1;
+                *state
+            },
+        );
+        assert_eq!(counts.len(), 16);
+        assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn run_fold_counts_all_trials() {
+        let fleet = Fleet::new(4).with_chunk(2);
+        let agg: Counts = fleet.run_fold(100, 3, |ctx| ctx.trial % 2 == 0);
+        assert_eq!(agg.total, 100);
+        assert_eq!(agg.hits, 50);
+    }
+
+    #[test]
+    fn zero_and_one_trial_edge_cases() {
+        let fleet = Fleet::new(8);
+        assert!(fleet.run(0, 1, |ctx| ctx.trial).is_empty());
+        assert_eq!(fleet.run(1, 1, |ctx| ctx.trial), vec![0]);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+        assert_eq!(Fleet::new(0).threads(), 1);
+    }
+}

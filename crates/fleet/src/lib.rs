@@ -1,0 +1,56 @@
+//! # llc-fleet
+//!
+//! A sharded, multi-threaded trial executor for the workspace's experiment
+//! harnesses. The paper's tables 3–6 and figures 2/3/6/7/9 are averages over
+//! hundreds of *independent* attack trials; `llc-fleet` runs those trials
+//! across worker threads while guaranteeing that the results — down to the
+//! last floating-point bit — do not depend on the thread count or on which
+//! worker happened to execute which trial.
+//!
+//! Three pieces make that guarantee hold:
+//!
+//! * **[`seed`]** — every trial gets a seed derived from
+//!   `(master_seed, trial_index)` through SplitMix64's finaliser. The
+//!   derivation is injective per master seed, so per-trial streams never
+//!   collide, and it is independent of execution order by construction.
+//! * **[`executor`]** — a hand-rolled scoped-thread pool (`std::thread::scope`
+//!   plus a chunked atomic work queue; the build container has no crates.io
+//!   access, so no rayon). Workers steal chunks of trial indices; results are
+//!   returned *in trial order* regardless of completion order.
+//! * **[`aggregate`]** — an order-independent [`Aggregate`] reducer. Workers
+//!   fold their trials into thread-local partial aggregates which are merged
+//!   at the end; aggregates canonicalise by trial index, so the merged result
+//!   is bit-identical to a serial fold.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use llc_fleet::{Fleet, Samples};
+//!
+//! let fleet = Fleet::new(4);
+//! // 100 independent trials; each gets its own derived seed.
+//! let agg: Samples = fleet.run_fold(100, 0xfee1, |ctx| {
+//!     use rand::Rng;
+//!     let mut rng = ctx.rng();
+//!     rng.gen_range(0.0..1.0f64)
+//! });
+//! let summary = agg.summary();
+//! assert_eq!(summary.count, 100);
+//! // The same call on 1 thread produces the bit-identical summary.
+//! let serial: Samples = Fleet::single().run_fold(100, 0xfee1, |ctx| {
+//!     use rand::Rng;
+//!     ctx.rng().gen_range(0.0..1.0f64)
+//! });
+//! assert_eq!(summary, serial.summary());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod executor;
+pub mod seed;
+
+pub use aggregate::{Aggregate, Counts, Samples, Summary};
+pub use executor::{default_threads, Fleet, TrialCtx};
+pub use seed::{mix64, stream_seed, trial_seed};

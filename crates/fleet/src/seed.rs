@@ -1,0 +1,82 @@
+//! Deterministic seed derivation for independent trial streams.
+//!
+//! The previous harnesses derived per-trial RNGs with ad-hoc XOR recipes
+//! (`seed ^ trial << 8`, `seed ^ 0xbead ^ trial`, ...). XOR derivation is a
+//! footgun: two streams derived from related constants can collide or, worse,
+//! be shifted copies of one another, silently correlating "independent"
+//! trials. This module replaces those recipes with SplitMix64's finaliser, a
+//! bijective mixer with full avalanche, composed so that
+//!
+//! * for a fixed master seed, `trial_seed` is **injective in the trial
+//!   index** (no two trials of a sweep can ever share a seed), and
+//! * for a fixed base seed, `stream_seed` is **injective in the stream tag**
+//!   (an experiment's machine / candidate-allocation / scan streams are
+//!   always distinct).
+
+/// SplitMix64's 64-bit finaliser: a bijective mixing function with full
+/// avalanche (every input bit affects every output bit with probability ~1/2).
+pub const fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Derives the seed of trial `trial` of a sweep keyed by `master`.
+///
+/// `mix64` is a bijection, so `trial -> mix64(trial + phi)` is injective and
+/// the outer mix keeps the composition injective for any fixed `master`:
+/// seeds of distinct trials in one sweep are distinct *by construction*
+/// (the determinism test suite additionally verifies a 10k-trial sweep).
+pub const fn trial_seed(master: u64, trial: u64) -> u64 {
+    mix64(master ^ mix64(trial.wrapping_add(0x9e37_79b9_7f4a_7c15)))
+}
+
+/// Derives the seed of a named sub-stream (machine construction, candidate
+/// allocation, scan order, ...) from a base seed and a stream tag.
+///
+/// Use distinct tags for distinct purposes; the composition is injective in
+/// `tag` for a fixed `seed`. Tags are ordinary `u64` constants — spelling a
+/// short ASCII name (`u64::from_le_bytes(*b"step1\0\0\0")`) keeps them
+/// greppable.
+pub const fn stream_seed(seed: u64, tag: u64) -> u64 {
+    mix64(seed.rotate_left(32) ^ mix64(tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix64_is_a_bijection_on_samples() {
+        // Spot-check injectivity and avalanche on structured inputs.
+        let mut seen = HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)), "collision at {i}");
+        }
+        assert_ne!(mix64(0), 0, "finaliser must not fix zero");
+        assert_ne!(mix64(1), mix64(2));
+    }
+
+    #[test]
+    fn trial_seeds_are_unique_and_master_sensitive() {
+        let mut seen = HashSet::new();
+        for t in 0..4096u64 {
+            assert!(seen.insert(trial_seed(7, t)));
+        }
+        assert_ne!(trial_seed(7, 0), trial_seed(8, 0));
+        // Master 0 is not a degenerate case.
+        assert_ne!(trial_seed(0, 0), 0);
+    }
+
+    #[test]
+    fn stream_seeds_separate_tags() {
+        let base = 0xa77ac4;
+        let tags = [1u64, 2, 3, u64::from_le_bytes(*b"machine\0")];
+        let seeds: HashSet<u64> = tags.iter().map(|&t| stream_seed(base, t)).collect();
+        assert_eq!(seeds.len(), tags.len());
+        // Different bases give different streams for the same tag.
+        assert_ne!(stream_seed(1, 9), stream_seed(2, 9));
+    }
+}

@@ -1,0 +1,161 @@
+//! Property tests for the [`Aggregate`] reducers: merging is associative and
+//! commutative (up to the canonical summary), and any sharding of a
+//! trial-result vector — including empty and single-element shards — merges
+//! to the bit-identical summary of a serial fold.
+
+use llc_fleet::{Aggregate, Counts, Samples};
+use proptest::prelude::*;
+
+/// Builds the serial reference aggregate from `(trial, value)` items.
+fn serial_samples(items: &[(u64, f64)]) -> Samples {
+    let mut agg = Samples::empty();
+    for &(t, v) in items {
+        agg.record(t, v);
+    }
+    agg
+}
+
+/// Splits `items` into shards at the given cut points (duplicates and
+/// out-of-range cuts are tolerated), producing possibly-empty shards.
+fn shard(items: &[(u64, f64)], cuts: &[usize]) -> Vec<Samples> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (items.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(items.len());
+    bounds.sort_unstable();
+    bounds
+        .windows(2)
+        .map(|w| serial_samples(&items[w[0]..w[1]]))
+        .collect()
+}
+
+/// Turns raw proptest draws into items with unique trial indices (the
+/// executor guarantees this: a trial index runs exactly once per sweep).
+fn to_items(values: Vec<f64>) -> Vec<(u64, f64)> {
+    values
+        .into_iter()
+        .enumerate()
+        .map(|(t, v)| (t as u64, if v.is_finite() { v } else { 0.0 }))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sharding (empty shards included) merges to the serial summary.
+    #[test]
+    fn sharded_merge_equals_serial_fold(
+        values in prop::collection::vec(-1e12f64..1e12, 0..64),
+        cuts in prop::collection::vec(0usize..65, 0..8),
+    ) {
+        let items = to_items(values);
+        let reference = serial_samples(&items).summary();
+        let mut merged = Samples::empty();
+        for piece in shard(&items, &cuts) {
+            merged.merge(piece);
+        }
+        prop_assert_eq!(merged.summary(), reference);
+    }
+
+    /// merge(a, b) and merge(b, a) summarise identically.
+    #[test]
+    fn merge_is_commutative(
+        values in prop::collection::vec(-1e9f64..1e9, 0..48),
+        split in 0usize..49,
+    ) {
+        let items = to_items(values);
+        let cut = split % (items.len() + 1);
+        let (left, right) = items.split_at(cut);
+
+        let mut ab = serial_samples(left);
+        ab.merge(serial_samples(right));
+        let mut ba = serial_samples(right);
+        ba.merge(serial_samples(left));
+
+        prop_assert_eq!(ab.summary(), ba.summary());
+        prop_assert_eq!(ab.percentile(0.25), ba.percentile(0.25));
+        prop_assert_eq!(ab.percentile(0.99), ba.percentile(0.99));
+    }
+
+    /// (a ⊔ b) ⊔ c and a ⊔ (b ⊔ c) summarise identically.
+    #[test]
+    fn merge_is_associative(
+        values in prop::collection::vec(-1e9f64..1e9, 0..60),
+        cut_a in 0usize..61,
+        cut_b in 0usize..61,
+    ) {
+        let items = to_items(values);
+        let mut cuts = [cut_a % (items.len() + 1), cut_b % (items.len() + 1)];
+        cuts.sort_unstable();
+        let a = serial_samples(&items[..cuts[0]]);
+        let b = serial_samples(&items[cuts[0]..cuts[1]]);
+        let c = serial_samples(&items[cuts[1]..]);
+
+        let mut left = a.clone();
+        left.merge(b.clone());
+        left.merge(c.clone());
+
+        let mut bc = b;
+        bc.merge(c);
+        let mut right = a;
+        right.merge(bc);
+
+        prop_assert_eq!(left.summary(), right.summary());
+    }
+
+    /// The empty aggregate is a merge identity.
+    #[test]
+    fn empty_is_identity(values in prop::collection::vec(-1e9f64..1e9, 0..32)) {
+        let items = to_items(values);
+        let reference = serial_samples(&items).summary();
+
+        let mut left = Samples::empty();
+        left.merge(serial_samples(&items));
+        let mut right = serial_samples(&items);
+        right.merge(Samples::empty());
+
+        prop_assert_eq!(left.summary(), reference);
+        prop_assert_eq!(right.summary(), reference);
+    }
+
+    /// Single-element shards: fully scattering the items merges like any
+    /// other sharding.
+    #[test]
+    fn single_element_shards_merge_cleanly(
+        values in prop::collection::vec(-1e6f64..1e6, 1..32),
+    ) {
+        let items = to_items(values);
+        let reference = serial_samples(&items).summary();
+        let mut merged = Samples::empty();
+        for &(t, v) in items.iter().rev() {
+            let mut shard = Samples::empty();
+            shard.record(t, v);
+            merged.merge(shard);
+        }
+        prop_assert_eq!(merged.summary(), reference);
+    }
+
+    /// Counts obeys the same laws with exact integer arithmetic.
+    #[test]
+    fn counts_sharding_matches_serial(
+        hits in prop::collection::vec(any::<bool>(), 0..128),
+        split in 0usize..129,
+    ) {
+        let mut serial = Counts::empty();
+        for (t, &h) in hits.iter().enumerate() {
+            serial.record(t as u64, h);
+        }
+        let cut = split % (hits.len() + 1);
+        let mut merged = Counts::empty();
+        let mut right = Counts::empty();
+        for (t, &h) in hits.iter().enumerate() {
+            if t < cut {
+                merged.record(t as u64, h);
+            } else {
+                right.record(t as u64, h);
+            }
+        }
+        merged.merge(right);
+        prop_assert_eq!(merged, serial);
+        prop_assert_eq!(merged.total as usize, hits.len());
+    }
+}

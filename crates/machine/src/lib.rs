@@ -41,7 +41,7 @@ mod noise;
 mod schedule;
 
 pub use latency::LatencyModel;
-pub use machine::{Machine, MachineBuilder, MachineStats};
+pub use machine::{Machine, MachineBuilder, MachineSnapshot, MachineStats};
 pub use noise::{sample_poisson, NoiseEvent, NoiseModel, NoiseProcess};
 pub use schedule::{PeriodicToucher, ScheduledAccess, VictimProgram, VictimSchedule};
 

@@ -14,8 +14,15 @@ use llc_cache_model::{
     AccessKind, AddressSpace, CacheSpec, CoreId, Hierarchy, HierarchyOptions, HitLevel, LineAddr,
     SetLocation, VirtAddr,
 };
+use llc_fleet::stream_seed;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Stream tags for [`Machine::reseed`]'s two derived sub-streams (jitter/
+/// noise RNG and the attacker frame lottery), kept distinct through the
+/// injective `llc-fleet` derivation rather than XOR constants.
+const RESEED_RNG_STREAM: u64 = u64::from_le_bytes(*b"mrng\0\0\0\0");
+const RESEED_ASPACE_STREAM: u64 = u64::from_le_bytes(*b"maspace\0");
 
 /// Counters describing how much work a simulation performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,6 +107,56 @@ impl MachineBuilder {
             victim: None,
             victim_run_starts: Vec::new(),
             stats: MachineStats::default(),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Machine`] without its victim program.
+///
+/// Snapshots are the substrate of `llc-fleet`'s parallel trial execution:
+/// building a machine from scratch re-derives the paging layout, replacement
+/// metadata and noise bookkeeping for every cache set, while restoring from a
+/// snapshot is a plain memory copy of the already-warmed state. A snapshot is
+/// immutable, `Send + Sync`, and can be shared by reference across worker
+/// threads; each worker materialises its own [`Machine`] from it with
+/// [`MachineSnapshot::to_machine`] and then rewinds between trials with
+/// [`Machine::reset_to`].
+///
+/// Victim programs are deliberately excluded (they are `Box<dyn ...>` state
+/// machines with interior handles): take the snapshot *before* installing a
+/// victim and install a fresh victim per trial after each reset.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    hierarchy: Hierarchy,
+    latency: LatencyModel,
+    noise: NoiseProcess,
+    clock: u64,
+    rng: StdRng,
+    attacker_aspace: AddressSpace,
+    attacker_core: CoreId,
+    helper_core: CoreId,
+    helper_echo: bool,
+    victim_core: CoreId,
+    stats: MachineStats,
+}
+
+impl MachineSnapshot {
+    /// Materialises an independent machine in exactly the snapshotted state.
+    pub fn to_machine(&self) -> Machine {
+        Machine {
+            hierarchy: self.hierarchy.clone(),
+            latency: self.latency.clone(),
+            noise: self.noise.clone(),
+            clock: self.clock,
+            rng: self.rng.clone(),
+            attacker_aspace: self.attacker_aspace.clone(),
+            attacker_core: self.attacker_core,
+            helper_core: self.helper_core,
+            helper_echo: self.helper_echo,
+            victim_core: self.victim_core,
+            victim: None,
+            victim_run_starts: Vec::new(),
+            stats: self.stats,
         }
     }
 }
@@ -374,6 +431,76 @@ impl Machine {
             .unwrap_or(false)
     }
 
+    // ---- snapshot / reset ---------------------------------------------------
+
+    /// Captures the complete machine state — hierarchy contents, replacement
+    /// metadata, paging, noise bookkeeping, clock, RNG position and counters —
+    /// as an immutable [`MachineSnapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a victim program is installed: victims are boxed state
+    /// machines and are intentionally re-installed per trial rather than
+    /// snapshotted (see [`MachineSnapshot`]).
+    pub fn snapshot(&self) -> MachineSnapshot {
+        assert!(
+            self.victim.is_none(),
+            "snapshot a machine before installing a victim; install victims per trial"
+        );
+        MachineSnapshot {
+            hierarchy: self.hierarchy.clone(),
+            latency: self.latency.clone(),
+            noise: self.noise.clone(),
+            clock: self.clock,
+            rng: self.rng.clone(),
+            attacker_aspace: self.attacker_aspace.clone(),
+            attacker_core: self.attacker_core,
+            helper_core: self.helper_core,
+            helper_echo: self.helper_echo,
+            victim_core: self.victim_core,
+            stats: self.stats,
+        }
+    }
+
+    /// Rewinds this machine to `snapshot`, dropping any installed victim and
+    /// run history. After the call the machine is indistinguishable from one
+    /// returned by [`MachineSnapshot::to_machine`].
+    ///
+    /// This is the per-trial hot path of the `llc-fleet` executor, so the
+    /// copy is performed **in place**: every tag array, replacement box,
+    /// page-table and noise-map allocation of `self` is reused. The machine
+    /// must have been created from this snapshot's specification (snapshot
+    /// restores across different specs are a programming error and panic in
+    /// debug builds).
+    pub fn reset_to(&mut self, snapshot: &MachineSnapshot) {
+        self.hierarchy.restore_from(&snapshot.hierarchy);
+        self.latency.clone_from(&snapshot.latency);
+        self.noise.restore_from(&snapshot.noise);
+        self.clock = snapshot.clock;
+        self.rng = snapshot.rng.clone();
+        self.attacker_aspace.restore_from(&snapshot.attacker_aspace);
+        self.attacker_core = snapshot.attacker_core;
+        self.helper_core = snapshot.helper_core;
+        self.helper_echo = snapshot.helper_echo;
+        self.victim_core = snapshot.victim_core;
+        self.victim = None;
+        self.victim_run_starts.clear();
+        self.stats = snapshot.stats;
+    }
+
+    /// Reseeds the machine's stochastic streams: background noise and
+    /// latency jitter, plus the attacker address space's frame lottery
+    /// (future allocations only; existing mappings keep their frames).
+    ///
+    /// After a [`Machine::reset_to`] every trial would otherwise replay the
+    /// identical noise, jitter and VA→PA lottery streams; reseeding with a
+    /// per-trial seed (see `llc-fleet`'s seed derivation) keeps trials
+    /// statistically independent while remaining fully deterministic.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(stream_seed(seed, RESEED_RNG_STREAM));
+        self.attacker_aspace.reseed(stream_seed(seed, RESEED_ASPACE_STREAM));
+    }
+
     // ---- internals ----------------------------------------------------------
 
     fn rng_seed(&mut self) -> u64 {
@@ -611,5 +738,110 @@ mod tests {
     fn victim_oracle_without_victim_panics() {
         let m = quiet_machine();
         let _ = m.oracle_victim_location(VirtAddr::new(0x1000));
+    }
+
+    /// Drives `m` through a fixed access script and returns every observable:
+    /// measured latencies, serving levels and final clock.
+    fn observe_script(m: &mut Machine, base: VirtAddr) -> (Vec<(u64, HitLevel)>, u64) {
+        let mut out = Vec::new();
+        for i in 0..32u64 {
+            out.push(m.timed_access(base.offset((i % 7) * 64)));
+        }
+        m.idle(10_000);
+        for i in 0..16u64 {
+            out.push(m.timed_access(base.offset(i * 4096)));
+        }
+        (out, m.now())
+    }
+
+    #[test]
+    fn snapshot_restore_replays_bit_identically() {
+        let mut m = Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::cloud_run())
+            .seed(11)
+            .build();
+        let base = m.alloc_attacker_pages(16);
+        // Warm the machine so the snapshot captures non-trivial state.
+        for i in 0..8u64 {
+            m.access(base.offset(i * 64));
+        }
+        let snap = m.snapshot();
+
+        let (a, clock_a) = observe_script(&mut m, base);
+        m.reset_to(&snap);
+        let (b, clock_b) = observe_script(&mut m, base);
+        let mut fresh = snap.to_machine();
+        let (c, clock_c) = observe_script(&mut fresh, base);
+
+        assert_eq!(a, b, "reset_to must rewind every observable");
+        assert_eq!(a, c, "to_machine must materialise the identical state");
+        assert_eq!(clock_a, clock_b);
+        assert_eq!(clock_a, clock_c);
+    }
+
+    #[test]
+    fn reseed_diverges_noise_and_jitter_streams() {
+        let mut m = Machine::builder(CacheSpec::tiny_test())
+            .noise(NoiseModel::cloud_run())
+            .seed(11)
+            .build();
+        let base = m.alloc_attacker_pages(16);
+        let snap = m.snapshot();
+        let (a, _) = observe_script(&mut m, base);
+        m.reset_to(&snap);
+        m.reseed(0xfee1);
+        let (b, _) = observe_script(&mut m, base);
+        assert_ne!(a, b, "a different trial seed must produce a different stream");
+        // And the reseeded stream is itself reproducible.
+        m.reset_to(&snap);
+        m.reseed(0xfee1);
+        let (b2, _) = observe_script(&mut m, base);
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn reseed_redraws_the_frame_lottery_for_future_allocations() {
+        let mut m = quiet_machine();
+        let snap = m.snapshot();
+        let locations = |m: &mut Machine, seed: u64| -> Vec<_> {
+            m.reset_to(&snap);
+            m.reseed(seed);
+            let base = m.alloc_attacker_pages(4);
+            (0..4).map(|i| m.oracle_attacker_location(base.offset(i * 4096))).collect()
+        };
+        let a = locations(&mut m, 1);
+        let b = locations(&mut m, 2);
+        assert_ne!(a, b, "different trial seeds must sample different physical layouts");
+        assert_eq!(b, locations(&mut m, 2), "the lottery must stay deterministic per seed");
+    }
+
+    #[test]
+    fn reset_drops_victim_and_run_history() {
+        let mut m = quiet_machine();
+        let snap = m.snapshot();
+        let toucher = PeriodicToucher::new(1_000, 10, 0x240);
+        m.install_victim(Box::new(toucher), true, 0);
+        m.idle(50_000);
+        assert!(m.victim_runs() >= 1);
+        m.reset_to(&snap);
+        assert_eq!(m.victim_runs(), 0);
+        assert!(m.victim_run_starts().is_empty());
+        assert!(!m.victim_busy());
+    }
+
+    #[test]
+    #[should_panic]
+    fn snapshot_with_victim_panics() {
+        let mut m = quiet_machine();
+        m.install_victim(Box::new(PeriodicToucher::new(100, 5, 0)), true, 0);
+        let _ = m.snapshot();
+    }
+
+    #[test]
+    fn snapshot_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MachineSnapshot>();
+        fn assert_send<T: Send>() {}
+        assert_send::<Machine>();
     }
 }

@@ -71,7 +71,7 @@ impl NoiseModel {
 }
 
 /// Lazily-evaluated per-set Poisson noise process.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NoiseProcess {
     model: NoiseModel,
     /// Last cycle at which each set was synchronised with the noise process.
@@ -100,6 +100,14 @@ impl NoiseProcess {
     /// The underlying model.
     pub fn model(&self) -> &NoiseModel {
         &self.model
+    }
+
+    /// Copies `source`'s state into `self` in place, reusing the
+    /// synchronisation map's allocation (hot path of machine restores).
+    pub fn restore_from(&mut self, source: &NoiseProcess) {
+        self.model.clone_from(&source.model);
+        self.last_sync.clone_from(&source.last_sync);
+        self.max_burst = source.max_burst;
     }
 
     /// Computes the background accesses that hit `loc` between the last

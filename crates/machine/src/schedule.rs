@@ -73,7 +73,7 @@ impl VictimSchedule {
 
 /// A victim service: owns victim memory and produces one [`VictimSchedule`]
 /// per request.
-pub trait VictimProgram: std::fmt::Debug {
+pub trait VictimProgram: std::fmt::Debug + Send {
     /// Called once when the program is installed on a machine, with the
     /// victim's private address space. Implementations allocate their code
     /// and data pages here.
