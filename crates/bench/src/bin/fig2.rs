@@ -17,7 +17,7 @@ fn main() {
     let envs = Environment::all();
     let curves = opts
         .fleet()
-        .run(envs.len(), 0xf16_2, |ctx| measure_noise_cdf(&spec, envs[ctx.trial], samples, ctx.seed));
+        .run(envs.len(), 0xf162, |ctx| measure_noise_cdf(&spec, envs[ctx.trial], samples, ctx.seed));
 
     println!("{:<18} {:>22}", "Environment", "Mean accesses/ms/set");
     for c in &curves {

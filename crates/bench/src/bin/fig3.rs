@@ -22,7 +22,7 @@ fn main() {
         "Candidates", "Parallel (us)", "Sequential (us)", "Speed-up"
     );
     let points =
-        measure_test_eviction(&spec, Environment::CloudRun, &counts, repeats, 0xf16_3, &opts.fleet());
+        measure_test_eviction(&spec, Environment::CloudRun, &counts, repeats, 0xf163, &opts.fleet());
     for p in points {
         println!(
             "{:<16} {:>16.1} {:>16.1} {:>9.1}x",

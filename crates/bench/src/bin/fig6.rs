@@ -25,7 +25,7 @@ fn main() {
         .iter()
         .flat_map(|&i| strategies.iter().map(move |&s| (i, s)))
         .collect();
-    let points = opts.fleet().run(cells.len(), 0xf16_6, |ctx| {
+    let points = opts.fleet().run(cells.len(), 0xf166, |ctx| {
         let (interval, strategy) = cells[ctx.trial];
         measure_monitoring(&spec, Environment::CloudRun, strategy, interval, sender_accesses, ctx.seed)
     });

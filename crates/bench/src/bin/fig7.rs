@@ -16,7 +16,7 @@ fn main() {
     // seed derivation matches every other experiment.
     let cmp = opts
         .fleet()
-        .run(1, 0xf16_7, |ctx| measure_psd_example(&spec, Environment::CloudRun, trace_cycles, ctx.seed))
+        .run(1, 0xf167, |ctx| measure_psd_example(&spec, Environment::CloudRun, trace_cycles, ctx.seed))
         .pop()
         .expect("one trial");
 

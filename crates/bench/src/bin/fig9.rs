@@ -14,7 +14,7 @@ fn main() {
     // A single measurement dispatched through the fleet for uniform seeding.
     let example = opts
         .fleet()
-        .run(1, 0xf16_9, |ctx| {
+        .run(1, 0xf169, |ctx| {
             measure_extraction_example(&spec, Environment::CloudRun, nonce_bits, ctx.seed)
         })
         .pop()

@@ -3,47 +3,13 @@
 //!
 //! The three strategy cells are independent measurements and are sharded
 //! across the `llc-fleet` workers (`--threads`/`LLC_THREADS`); `--smoke`
-//! runs a pinned, smaller configuration.
+//! runs the pinned configuration the golden tests diff. The report itself is
+//! generated in-process by `llc_bench::reports::table5_report`, which
+//! `tests/experiment_smoke.rs` covers against `tests/golden/`.
 
-use llc_bench::experiments::{measure_monitoring, Environment};
-use llc_bench::RunOpts;
-use llc_probe::Strategy;
+use llc_bench::{reports, RunOpts};
 
 fn main() {
     let opts = RunOpts::parse();
-    let spec = opts.spec();
-    let sender_accesses = if opts.smoke { 100 } else { 400 };
-    let strategies = Strategy::all();
-
-    println!("Table 5 — prime and probe latencies ({}, Cloud Run noise)", spec.name);
-    println!(
-        "{:<12} {:>18} {:>18} {:>16}",
-        "Strategy", "Prime (cycles)", "Probe (cycles)", "Detection @10k"
-    );
-    let points = opts.fleet().run(strategies.len(), 0x7ab1e5, |ctx| {
-        measure_monitoring(
-            &spec,
-            Environment::CloudRun,
-            strategies[ctx.trial],
-            10_000,
-            sender_accesses,
-            ctx.seed,
-        )
-    });
-    for point in points {
-        println!(
-            "{:<12} {:>10.0} ± {:<6.0} {:>10.0} ± {:<6.0} {:>15.1}%",
-            point.strategy.to_string(),
-            point.stats.mean_prime_cycles,
-            point.stats.std_prime_cycles,
-            point.stats.mean_probe_cycles,
-            point.stats.std_probe_cycles,
-            100.0 * point.detection_rate
-        );
-    }
-    println!();
-    println!("Paper (2 GHz Xeon 8173M): PS-Flush prime 6,024, PS-Alt prime 2,777,");
-    println!("Parallel prime 1,121 cycles; probe 94 vs 118 cycles. The reproduced claim");
-    println!("is the ordering: Parallel's prime is several times cheaper while its probe");
-    println!("is only slightly more expensive.");
+    print!("{}", reports::table5_report(&opts));
 }

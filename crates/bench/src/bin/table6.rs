@@ -3,62 +3,13 @@
 //!
 //! Identification trials run through the `llc-fleet` executor
 //! (`--threads`/`LLC_THREADS`, byte-identical output for any thread count);
-//! `--smoke` runs a pinned, smaller configuration.
+//! `--smoke` runs the pinned configuration the golden tests diff. The report
+//! itself is generated in-process by `llc_bench::reports::table6_report`,
+//! which `tests/experiment_smoke.rs` covers against `tests/golden/`.
 
-use llc_bench::experiments::{measure_identification, Environment};
-use llc_bench::{env_usize, pct, RunOpts};
+use llc_bench::{reports, RunOpts};
 
 fn main() {
     let opts = RunOpts::parse();
-    let spec = opts.spec();
-    let trials = opts.trials(2, 3);
-    // PageOffset: scan the sets reachable at the target's page offset.
-    // WholeSys is approximated by scanning several times as many sets in
-    // random order (the full 64x sweep is available via LLC_WHOLESYS_SETS).
-    let page_offset_sets = if opts.smoke {
-        spec.sf.uncertainty().min(8)
-    } else {
-        spec.sf.uncertainty().min(env_usize("LLC_PAGEOFFSET_SETS", 24))
-    };
-    let wholesys_sets = if opts.smoke {
-        page_offset_sets * 2
-    } else {
-        env_usize("LLC_WHOLESYS_SETS", page_offset_sets * 4)
-    };
-    let freq = spec.freq_ghz;
-    let timeout_po = ((if opts.smoke { 5.0 } else { 10.0 }) * freq * 1e9) as u64;
-    let timeout_ws = ((if opts.smoke { 10.0 } else { 40.0 }) * freq * 1e9) as u64;
-    let fleet = opts.fleet();
-
-    println!("Table 6 — PSD-based target-set identification ({})", spec.name);
-    println!(
-        "{:<12} {:>8} {:>10} {:>14} {:>14} {:>14}",
-        "Scenario", "Sets", "Success", "Avg time (s)", "Std time (s)", "Scan rate (/s)"
-    );
-    for (label, sets, timeout) in
-        [("PageOffset", page_offset_sets, timeout_po), ("WholeSys", wholesys_sets, timeout_ws)]
-    {
-        let stats = measure_identification(
-            &spec,
-            Environment::CloudRun,
-            sets,
-            trials,
-            timeout,
-            0x7ab1e6,
-            &fleet,
-        );
-        println!(
-            "{:<12} {:>8} {:>10} {:>14.2} {:>14.2} {:>14.0}",
-            label,
-            sets,
-            pct(stats.success_rate),
-            stats.success_time_s.mean,
-            stats.success_time_s.std_dev,
-            stats.scan_rate_per_s
-        );
-    }
-    println!();
-    println!("Paper: 94.1% success in 6.1 s (PageOffset) and 73.9% in 179.7 s (WholeSys),");
-    println!("scanning 762-831 sets/s. The reproduced claims are the high PageOffset");
-    println!("success rate and the WholeSys degradation caused by de-synchronisation.");
+    print!("{}", reports::table6_report(&opts));
 }

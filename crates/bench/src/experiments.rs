@@ -390,7 +390,7 @@ pub fn measure_noise_cdf(
         trace.timestamps.extend(t.timestamps.iter().copied());
         trace.start = trace.start.min(t.start);
         trace.end = t.end;
-        if trace.timestamps.len() >= samples + 1 {
+        if trace.timestamps.len() > samples {
             break;
         }
     }

@@ -100,7 +100,7 @@ impl Default for RunOpts {
 impl RunOpts {
     /// Parses `std::env::args`, exiting with a usage message on bad input.
     pub fn parse() -> Self {
-        match Self::from_iter(std::env::args().skip(1)) {
+        match Self::from_args(std::env::args().skip(1)) {
             Ok(opts) => opts,
             Err(msg) => {
                 eprintln!("{msg}");
@@ -110,8 +110,9 @@ impl RunOpts {
         }
     }
 
-    /// Parses an explicit argument list (testable core of [`RunOpts::parse`]).
-    pub fn from_iter<I, S>(args: I) -> Result<Self, String>
+    /// Parses an explicit argument list (testable core of [`RunOpts::parse`];
+    /// named to avoid colliding with `FromIterator::from_iter`).
+    pub fn from_args<I, S>(args: I) -> Result<Self, String>
     where
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
@@ -240,16 +241,16 @@ mod tests {
 
     #[test]
     fn run_opts_parse_forms() {
-        let o = RunOpts::from_iter(["--threads", "4", "--smoke"]).unwrap();
+        let o = RunOpts::from_args(["--threads", "4", "--smoke"]).unwrap();
         assert_eq!(o.threads, 4);
         assert!(o.smoke);
-        let o = RunOpts::from_iter(["--threads=2"]).unwrap();
+        let o = RunOpts::from_args(["--threads=2"]).unwrap();
         assert_eq!(o.threads, 2);
         assert!(!o.smoke);
-        assert!(RunOpts::from_iter(["--bogus"]).is_err());
-        assert!(RunOpts::from_iter(["--threads", "0"]).is_err());
-        assert!(RunOpts::from_iter(["--threads"]).is_err());
-        assert!(RunOpts::from_iter(Vec::<String>::new()).unwrap().threads >= 1);
+        assert!(RunOpts::from_args(["--bogus"]).is_err());
+        assert!(RunOpts::from_args(["--threads", "0"]).is_err());
+        assert!(RunOpts::from_args(["--threads"]).is_err());
+        assert!(RunOpts::from_args(Vec::<String>::new()).unwrap().threads >= 1);
     }
 
     #[test]

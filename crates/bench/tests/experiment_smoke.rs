@@ -1,11 +1,12 @@
 //! Golden smoke tests for the experiment binaries.
 //!
-//! `table3 --smoke` and `table4 --smoke` are generated **in-process** through
+//! `table{3,4,5,6} --smoke` are generated **in-process** through
 //! `llc_bench::reports` (the binaries are one-line wrappers around the same
 //! functions) and compared byte-for-byte against the checked-in expected
-//! output under `tests/golden/`. Until now the 11 experiment binaries had no
-//! regression coverage beyond "they compile"; any change to the simulation,
-//! the seed derivation, or the aggregation now shows up as a golden diff.
+//! output under `tests/golden/`. Any change to the simulation, the seed
+//! derivation, or the aggregation shows up as a golden diff — including the
+//! cache-storage layout rewrites, whose replacement semantics these files
+//! pin.
 //!
 //! The smoke configuration is pinned (fixed 4-slice host, fixed trial
 //! counts, no environment-variable dependence) and, because trial seeds are
@@ -15,12 +16,15 @@
 //!
 //! To regenerate after an intentional change:
 //! `cargo run --release -p llc-bench --bin table3 -- --smoke > crates/bench/tests/golden/table3_smoke.txt`
-//! (same for table4), then review the diff like any other code change.
+//! (same for table4/table5/table6), then review the diff like any other
+//! code change.
 
 use llc_bench::{reports, RunOpts};
 
 const TABLE3_GOLDEN: &str = include_str!("golden/table3_smoke.txt");
 const TABLE4_GOLDEN: &str = include_str!("golden/table4_smoke.txt");
+const TABLE5_GOLDEN: &str = include_str!("golden/table5_smoke.txt");
+const TABLE6_GOLDEN: &str = include_str!("golden/table6_smoke.txt");
 
 /// Diffs `actual` against `expected` with a readable first-mismatch report.
 fn assert_matches_golden(name: &str, actual: &str, expected: &str) {
@@ -56,9 +60,37 @@ fn table4_smoke_matches_golden() {
 }
 
 #[test]
+fn table5_smoke_matches_golden() {
+    let report = reports::table5_report(&RunOpts::smoke_with_threads(2));
+    assert_matches_golden("table5 --smoke", &report, TABLE5_GOLDEN);
+}
+
+#[test]
+fn table6_smoke_matches_golden() {
+    let report = reports::table6_report(&RunOpts::smoke_with_threads(2));
+    assert_matches_golden("table6 --smoke", &report, TABLE6_GOLDEN);
+}
+
+#[test]
 fn table3_smoke_is_thread_count_invariant() {
     let one = reports::table3_report(&RunOpts::smoke_with_threads(1));
     let eight = reports::table3_report(&RunOpts::smoke_with_threads(8));
     assert_eq!(one, eight, "table3 --smoke must be byte-identical at 1 and 8 threads");
     assert_matches_golden("table3 --smoke --threads 1", &one, TABLE3_GOLDEN);
+}
+
+#[test]
+fn table5_smoke_is_thread_count_invariant() {
+    let one = reports::table5_report(&RunOpts::smoke_with_threads(1));
+    let eight = reports::table5_report(&RunOpts::smoke_with_threads(8));
+    assert_eq!(one, eight, "table5 --smoke must be byte-identical at 1 and 8 threads");
+    assert_matches_golden("table5 --smoke --threads 1", &one, TABLE5_GOLDEN);
+}
+
+#[test]
+fn table6_smoke_is_thread_count_invariant() {
+    let one = reports::table6_report(&RunOpts::smoke_with_threads(1));
+    let eight = reports::table6_report(&RunOpts::smoke_with_threads(8));
+    assert_eq!(one, eight, "table6 --smoke must be byte-identical at 1 and 8 threads");
+    assert_matches_golden("table6 --smoke --threads 1", &one, TABLE6_GOLDEN);
 }

@@ -1,27 +1,36 @@
 //! Whole cache structures: a private cache and a sliced shared structure.
+//!
+//! Both are thin indexing layers over one flat [`SetArena`]: a [`Cache`]
+//! maps the physical-address set-index bits to an arena row, a
+//! [`SlicedCache`] first routes through a [`SliceHash`] and flattens
+//! `(slice, set)` to `slice * sets_per_slice + set`. All tag/payload/
+//! replacement state lives in the arena's contiguous arrays, so cloning or
+//! restoring a whole structure is a handful of flat-buffer copies.
 
 use crate::addr::LineAddr;
 use crate::geometry::{CacheGeometry, SlicedGeometry};
 use crate::replacement::ReplacementKind;
-use crate::set::{CacheSet, Entry};
+use crate::set::{Entry, SetArena, SetView, SetViewMut};
 use crate::slice::SliceHash;
 use std::sync::Arc;
 
-/// A non-sliced cache (L1 or L2): an array of [`CacheSet`]s indexed by the
+/// A non-sliced cache (L1 or L2): a [`SetArena`] indexed by the
 /// physical-address set-index bits.
 #[derive(Debug, Clone)]
 pub struct Cache<T> {
     geometry: CacheGeometry,
-    sets: Vec<CacheSet<T>>,
+    arena: SetArena<T>,
 }
 
-impl<T> Cache<T> {
+impl<T: Copy + Default> Cache<T> {
     /// Creates an empty cache with the given geometry and replacement policy.
     pub fn new(geometry: CacheGeometry, repl: ReplacementKind, seed: u64) -> Self {
-        let sets = (0..geometry.sets())
-            .map(|i| CacheSet::new(geometry.ways(), repl, seed.wrapping_add(i as u64)))
-            .collect();
-        Self { geometry, sets }
+        // Per-set RNG seed derivation unchanged from the per-set era, so
+        // random-replacement streams replay identically.
+        let arena = SetArena::new(geometry.sets(), geometry.ways(), repl, |i| {
+            seed.wrapping_add(i as u64)
+        });
+        Self { geometry, arena }
     }
 
     /// This cache's geometry.
@@ -36,73 +45,73 @@ impl<T> Cache<T> {
 
     /// Returns true if `line` is present.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].contains(line)
+        self.arena.view(self.set_index(line)).contains(line)
     }
 
     /// Looks up `line`, updating replacement state on a hit.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut T> {
         let idx = self.set_index(line);
-        self.sets[idx].lookup(line)
+        self.arena.view_mut(idx).lookup(line)
     }
 
     /// Looks up `line` without updating replacement state.
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
-        self.sets[self.set_index(line)].peek(line)
+        self.arena.view(self.set_index(line)).peek(line)
     }
 
     /// Inserts `line`, returning any evicted entry.
     pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Entry<T>> {
         let idx = self.set_index(line);
-        self.sets[idx].insert(line, payload)
+        self.arena.view_mut(idx).insert(line, payload)
     }
 
     /// Removes `line`, returning its payload if present.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<T> {
         let idx = self.set_index(line);
-        self.sets[idx].invalidate(line)
+        self.arena.view_mut(idx).invalidate(line)
     }
 
     /// Marks `line` as the next victim of its set, if present.
     pub fn demote(&mut self, line: LineAddr) -> bool {
         let idx = self.set_index(line);
-        self.sets[idx].demote(line)
+        self.arena.view_mut(idx).demote(line)
     }
 
-    /// Direct access to a set by index (for tests and instrumentation).
-    pub fn set(&self, index: usize) -> &CacheSet<T> {
-        &self.sets[index]
+    /// Read-only view of a set by index (for tests and instrumentation).
+    pub fn set_view(&self, index: usize) -> SetView<'_, T> {
+        self.arena.view(index)
+    }
+
+    /// Mutable view of a set by index (the tightened hot-path handle).
+    pub fn set_view_mut(&mut self, index: usize) -> SetViewMut<'_, T> {
+        self.arena.view_mut(index)
     }
 
     /// Removes every line from the cache.
     pub fn clear(&mut self) {
-        for s in &mut self.sets {
-            s.clear();
-        }
+        self.arena.clear();
     }
-}
 
-impl<T: Clone> Cache<T> {
     /// Copies `source`'s contents into `self` in place, reusing every
     /// allocation. Both caches must share a geometry (true when restoring
     /// from a snapshot of the same specification).
     pub fn restore_from(&mut self, source: &Cache<T>) {
         debug_assert_eq!(self.geometry, source.geometry, "snapshot geometry mismatch");
-        for (dst, src) in self.sets.iter_mut().zip(&source.sets) {
-            dst.restore_from(src);
-        }
+        self.arena.restore_from(&source.arena);
     }
 }
 
 /// A sliced shared structure (LLC or snoop filter): `num_slices` independent
-/// set arrays, selected by a [`SliceHash`] over the physical line address.
+/// set ranges of one flat [`SetArena`], selected by a [`SliceHash`] over the
+/// physical line address.
 #[derive(Debug, Clone)]
 pub struct SlicedCache<T> {
     geometry: SlicedGeometry,
     hash: Arc<dyn SliceHash>,
-    slices: Vec<Vec<CacheSet<T>>>,
+    arena: SetArena<T>,
 }
 
-impl<T> SlicedCache<T> {
+impl<T: Copy + Default> SlicedCache<T> {
     /// Creates an empty sliced cache.
     ///
     /// # Panics
@@ -119,20 +128,16 @@ impl<T> SlicedCache<T> {
             hash.num_slices(),
             "slice hash and geometry disagree on the number of slices"
         );
-        let slices = (0..geometry.num_slices())
-            .map(|s| {
-                (0..geometry.slice_geometry().sets())
-                    .map(|i| {
-                        CacheSet::new(
-                            geometry.ways(),
-                            repl,
-                            seed.wrapping_add((s * 100_003 + i) as u64),
-                        )
-                    })
-                    .collect()
-            })
-            .collect();
-        Self { geometry, hash, slices }
+        let sets_per_slice = geometry.slice_geometry().sets();
+        // Per-set RNG seed derivation unchanged from the per-set era
+        // (slice * 100_003 + set), so random-replacement streams replay
+        // identically.
+        let arena =
+            SetArena::new(geometry.num_slices() * sets_per_slice, geometry.ways(), repl, |flat| {
+                let (s, i) = (flat / sets_per_slice, flat % sets_per_slice);
+                seed.wrapping_add((s * 100_003 + i) as u64)
+            });
+        Self { geometry, hash, arena }
     }
 
     /// This structure's sliced geometry.
@@ -145,34 +150,59 @@ impl<T> SlicedCache<T> {
         SetLocation { slice: self.hash.slice_of(line), set: self.geometry.set_index(line) }
     }
 
+    /// Flattens a location into the arena's set index.
+    #[inline]
+    fn flat(&self, loc: SetLocation) -> usize {
+        loc.flat_index(self.geometry.slice_geometry().sets())
+    }
+
     /// Returns true if `line` is present.
     pub fn contains(&self, line: LineAddr) -> bool {
-        let loc = self.location(line);
-        self.slices[loc.slice][loc.set].contains(line)
+        let idx = self.flat(self.location(line));
+        self.arena.view(idx).contains(line)
     }
 
     /// Looks up `line`, updating replacement state on a hit.
     pub fn lookup(&mut self, line: LineAddr) -> Option<&mut T> {
         let loc = self.location(line);
-        self.slices[loc.slice][loc.set].lookup(line)
+        self.lookup_at(loc, line)
+    }
+
+    /// [`SlicedCache::lookup`] with a pre-computed location, so a caller that
+    /// touches several structures sharing one slice hash (the hierarchy's
+    /// LLC + SF access path) pays the hash once.
+    pub fn lookup_at(&mut self, loc: SetLocation, line: LineAddr) -> Option<&mut T> {
+        let idx = self.flat(loc);
+        self.arena.view_mut(idx).lookup(line)
+    }
+
+    /// [`SlicedCache::peek`] with a pre-computed location.
+    pub fn peek_at(&self, loc: SetLocation, line: LineAddr) -> Option<&T> {
+        self.arena.view(self.flat(loc)).peek(line)
+    }
+
+    /// [`SlicedCache::invalidate`] with a pre-computed location.
+    pub fn invalidate_at(&mut self, loc: SetLocation, line: LineAddr) -> Option<T> {
+        let idx = self.flat(loc);
+        self.arena.view_mut(idx).invalidate(line)
     }
 
     /// Looks up `line` without updating replacement state.
     pub fn peek(&self, line: LineAddr) -> Option<&T> {
         let loc = self.location(line);
-        self.slices[loc.slice][loc.set].peek(line)
+        self.peek_at(loc, line)
     }
 
     /// Looks up `line` mutably without updating replacement state.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut T> {
-        let loc = self.location(line);
-        self.slices[loc.slice][loc.set].peek_mut(line)
+        let idx = self.flat(self.location(line));
+        self.arena.view_mut(idx).peek_mut(line)
     }
 
     /// Inserts `line`, returning any evicted entry.
     pub fn insert(&mut self, line: LineAddr, payload: T) -> Option<Entry<T>> {
-        let loc = self.location(line);
-        self.slices[loc.slice][loc.set].insert(line, payload)
+        let idx = self.flat(self.location(line));
+        self.arena.view_mut(idx).insert(line, payload)
     }
 
     /// Inserts directly into an explicit (slice, set) location.
@@ -182,51 +212,54 @@ impl<T> SlicedCache<T> {
     /// hash. `line` should be a synthetic line number that does not collide
     /// with real allocations.
     pub fn insert_at(&mut self, loc: SetLocation, line: LineAddr, payload: T) -> Option<Entry<T>> {
-        self.slices[loc.slice][loc.set].insert(line, payload)
+        let idx = self.flat(loc);
+        self.arena.view_mut(idx).insert(line, payload)
     }
 
     /// Removes `line`, returning its payload if present.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<T> {
         let loc = self.location(line);
-        self.slices[loc.slice][loc.set].invalidate(line)
+        self.invalidate_at(loc, line)
     }
 
     /// Marks `line` as the next victim of its set, if present.
     pub fn demote(&mut self, line: LineAddr) -> bool {
         let loc = self.location(line);
-        self.slices[loc.slice][loc.set].demote(line)
+        self.demote_at(loc, line)
     }
 
-    /// Direct access to a set (for tests and instrumentation).
-    pub fn set(&self, loc: SetLocation) -> &CacheSet<T> {
-        &self.slices[loc.slice][loc.set]
+    /// [`SlicedCache::demote`] with a pre-computed location.
+    pub fn demote_at(&mut self, loc: SetLocation, line: LineAddr) -> bool {
+        let idx = self.flat(loc);
+        self.arena.view_mut(idx).demote(line)
+    }
+
+    /// Read-only view of a set (for tests and instrumentation).
+    pub fn set_view(&self, loc: SetLocation) -> SetView<'_, T> {
+        self.arena.view(self.flat(loc))
+    }
+
+    /// Mutable view of a set (the tightened hot-path handle).
+    pub fn set_view_mut(&mut self, loc: SetLocation) -> SetViewMut<'_, T> {
+        let idx = self.flat(loc);
+        self.arena.view_mut(idx)
     }
 
     /// Occupancy of a specific set.
     pub fn occupancy(&self, loc: SetLocation) -> usize {
-        self.slices[loc.slice][loc.set].occupancy()
+        self.arena.view(self.flat(loc)).occupancy()
     }
 
     /// Removes every line from the structure.
     pub fn clear(&mut self) {
-        for slice in &mut self.slices {
-            for set in slice {
-                set.clear();
-            }
-        }
+        self.arena.clear();
     }
-}
 
-impl<T: Clone> SlicedCache<T> {
     /// Copies `source`'s contents into `self` in place, reusing every
     /// allocation (see [`Cache::restore_from`]).
     pub fn restore_from(&mut self, source: &SlicedCache<T>) {
         debug_assert_eq!(self.geometry, source.geometry, "snapshot geometry mismatch");
-        for (dst_slice, src_slice) in self.slices.iter_mut().zip(&source.slices) {
-            for (dst, src) in dst_slice.iter_mut().zip(src_slice) {
-                dst.restore_from(src);
-            }
-        }
+        self.arena.restore_from(&source.arena);
     }
 }
 
@@ -304,6 +337,30 @@ mod tests {
     fn flat_index_round_trip() {
         let loc = SetLocation::new(3, 17);
         assert_eq!(loc.flat_index(2048), 3 * 2048 + 17);
+    }
+
+    #[test]
+    fn set_views_expose_arena_state() {
+        let mut c: Cache<u8> = Cache::new(CacheGeometry::new(2, 2), ReplacementKind::Lru, 0);
+        c.insert(line(0), 7);
+        let view = c.set_view(0);
+        assert_eq!(view.occupancy(), 1);
+        assert_eq!(view.line(0), Some(line(0)));
+        assert_eq!(view.payload(0), Some(&7));
+        assert!(c.set_view_mut(0).contains(line(0)));
+    }
+
+    #[test]
+    fn random_replacement_streams_are_per_set_and_reproducible() {
+        let geom = CacheGeometry::new(2, 2);
+        let mut a: Cache<()> = Cache::new(geom, ReplacementKind::Random, 9);
+        let mut b: Cache<()> = Cache::new(geom, ReplacementKind::Random, 9);
+        // Overflow set 0 of both caches with the same lines: the eviction
+        // sequence must replay identically.
+        let evictions = |c: &mut Cache<()>| {
+            (0..16).filter_map(|i| c.insert(line(i * 2), ()).map(|e| e.line)).collect::<Vec<_>>()
+        };
+        assert_eq!(evictions(&mut a), evictions(&mut b));
     }
 
     #[test]

@@ -40,6 +40,14 @@ pub struct PrivLine {
     pub state: CoherenceState,
 }
 
+impl Default for PrivLine {
+    /// Placeholder payload for invalid ways of the flat set arenas; never
+    /// read while a way's valid bit is clear.
+    fn default() -> Self {
+        Self { state: CoherenceState::Shared }
+    }
+}
+
 /// Payload stored in LLC ways. LLC-resident lines are Shared by construction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LlcLine;
@@ -150,6 +158,20 @@ impl Hierarchy {
 
     /// Creates an empty hierarchy with a caller-supplied slice hash.
     pub fn with_slice_hash(spec: CacheSpec, hash: Arc<dyn SliceHash>, seed: u64) -> Self {
+        // The access path computes one shared (slice, set) location and uses
+        // it for both the LLC and the SF, which is only sound while the two
+        // structures share slice count and per-slice set count (true of
+        // every modelled CPU; Section 2.3 describes them as parallel arrays).
+        assert_eq!(
+            spec.llc.num_slices(),
+            spec.sf.num_slices(),
+            "LLC and SF must have the same slice count"
+        );
+        assert_eq!(
+            spec.llc.slice_geometry().sets(),
+            spec.sf.slice_geometry().sets(),
+            "LLC and SF must have the same per-slice set count"
+        );
         let l1 = (0..spec.cores)
             .map(|c| Cache::new(spec.l1, spec.private_replacement, seed ^ (c as u64) << 8))
             .collect();
@@ -180,8 +202,9 @@ impl Hierarchy {
     /// replacement metadata — into `self` **in place**, reusing `self`'s
     /// allocations. Both hierarchies must come from the same specification
     /// (true when rewinding a machine to a snapshot of itself); restoring a
-    /// warmed 8-slice Skylake-SP this way performs zero heap allocations,
-    /// where `clone()` performs one per cache set and replacement box.
+    /// warmed 8-slice Skylake-SP this way performs zero heap allocations —
+    /// each level's flat set arena restores with a handful of
+    /// `copy_from_slice` memcpys, with no per-set recursion.
     pub fn restore_from(&mut self, source: &Hierarchy) {
         debug_assert_eq!(self.spec, source.spec, "snapshot specification mismatch");
         self.options = source.options;
@@ -230,7 +253,28 @@ impl Hierarchy {
 
     /// Performs one memory access from `core` to `line`.
     pub fn access(&mut self, core: CoreId, line: LineAddr, kind: AccessKind) -> AccessOutcome {
+        // The LLC and SF share sets and slice hash (asserted at
+        // construction), so the shared location is computed once for the
+        // whole access instead of per structure-level probe.
+        let loc = self.llc.location(line);
+        self.access_at(core, line, loc, kind)
+    }
+
+    /// [`Hierarchy::access`] with a pre-computed shared location.
+    ///
+    /// The machine layer already derives `line`'s LLC/SF location to apply
+    /// pending background noise before the access; passing it through skips
+    /// a redundant slice-hash evaluation on the hottest path in the
+    /// simulator. `loc` must equal `shared_location(line)`.
+    pub fn access_at(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        loc: SetLocation,
+        kind: AccessKind,
+    ) -> AccessOutcome {
         assert!(core < self.spec.cores, "core {core} out of range");
+        debug_assert_eq!(loc, self.llc.location(line), "location does not match the line");
         let state_on_fill = match kind {
             AccessKind::Read => CoherenceState::Exclusive,
             AccessKind::Write => CoherenceState::Modified,
@@ -242,7 +286,7 @@ impl Hierarchy {
             if kind == AccessKind::Write {
                 entry.state = CoherenceState::Modified;
             }
-            self.refresh_backing_recency(line, state);
+            self.refresh_backing_recency_at(loc, line, state);
             let _ = self.l2[core].lookup(line); // keep the L2 copy warm as well
             return AccessOutcome { level: HitLevel::L1, displaced_sf_entry: false };
         }
@@ -254,12 +298,12 @@ impl Hierarchy {
                 self.l2[core].lookup(line).expect("just hit").state = CoherenceState::Modified;
             }
             self.fill_l1(core, line, state);
-            self.refresh_backing_recency(line, state);
+            self.refresh_backing_recency_at(loc, line, state);
             return AccessOutcome { level: HitLevel::L2, displaced_sf_entry: false };
         }
 
         // 3. Shared LLC: the line is Shared somewhere in the package.
-        if self.llc.lookup(line).is_some() {
+        if self.llc.lookup_at(loc, line).is_some() {
             // Section 2.3: when an LLC-resident line needs to transition to a
             // private state (no other core still holds a copy), it is removed
             // from the LLC and an SF entry is allocated to track it. This is
@@ -269,22 +313,22 @@ impl Hierarchy {
                 self.fill_private(core, line, CoherenceState::Shared);
                 return AccessOutcome { level: HitLevel::Llc, displaced_sf_entry: false };
             }
-            self.llc.invalidate(line);
+            self.llc.invalidate_at(loc, line);
             self.fill_private(core, line, state_on_fill);
-            let displaced = self.allocate_sf_entry(line, SfEntry::owner(core));
+            let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
             return AccessOutcome { level: HitLevel::Llc, displaced_sf_entry: displaced };
         }
 
         // 4. Snoop filter: the line is private to another core (or the same
         //    core's copy was silently dropped). Transition it to Shared.
-        if let Some(entry) = self.sf.peek(line).copied() {
-            self.sf.invalidate(line);
+        if let Some(entry) = self.sf.peek_at(loc, line).copied() {
+            self.sf.invalidate_at(loc, line);
             for owner in entry.iter_owners() {
                 if owner < self.spec.cores {
                     self.downgrade_to_shared(owner, line);
                 }
             }
-            self.insert_llc(line);
+            self.insert_llc_at(loc, line);
             self.fill_private(core, line, CoherenceState::Shared);
             return AccessOutcome { level: HitLevel::SfSnoop, displaced_sf_entry: false };
         }
@@ -292,7 +336,7 @@ impl Hierarchy {
         // 5. Miss everywhere: fetch from memory, install privately, allocate
         //    an SF entry to track the new private line.
         self.fill_private(core, line, state_on_fill);
-        let displaced = self.allocate_sf_entry(line, SfEntry::owner(core));
+        let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
         AccessOutcome { level: HitLevel::Memory, displaced_sf_entry: displaced }
     }
 
@@ -333,8 +377,9 @@ impl Hierarchy {
     /// the victim (or by another tenant) displaces it even though the
     /// attacker keeps re-touching it during the scope checks.
     pub fn prime_as_victim(&mut self, line: LineAddr) {
-        if !self.llc.demote(line) {
-            self.sf.demote(line);
+        let loc = self.llc.location(line);
+        if !self.llc.demote_at(loc, line) {
+            self.sf.demote_at(loc, line);
         }
     }
 
@@ -366,6 +411,18 @@ impl Hierarchy {
     /// Occupancy of an SF set (used by instrumentation and tests).
     pub fn sf_occupancy(&self, loc: SetLocation) -> usize {
         self.sf.occupancy(loc)
+    }
+
+    /// Read-only view of an LLC set's tag array and replacement metadata
+    /// (instrumentation/oracle use; the attack algorithms never see this).
+    pub fn llc_set_view(&self, loc: SetLocation) -> crate::SetView<'_, LlcLine> {
+        self.llc.set_view(loc)
+    }
+
+    /// Read-only view of an SF set's tag array and replacement metadata
+    /// (instrumentation/oracle use; the attack algorithms never see this).
+    pub fn sf_set_view(&self, loc: SetLocation) -> crate::SetView<'_, SfEntry> {
+        self.sf.set_view(loc)
     }
 
     /// Drops every cached line (used between independent experiment trials).
@@ -411,10 +468,11 @@ impl Hierarchy {
         }
     }
 
-    /// Allocates an SF entry for `line`, returning whether an existing entry
-    /// (belonging to another core or tenant) had to be displaced.
-    fn allocate_sf_entry(&mut self, line: LineAddr, entry: SfEntry) -> bool {
-        match self.sf.insert(line, entry) {
+    /// Allocates an SF entry for `line` at its pre-computed shared location,
+    /// returning whether an existing entry (belonging to another core or
+    /// tenant) had to be displaced.
+    fn allocate_sf_entry_at(&mut self, loc: SetLocation, line: LineAddr, entry: SfEntry) -> bool {
+        match self.sf.insert_at(loc, line, entry) {
             Some(evicted) => {
                 self.handle_sf_eviction(evicted.line, evicted.payload);
                 true
@@ -452,7 +510,12 @@ impl Hierarchy {
     }
 
     fn insert_llc(&mut self, line: LineAddr) {
-        if let Some(evicted) = self.llc.insert(line, LlcLine) {
+        let loc = self.llc.location(line);
+        self.insert_llc_at(loc, line);
+    }
+
+    fn insert_llc_at(&mut self, loc: SetLocation, line: LineAddr) {
+        if let Some(evicted) = self.llc.insert_at(loc, line, LlcLine) {
             // A Shared line evicted from the LLC loses its backing store;
             // invalidate any private copies so that the next access misses.
             self.invalidate_private_everywhere(evicted.line);
@@ -467,13 +530,13 @@ impl Hierarchy {
     /// in the LLC/SF and gets evicted by a single conflicting insertion,
     /// which no real non-inclusive hierarchy exhibits for actively-used lines
     /// and which would make every `TestEviction`-based algorithm misbehave.
-    fn refresh_backing_recency(&mut self, line: LineAddr, state: CoherenceState) {
+    fn refresh_backing_recency_at(&mut self, loc: SetLocation, line: LineAddr, state: CoherenceState) {
         match state {
             CoherenceState::Shared => {
-                let _ = self.llc.lookup(line);
+                let _ = self.llc.lookup_at(loc, line);
             }
             CoherenceState::Exclusive | CoherenceState::Modified => {
-                let _ = self.sf.lookup(line);
+                let _ = self.sf.lookup_at(loc, line);
             }
         }
     }

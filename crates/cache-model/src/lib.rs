@@ -55,8 +55,6 @@ pub use hierarchy::{
 };
 pub use paging::{AddressSpace, TranslateError};
 pub use presets::CacheSpec;
-pub use replacement::{
-    LruState, RandomState, ReplacementKind, ReplacementState, SrripState, TreePlruState,
-};
-pub use set::{CacheSet, Entry};
+pub use replacement::ReplacementKind;
+pub use set::{Entry, SetArena, SetView, SetViewMut};
 pub use slice::{ModuloSliceHash, SliceHash, XorFoldSliceHash};

@@ -9,7 +9,7 @@
 use crate::addr::{PhysAddr, VirtAddr, PAGE_BITS, PAGE_SIZE};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 
 /// Error returned when translating an unmapped virtual address.
@@ -26,7 +26,19 @@ impl fmt::Display for TranslateError {
 
 impl std::error::Error for TranslateError {}
 
+/// Virtual page number of the first user mapping (a typical mmap-ish VA).
+const VA_BASE_PAGE: u64 = 0x7f00_0000_0000 >> PAGE_BITS;
+
+/// Frame-table sentinel marking a virtual page as unmapped.
+const UNMAPPED: u64 = u64::MAX;
+
 /// A per-process virtual address space backed by randomly chosen frames.
+///
+/// Virtual pages are handed out contiguously from a fixed base, so the page
+/// table is a flat `Vec<u64>` indexed by `page_number - base` rather than a
+/// hash map: translation — which runs once per simulated memory access, the
+/// hottest lookup in the whole simulator — is a bounds check plus an array
+/// load instead of a SipHash round.
 ///
 /// # Examples
 ///
@@ -40,8 +52,10 @@ impl std::error::Error for TranslateError {}
 /// ```
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
-    /// Virtual page number -> physical frame number.
-    page_table: HashMap<u64, u64>,
+    /// Physical frame backing each virtual page, indexed by
+    /// `page_number - VA_BASE_PAGE`; [`UNMAPPED`] marks a hole (never
+    /// produced today, but kept as a guard against stale handles).
+    frames: Vec<u64>,
     used_frames: HashSet<u64>,
     total_frames: u64,
     next_va_page: u64,
@@ -61,11 +75,10 @@ impl AddressSpace {
     pub fn new(total_frames: u64, seed: u64) -> Self {
         assert!(total_frames > 0, "total_frames must be non-zero");
         Self {
-            page_table: HashMap::new(),
+            frames: Vec::new(),
             used_frames: HashSet::new(),
             total_frames,
-            // Start user mappings at a typical mmap-ish VA.
-            next_va_page: 0x7f00_0000_0000 >> PAGE_BITS,
+            next_va_page: VA_BASE_PAGE,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -85,9 +98,10 @@ impl AddressSpace {
 
     /// Copies `source`'s mappings and RNG position into `self` in place,
     /// reusing the page-table and frame-set allocations (hot path of
-    /// machine restores).
+    /// machine restores; the page table restores as one `clone_from`
+    /// truncation over the flat frame vector).
     pub fn restore_from(&mut self, source: &AddressSpace) {
-        self.page_table.clone_from(&source.page_table);
+        self.frames.clone_from(&source.frames);
         self.used_frames.clone_from(&source.used_frames);
         self.total_frames = source.total_frames;
         self.next_va_page = source.next_va_page;
@@ -96,7 +110,7 @@ impl AddressSpace {
 
     /// Number of virtual pages currently mapped.
     pub fn mapped_pages(&self) -> usize {
-        self.page_table.len()
+        self.frames.len()
     }
 
     /// Allocates `count` virtually-contiguous pages and returns the base
@@ -108,9 +122,10 @@ impl AddressSpace {
     pub fn allocate_pages(&mut self, count: usize) -> VirtAddr {
         let base_page = self.next_va_page;
         self.next_va_page += count as u64;
-        for i in 0..count as u64 {
+        self.frames.reserve(count);
+        for _ in 0..count {
             let frame = self.pick_frame();
-            self.page_table.insert(base_page + i, frame);
+            self.frames.push(frame);
         }
         VirtAddr::new(base_page << PAGE_BITS)
     }
@@ -140,12 +155,13 @@ impl AddressSpace {
     ///
     /// Returns [`TranslateError`] if the page containing `va` was never
     /// allocated through this address space.
+    #[inline]
     pub fn translate(&self, va: VirtAddr) -> Result<PhysAddr, TranslateError> {
-        let frame = self
-            .page_table
-            .get(&va.page_number())
-            .copied()
-            .ok_or(TranslateError { va })?;
+        let idx = va.page_number().wrapping_sub(VA_BASE_PAGE);
+        let frame = match self.frames.get(idx as usize) {
+            Some(&f) if f != UNMAPPED => f,
+            _ => return Err(TranslateError { va }),
+        };
         Ok(PhysAddr::new((frame << PAGE_BITS) | va.page_offset()))
     }
 

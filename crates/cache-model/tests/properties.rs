@@ -79,11 +79,16 @@ proptest! {
     /// Replacement policies always return an in-range victim.
     #[test]
     fn replacement_victims_in_range(ways in 1usize..24, touches in prop::collection::vec(any::<u16>(), 1..64)) {
-        for kind in [ReplacementKind::Lru, ReplacementKind::TreePlru, ReplacementKind::Srrip, ReplacementKind::Random] {
-            let mut st = kind.build(ways, 3);
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let mut rng = SmallRng::seed_from_u64(3);
+        for kind in [ReplacementKind::Lru, ReplacementKind::TreePlru, ReplacementKind::Qlru, ReplacementKind::Srrip, ReplacementKind::Random] {
+            let mut meta = vec![0u64; ways];
+            kind.init_meta(&mut meta);
             for (i, t) in touches.iter().enumerate() {
-                st.touch(*t as usize % ways, i % 3 == 0);
-                prop_assert!(st.victim() < ways);
+                kind.touch(&mut meta, *t as usize % ways, i % 3 == 0);
+                let rng = kind.uses_rng().then_some(&mut rng);
+                prop_assert!(kind.victim(&mut meta, rng) < ways);
             }
         }
     }

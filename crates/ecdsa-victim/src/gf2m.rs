@@ -58,15 +58,13 @@ impl Gf571 {
         let clean: String = hex.chars().filter(|c| !c.is_whitespace()).collect();
         let clean = clean.trim_start_matches("0x");
         let mut limbs = [0u64; LIMBS];
-        let mut nibble_idx = 0usize;
-        for c in clean.chars().rev() {
+        for (nibble_idx, c) in clean.chars().rev().enumerate() {
             let v = c.to_digit(16).expect("invalid hex digit") as u64;
             let bit = nibble_idx * 4;
             let limb = bit / 64;
             let shift = bit % 64;
             assert!(limb < LIMBS, "hex value too large for GF(2^571)");
             limbs[limb] |= v << shift;
-            nibble_idx += 1;
         }
         Self::from_limbs(limbs)
     }
@@ -111,8 +109,8 @@ impl Gf571 {
     /// Field addition (XOR).
     pub fn add(&self, other: &Gf571) -> Gf571 {
         let mut limbs = [0u64; LIMBS];
-        for i in 0..LIMBS {
-            limbs[i] = self.limbs[i] ^ other.limbs[i];
+        for (l, (&a, &b)) in limbs.iter_mut().zip(self.limbs.iter().zip(&other.limbs)) {
+            *l = a ^ b;
         }
         Gf571 { limbs }
     }
@@ -122,25 +120,25 @@ impl Gf571 {
         // 4-bit windowed left-to-right multiplication into an 18-limb product.
         let mut table = [[0u64; LIMBS + 1]; 16];
         // table[w] = w(x) * other, where w is a 4-bit polynomial.
-        for w in 1usize..16 {
+        for (w, entry) in table.iter_mut().enumerate().skip(1) {
             let mut acc = [0u64; LIMBS + 1];
             for bit in 0..4 {
                 if (w >> bit) & 1 == 1 {
                     // acc ^= other << bit
                     let mut carry = 0u64;
-                    for i in 0..LIMBS {
+                    for (a, &limb) in acc.iter_mut().zip(&other.limbs) {
                         let v = if bit == 0 {
-                            self_or(other.limbs[i], 0)
+                            self_or(limb, 0)
                         } else {
-                            (other.limbs[i] << bit) | carry
+                            (limb << bit) | carry
                         };
-                        acc[i] ^= v;
-                        carry = if bit == 0 { 0 } else { other.limbs[i] >> (64 - bit) };
+                        *a ^= v;
+                        carry = if bit == 0 { 0 } else { limb >> (64 - bit) };
                     }
                     acc[LIMBS] ^= carry;
                 }
             }
-            table[w] = acc;
+            *entry = acc;
         }
 
         let mut product = [0u64; 2 * LIMBS];

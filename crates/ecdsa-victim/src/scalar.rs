@@ -118,10 +118,10 @@ impl U576 {
     pub fn add_with_carry(&self, other: &U576) -> (U576, bool) {
         let mut out = [0u64; LIMBS];
         let mut carry = 0u64;
-        for i in 0..LIMBS {
-            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+        for (o, (&a, &b)) in out.iter_mut().zip(self.limbs.iter().zip(&other.limbs)) {
+            let (s1, c1) = a.overflowing_add(b);
             let (s2, c2) = s1.overflowing_add(carry);
-            out[i] = s2;
+            *o = s2;
             carry = (c1 as u64) + (c2 as u64);
         }
         (U576 { limbs: out }, carry != 0)
@@ -131,10 +131,10 @@ impl U576 {
     pub fn sub_with_borrow(&self, other: &U576) -> (U576, bool) {
         let mut out = [0u64; LIMBS];
         let mut borrow = 0u64;
-        for i in 0..LIMBS {
-            let (d1, b1) = self.limbs[i].overflowing_sub(other.limbs[i]);
+        for (o, (&a, &b)) in out.iter_mut().zip(self.limbs.iter().zip(&other.limbs)) {
+            let (d1, b1) = a.overflowing_sub(b);
             let (d2, b2) = d1.overflowing_sub(borrow);
-            out[i] = d2;
+            *o = d2;
             borrow = (b1 as u64) + (b2 as u64);
         }
         (U576 { limbs: out }, borrow != 0)
@@ -143,10 +143,10 @@ impl U576 {
     /// Logical right shift by one bit.
     pub fn shr1(&self) -> U576 {
         let mut out = [0u64; LIMBS];
-        for i in 0..LIMBS {
-            out[i] = self.limbs[i] >> 1;
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = self.limbs[i] >> 1;
             if i + 1 < LIMBS {
-                out[i] |= self.limbs[i + 1] << 63;
+                *o |= self.limbs[i + 1] << 63;
             }
         }
         U576 { limbs: out }

@@ -92,11 +92,11 @@ impl PruningAlgorithm for PrimeScope {
                 machine.prime_as_victim(ta);
                 machine.set_helper_echo(target == TargetCache::Llc);
                 let mut found_at: Option<usize> = None;
-                for idx in 0..list.len() {
+                for (idx, &candidate) in list.iter().enumerate() {
                     if idx % 64 == 0 {
                         check_deadline(machine, start, deadline)?;
                     }
-                    machine.access(list[idx]);
+                    machine.access(candidate);
                     let (latency, _) = machine.scope_check(ta);
                     tests += 1;
                     if latency >= threshold {

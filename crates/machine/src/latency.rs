@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn parallel_cost_of_hits_is_small() {
         let m = LatencyModel::default();
-        let probe = m.parallel_cost(&vec![HitLevel::L1; 12]);
+        let probe = m.parallel_cost(&[HitLevel::L1; 12]);
         // Ballpark of the paper's 118-cycle parallel probe (minus timer).
         assert!(probe > 20 && probe < 200, "probe cost {probe} out of range");
     }
@@ -168,8 +168,7 @@ mod tests {
 
     #[test]
     fn jitter_zero_is_identity() {
-        let mut m = LatencyModel::default();
-        m.jitter = 0.0;
+        let m = LatencyModel { jitter: 0.0, ..Default::default() };
         let mut rng = SmallRng::seed_from_u64(1);
         assert_eq!(m.jittered(100, &mut rng), 100);
     }
@@ -180,7 +179,7 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(2);
         for _ in 0..1000 {
             let v = m.jittered(1000, &mut rng);
-            assert!(v >= 950 && v <= 1050, "jittered value {v} outside 5% band");
+            assert!((950..=1050).contains(&v), "jittered value {v} outside 5% band");
         }
     }
 

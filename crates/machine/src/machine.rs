@@ -91,12 +91,13 @@ impl MachineBuilder {
     /// and victim need distinct physical cores).
     pub fn build(self) -> Machine {
         assert!(self.spec.cores >= 3, "need at least 3 cores (attacker, helper, victim)");
+        let sets_per_slice = self.spec.llc.slice_geometry().sets();
         let mut hierarchy = Hierarchy::new(self.spec.clone(), self.seed);
         hierarchy.set_options(self.hierarchy_options);
         Machine {
             hierarchy,
             latency: self.latency,
-            noise: NoiseProcess::new(self.noise),
+            noise: NoiseProcess::new(self.noise, sets_per_slice),
             clock: 0,
             rng: StdRng::seed_from_u64(self.seed ^ 0x6d61_6368),
             attacker_aspace: AddressSpace::with_seed(self.seed ^ 0xa77a),
@@ -107,6 +108,10 @@ impl MachineBuilder {
             victim: None,
             victim_run_starts: Vec::new(),
             stats: MachineStats::default(),
+            scratch_lines: Vec::new(),
+            scratch_levels: Vec::new(),
+            scratch_locs: Vec::new(),
+            scratch_locs_sorted: Vec::new(),
         }
     }
 }
@@ -157,6 +162,10 @@ impl MachineSnapshot {
             victim: None,
             victim_run_starts: Vec::new(),
             stats: self.stats,
+            scratch_lines: Vec::new(),
+            scratch_levels: Vec::new(),
+            scratch_locs: Vec::new(),
+            scratch_locs_sorted: Vec::new(),
         }
     }
 }
@@ -195,6 +204,14 @@ pub struct Machine {
     victim: Option<VictimRuntime>,
     victim_run_starts: Vec<u64>,
     stats: MachineStats,
+    /// Reusable buffers for the traverse hot paths (probe strategies call
+    /// them once per monitoring interval; allocating per call dominated the
+    /// probe profile). Not part of snapshots: scratch contents are dead
+    /// outside a single call.
+    scratch_lines: Vec<LineAddr>,
+    scratch_levels: Vec<HitLevel>,
+    scratch_locs: Vec<SetLocation>,
+    scratch_locs_sorted: Vec<SetLocation>,
 }
 
 impl Machine {
@@ -281,8 +298,9 @@ impl Machine {
     /// served it. Advances the clock by the access latency.
     pub fn access(&mut self, va: VirtAddr) -> HitLevel {
         let line = self.attacker_line(va);
-        self.prepare_sets(&[line]);
-        let level = self.do_attacker_access(line);
+        let loc = self.hierarchy.shared_location(line);
+        self.prepare_set(loc);
+        let level = self.do_attacker_access(line, loc);
         let cost = self.latency.level_latency(level) + self.latency.issue_overhead;
         let cost = self.latency.jittered(cost, &mut self.rng);
         self.tick(cost);
@@ -293,8 +311,9 @@ impl Machine {
     /// latency in cycles (including timer overhead) and the serving level.
     pub fn timed_access(&mut self, va: VirtAddr) -> (u64, HitLevel) {
         let line = self.attacker_line(va);
-        self.prepare_sets(&[line]);
-        let level = self.do_attacker_access(line);
+        let loc = self.hierarchy.shared_location(line);
+        self.prepare_set(loc);
+        let level = self.do_attacker_access(line, loc);
         let raw = self.latency.level_latency(level) + self.latency.timer_overhead;
         let measured = self.latency.jittered(raw, &mut self.rng);
         self.tick(measured);
@@ -304,10 +323,9 @@ impl Machine {
     /// Traverses `vas` with overlapped (parallel) accesses, untimed.
     /// Returns the total cycles consumed.
     pub fn parallel_traverse(&mut self, vas: &[VirtAddr]) -> u64 {
-        let lines: Vec<LineAddr> = vas.iter().map(|&va| self.attacker_line(va)).collect();
-        self.prepare_sets(&lines);
-        let levels: Vec<HitLevel> = lines.iter().map(|&l| self.do_attacker_access(l)).collect();
+        let levels = self.traverse(vas);
         let cost = self.latency.parallel_cost(&levels);
+        self.scratch_levels = levels;
         let cost = self.latency.jittered(cost, &mut self.rng);
         self.tick(cost);
         cost
@@ -316,10 +334,9 @@ impl Machine {
     /// Traverses `vas` with overlapped accesses and *times the traversal*;
     /// returns the measured latency (including timer overhead).
     pub fn timed_parallel_traverse(&mut self, vas: &[VirtAddr]) -> u64 {
-        let lines: Vec<LineAddr> = vas.iter().map(|&va| self.attacker_line(va)).collect();
-        self.prepare_sets(&lines);
-        let levels: Vec<HitLevel> = lines.iter().map(|&l| self.do_attacker_access(l)).collect();
+        let levels = self.traverse(vas);
         let raw = self.latency.parallel_cost(&levels) + self.latency.timer_overhead;
+        self.scratch_levels = levels;
         let measured = self.latency.jittered(raw, &mut self.rng);
         self.tick(measured);
         measured
@@ -328,13 +345,36 @@ impl Machine {
     /// Traverses `vas` sequentially (pointer-chase style), untimed.
     /// Returns the total cycles consumed.
     pub fn sequential_traverse(&mut self, vas: &[VirtAddr]) -> u64 {
-        let lines: Vec<LineAddr> = vas.iter().map(|&va| self.attacker_line(va)).collect();
-        self.prepare_sets(&lines);
-        let levels: Vec<HitLevel> = lines.iter().map(|&l| self.do_attacker_access(l)).collect();
+        let levels = self.traverse(vas);
         let cost = self.latency.sequential_cost(&levels);
+        self.scratch_levels = levels;
         let cost = self.latency.jittered(cost, &mut self.rng);
         self.tick(cost);
         cost
+    }
+
+    /// Shared traverse core: translates `vas`, applies pending background
+    /// noise to the touched sets, performs the accesses and returns the
+    /// serving levels in the reusable scratch buffer (handed back by the
+    /// caller via `self.scratch_levels` so repeated probes allocate nothing).
+    /// The per-line shared locations computed for the noise catch-up are
+    /// passed through to the hierarchy, so each access evaluates the slice
+    /// hash exactly once.
+    fn traverse(&mut self, vas: &[VirtAddr]) -> Vec<HitLevel> {
+        let mut lines = std::mem::take(&mut self.scratch_lines);
+        lines.clear();
+        lines.extend(vas.iter().map(|&va| self.attacker_line(va)));
+        self.prepare_sets(&lines);
+        let locs = std::mem::take(&mut self.scratch_locs);
+        let mut levels = std::mem::take(&mut self.scratch_levels);
+        levels.clear();
+        for (&l, &loc) in lines.iter().zip(&locs) {
+            let level = self.do_attacker_access(l, loc);
+            levels.push(level);
+        }
+        self.scratch_lines = lines;
+        self.scratch_locs = locs;
+        levels
     }
 
     /// Re-establishes `va` as the eviction candidate (next victim) of its
@@ -512,28 +552,45 @@ impl Machine {
         self.attacker_aspace.translate_unchecked(va).line()
     }
 
-    /// Applies background noise to the shared sets of the given lines.
+    /// Applies background noise to the shared sets of the given lines,
+    /// leaving the per-line locations in `scratch_locs` (1:1 with `lines`)
+    /// for the caller to thread into the accesses.
+    ///
+    /// Noise catch-up runs over the distinct locations in canonical sorted
+    /// order so the RNG stream does not depend on the traversal order (the
+    /// executor's determinism guarantee relies on this).
     fn prepare_sets(&mut self, lines: &[LineAddr]) {
-        let now = self.clock;
-        let mut locs: Vec<SetLocation> = lines.iter().map(|&l| self.hierarchy.shared_location(l)).collect();
-        locs.sort();
-        locs.dedup();
-        for loc in locs {
-            let events = self.noise.catch_up(loc, now, &mut self.rng);
-            self.stats.noise_events += events.len() as u64;
-            for e in events {
-                self.hierarchy.noise_access(loc, e.shared);
-            }
+        let mut locs = std::mem::take(&mut self.scratch_locs);
+        locs.clear();
+        locs.extend(lines.iter().map(|&l| self.hierarchy.shared_location(l)));
+        let mut sorted = std::mem::take(&mut self.scratch_locs_sorted);
+        sorted.clear();
+        sorted.extend_from_slice(&locs);
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &loc in &sorted {
+            self.prepare_set(loc);
+        }
+        self.scratch_locs_sorted = sorted;
+        self.scratch_locs = locs;
+    }
+
+    /// Applies pending background noise to one shared set.
+    fn prepare_set(&mut self, loc: SetLocation) {
+        let events = self.noise.catch_up(loc, self.clock, &mut self.rng);
+        self.stats.noise_events += events.len() as u64;
+        for e in events {
+            self.hierarchy.noise_access(loc, e.shared);
         }
     }
 
-    fn do_attacker_access(&mut self, line: LineAddr) -> HitLevel {
-        let outcome = self.hierarchy.access(self.attacker_core, line, AccessKind::Read);
+    fn do_attacker_access(&mut self, line: LineAddr, loc: SetLocation) -> HitLevel {
+        let outcome = self.hierarchy.access_at(self.attacker_core, line, loc, AccessKind::Read);
         self.stats.attacker_accesses += 1;
         if self.helper_echo {
             // The helper thread repeats the access from another core shortly
             // afterwards, turning the line Shared and pushing it to the LLC.
-            self.hierarchy.access(self.helper_core, line, AccessKind::Read);
+            self.hierarchy.access_at(self.helper_core, line, loc, AccessKind::Read);
             self.stats.attacker_accesses += 1;
         }
         outcome.level
@@ -569,7 +626,7 @@ impl Machine {
                     for e in events {
                         self.hierarchy.noise_access(loc, e.shared);
                     }
-                    self.hierarchy.access(self.victim_core, line, AccessKind::Read);
+                    self.hierarchy.access_at(self.victim_core, line, loc, AccessKind::Read);
                     self.stats.victim_accesses += 1;
                     run.next += 1;
                 }

@@ -12,7 +12,6 @@
 
 use llc_cache_model::SetLocation;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Parameters of the background-tenant access process.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,16 +70,30 @@ impl NoiseModel {
 }
 
 /// Lazily-evaluated per-set Poisson noise process.
+///
+/// Synchronisation timestamps live in a flat vector indexed by the flattened
+/// `(slice, set)` location rather than a hash map: the map lookup ran once
+/// per simulated memory access (the noise catch-up in `Machine`'s
+/// `prepare_sets`), where a SipHash round per access is measurable. The
+/// vector grows on demand and is restored by a truncating `clone_from`, so
+/// machine rewinds stay allocation-free in steady state.
 #[derive(Debug, Clone)]
 pub struct NoiseProcess {
     model: NoiseModel,
-    /// Last cycle at which each set was synchronised with the noise process.
-    last_sync: HashMap<SetLocation, u64>,
+    /// Last cycle at which each set was synchronised with the noise process,
+    /// indexed by `slice * sets_per_slice + set`; [`NEVER_SYNCED`] marks a
+    /// set that has not been observed yet.
+    last_sync: Vec<u64>,
+    /// Sets per slice of the flattened index space.
+    sets_per_slice: usize,
     /// Maximum number of noise insertions applied in one catch-up; older
     /// insertions are fully masked by newer ones, so this only needs to cover
     /// a few times the associativity.
     max_burst: u32,
 }
+
+/// `last_sync` sentinel: the set has never been synchronised.
+const NEVER_SYNCED: u64 = u64::MAX;
 
 /// One background access to apply to the hierarchy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -92,9 +105,12 @@ pub struct NoiseEvent {
 }
 
 impl NoiseProcess {
-    /// Creates a noise process for `model`.
-    pub fn new(model: NoiseModel) -> Self {
-        Self { model, last_sync: HashMap::new(), max_burst: 96 }
+    /// Creates a noise process for `model`, flattening `(slice, set)`
+    /// locations over `sets_per_slice` sets per slice (the LLC/SF slice
+    /// geometry of the simulated host).
+    pub fn new(model: NoiseModel, sets_per_slice: usize) -> Self {
+        assert!(sets_per_slice > 0, "sets_per_slice must be non-zero");
+        Self { model, last_sync: Vec::new(), sets_per_slice, max_burst: 96 }
     }
 
     /// The underlying model.
@@ -103,11 +119,23 @@ impl NoiseProcess {
     }
 
     /// Copies `source`'s state into `self` in place, reusing the
-    /// synchronisation map's allocation (hot path of machine restores).
+    /// synchronisation vector's allocation (hot path of machine restores).
     pub fn restore_from(&mut self, source: &NoiseProcess) {
         self.model.clone_from(&source.model);
         self.last_sync.clone_from(&source.last_sync);
+        self.sets_per_slice = source.sets_per_slice;
         self.max_burst = source.max_burst;
+    }
+
+    /// Flat `last_sync` index of `loc`, growing the vector to cover it.
+    #[inline]
+    fn sync_slot(&mut self, loc: SetLocation) -> &mut u64 {
+        debug_assert!(loc.set < self.sets_per_slice, "set index outside the slice geometry");
+        let idx = loc.flat_index(self.sets_per_slice);
+        if idx >= self.last_sync.len() {
+            self.last_sync.resize(idx + 1, NEVER_SYNCED);
+        }
+        &mut self.last_sync[idx]
     }
 
     /// Computes the background accesses that hit `loc` between the last
@@ -118,8 +146,9 @@ impl NoiseProcess {
     /// set content is entirely noise, which a few dozen insertions already
     /// guarantee.
     pub fn catch_up(&mut self, loc: SetLocation, now: u64, rng: &mut impl Rng) -> Vec<NoiseEvent> {
-        let last = *self.last_sync.get(&loc).unwrap_or(&now);
-        self.last_sync.insert(loc, now);
+        let slot = self.sync_slot(loc);
+        let last = if *slot == NEVER_SYNCED { now } else { *slot };
+        *slot = now;
         if self.model.is_silent() || now <= last {
             return Vec::new();
         }
@@ -141,7 +170,7 @@ impl NoiseProcess {
     /// Used when a set is first observed so that an arbitrarily long
     /// pre-history does not produce a burst on first touch.
     pub fn mark_synced(&mut self, loc: SetLocation, now: u64) {
-        self.last_sync.insert(loc, now);
+        *self.sync_slot(loc) = now;
     }
 
     /// Samples the waiting time (in cycles) until the next background access
@@ -201,7 +230,7 @@ mod tests {
 
     #[test]
     fn silent_noise_produces_no_events() {
-        let mut p = NoiseProcess::new(NoiseModel::silent());
+        let mut p = NoiseProcess::new(NoiseModel::silent(), 2048);
         let mut rng = SmallRng::seed_from_u64(0);
         let loc = SetLocation::new(0, 0);
         p.mark_synced(loc, 0);
@@ -210,7 +239,7 @@ mod tests {
 
     #[test]
     fn catch_up_mean_matches_rate() {
-        let mut p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
         let mut rng = SmallRng::seed_from_u64(7);
         let loc = SetLocation::new(1, 5);
         // 1 ms at 2 GHz = 2e6 cycles -> expect ~11.5 events per window.
@@ -228,7 +257,7 @@ mod tests {
 
     #[test]
     fn first_touch_does_not_burst() {
-        let mut p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
         let mut rng = SmallRng::seed_from_u64(3);
         // Never marked synced: first catch_up treats `now` as the sync point.
         let events = p.catch_up(SetLocation::new(0, 3), 10_000_000_000, &mut rng);
@@ -237,7 +266,7 @@ mod tests {
 
     #[test]
     fn events_are_sorted_and_in_window() {
-        let mut p = NoiseProcess::new(NoiseModel::cloud_run());
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
         let mut rng = SmallRng::seed_from_u64(11);
         let loc = SetLocation::new(2, 9);
         p.mark_synced(loc, 1000);
@@ -267,7 +296,7 @@ mod tests {
 
     #[test]
     fn interarrival_mean_is_inverse_rate() {
-        let p = NoiseProcess::new(NoiseModel::cloud_run());
+        let p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
         let mut rng = SmallRng::seed_from_u64(13);
         let n = 20_000;
         let total: f64 = (0..n).map(|_| p.sample_interarrival(&mut rng) as f64).sum();

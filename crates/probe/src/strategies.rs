@@ -99,25 +99,28 @@ impl PrimedSet {
     /// Primes the monitored set; returns the prime latency in cycles.
     pub fn prime(&mut self, machine: &mut Machine) -> u64 {
         let start = machine.now();
-        let addrs = self.eviction_set.addresses().to_vec();
+        // The machine and the eviction set are disjoint borrows; passing the
+        // addresses straight through keeps the per-interval prime free of
+        // allocations (this runs once per monitoring interval).
+        let addrs = self.eviction_set.addresses();
         match self.strategy {
             Strategy::Parallel => {
                 // Traverse the set W times with overlapped accesses; no
                 // replacement-state preparation is needed because the probe
                 // checks every line.
                 for _ in 0..addrs.len() {
-                    machine.parallel_traverse(&addrs);
+                    machine.parallel_traverse(addrs);
                 }
                 self.armed = true;
             }
             Strategy::PsFlush => {
                 // Load, flush and sequentially reload the set, then leave the
                 // first line primed as the eviction candidate.
-                machine.sequential_traverse(&addrs);
-                for &va in &addrs {
+                machine.sequential_traverse(addrs);
+                for &va in addrs {
                     machine.clflush(va);
                 }
-                machine.sequential_traverse(&addrs);
+                machine.sequential_traverse(addrs);
                 machine.prime_as_victim(addrs[0]);
                 self.armed = true;
             }
@@ -128,7 +131,7 @@ impl PrimedSet {
                 // the expensive flush pattern (Section 6.1's observation).
                 let mut all_private_hits = true;
                 for _ in 0..2 {
-                    for &va in &addrs {
+                    for &va in addrs {
                         let (lat, _) = machine.timed_access(va);
                         if lat > machine.latency_model().private_miss_threshold() {
                             all_private_hits = false;
@@ -151,8 +154,8 @@ impl PrimedSet {
     pub fn probe(&mut self, machine: &mut Machine) -> ProbeOutcome {
         match self.strategy {
             Strategy::Parallel => {
-                let addrs = self.eviction_set.addresses().to_vec();
-                let latency = machine.timed_parallel_traverse(&addrs);
+                let addrs = self.eviction_set.addresses();
+                let latency = machine.timed_parallel_traverse(addrs);
                 let threshold = machine.latency_model().parallel_probe_threshold(addrs.len());
                 ProbeOutcome { latency, detected: latency >= threshold }
             }

@@ -312,7 +312,8 @@ mod tests {
         /// `any` covers the full domain without panicking.
         #[test]
         fn any_samples(a in any::<u64>(), b in any::<u16>()) {
-            prop_assert!(u64::from(b) <= u64::MAX - (a >> 16) || true);
+            let _ = a; // sampling itself is the property under test
+            prop_assert!(u64::from(b) <= u64::from(u16::MAX));
         }
     }
 

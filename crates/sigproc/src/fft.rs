@@ -133,7 +133,7 @@ mod tests {
 
     #[test]
     fn fft_of_constant_is_dc_only() {
-        let spec = fft_real(&vec![2.5; 16]);
+        let spec = fft_real(&[2.5; 16]);
         assert_close(spec[0].re, 40.0, 1e-9);
         for bin in &spec[1..] {
             assert!(bin.abs() < 1e-9);

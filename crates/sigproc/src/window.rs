@@ -2,20 +2,17 @@
 
 /// Supported window shapes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub enum Window {
     /// Rectangular (no tapering).
     Rectangular,
     /// Hann window — the default used by Welch's method.
+    #[default]
     Hann,
     /// Hamming window.
     Hamming,
 }
 
-impl Default for Window {
-    fn default() -> Self {
-        Window::Hann
-    }
-}
 
 impl Window {
     /// Returns the window coefficients for a segment of length `n`.
