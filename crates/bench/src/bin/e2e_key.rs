@@ -1,0 +1,14 @@
+//! Section 7.3 / Step 4: the complete attack loop closed to the victim's
+//! ECDSA private key — multi-signature campaign plus the full end-to-end
+//! attack with the recovery phase.
+//!
+//! Signature observations are sharded through the `llc-fleet` executor
+//! (`--threads`/`LLC_THREADS`; output is bit-identical for every thread
+//! count); `--smoke` runs the pinned golden configuration. Scaling knobs:
+//! `LLC_SIGNATURES`, `LLC_FLIP_BUDGET`, `LLC_CANDIDATES`.
+
+use llc_bench::{reports, RunOpts};
+
+fn main() {
+    print!("{}", reports::e2e_key_report(&RunOpts::parse()));
+}

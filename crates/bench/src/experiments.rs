@@ -6,11 +6,11 @@
 
 use crate::SampleStats;
 use llc_core::{
-    decode_bits, score_extraction, Algorithm, AttackConfig, AttackReport, BoundaryClassifier,
-    ClassifierTrainingConfig, EndToEndAttack, ExtractionConfig, FeatureConfig, ScanConfig,
-    TraceClassifier,
+    decode_bits, decode_bits_soft, score_extraction, Algorithm, AttackConfig, AttackReport,
+    BoundaryClassifier, ClassifierTrainingConfig, EndToEndAttack, ExtractionConfig, FeatureConfig,
+    RecoveryConfig, ScanConfig, TraceClassifier,
 };
-use llc_ecdsa_victim::{EcdsaVictim, EcdsaVictimConfig};
+use llc_ecdsa_victim::{EcdsaVictim, EcdsaVictimConfig, Scalar};
 use llc_evsets::{
     oracle, test_eviction, CandidateSet, EvictionSet, EvsetBuilder,
     EvsetConfig, TargetCache, TraversalOrder,
@@ -20,6 +20,7 @@ use llc_machine::{Machine, NoiseModel};
 use llc_probe::{
     run_covert_channel, AccessTrace, CovertChannelConfig, Monitor, MonitorStats, Strategy,
 };
+use llc_recovery::{attempt_signature, CampaignConfig, SearchConfig, SignatureObservation};
 use llc_sigproc::{welch_psd, BinnedTrace, PowerSpectrum, WelchConfig};
 use llc_cache_model::{CacheSpec, VirtAddr};
 use rand::rngs::StdRng;
@@ -39,6 +40,8 @@ pub mod trial_streams {
     pub const ALLOC: u64 = u64::from_le_bytes(*b"alloc\0\0\0");
     /// Per-trial victim configuration (ECDSA key/nonce material).
     pub const VICTIM: u64 = u64::from_le_bytes(*b"victim\0\0");
+    /// Boundary-classifier training signing of the key-recovery campaign.
+    pub const TRAIN: u64 = u64::from_le_bytes(*b"train\0\0\0");
 }
 
 /// Which environment an experiment models (the paper's two setups).
@@ -859,6 +862,223 @@ pub fn measure_extraction_example(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Step 4: noisy-nonce key recovery (the `e2e_key` experiment)
+// ---------------------------------------------------------------------------
+
+/// Per-signature row of the key-recovery campaign report.
+#[derive(Debug, Clone, Copy)]
+pub struct SignatureAttemptRow {
+    /// Signature index within the campaign (0-based).
+    pub index: usize,
+    /// Soft-decoded bits observed for this signing.
+    pub observed_bits: usize,
+    /// Erased ladder positions after shift-0 alignment.
+    pub erasures: usize,
+    /// Correction-search candidates examined (all shift hypotheses).
+    pub candidates_examined: u64,
+    /// Candidates submitted to public-key verification.
+    pub candidates_tested: u64,
+    /// Whether this signature's corrected nonce verified.
+    pub recovered: bool,
+}
+
+/// Outcome of the fleet-sharded key-recovery campaign.
+#[derive(Debug, Clone)]
+pub struct KeyRecoveryOutcome {
+    /// One row per attacked signature, in order, up to and including the
+    /// successful one.
+    pub per_signature: Vec<SignatureAttemptRow>,
+    /// `signature_index + 1` of the successful signature, if any.
+    pub signatures_needed: Option<usize>,
+    /// Whether the recovered key equals the victim's ground-truth private
+    /// key (always true on success: verification is against the public key).
+    pub matches_ground_truth: bool,
+    /// The recovered private key.
+    pub recovered_key: Option<Scalar>,
+    /// Ladder positions per signature (nonce width − 1).
+    pub ladder_bits: usize,
+    /// Mean simulated cycles spent monitoring one signature.
+    pub mean_capture_cycles: f64,
+}
+
+/// The multi-signature key-recovery campaign as a fleet workload: the
+/// eviction set for the victim's branch-line SF set is prepared once
+/// (oracle-built — Step 1/2 quality is measured by tables 3–6), a boundary
+/// classifier is trained on one profiling signing, and then **each fleet
+/// trial captures one fresh signature**: the worker rewinds its machine to
+/// the shared snapshot, installs a fresh victim (same long-term key, fresh
+/// nonce/jitter streams), reseeds the noise, monitors one signing window and
+/// soft-decodes it. The observations come back in trial order; the
+/// confidence-ordered correction search then attacks them serially until a
+/// corrected nonce verifies against the service's public key, so the whole
+/// report is bit-identical for every `--threads` value.
+pub fn measure_key_recovery(
+    spec: &CacheSpec,
+    environment: Environment,
+    nonce_bits: usize,
+    max_signatures: usize,
+    search: SearchConfig,
+    seed: u64,
+    fleet: &Fleet,
+) -> KeyRecoveryOutcome {
+    const REQUEST_GAP: u64 = 100_000;
+    let victim_template = EcdsaVictimConfig {
+        nonce_bits,
+        pre_cycles: 400_000,
+        post_cycles: 200_000,
+        full_crypto: true,
+        key_seed: 0x515_0b0b,
+        ..EcdsaVictimConfig::default()
+    };
+    let iteration_cycles = victim_template.iteration_cycles;
+    let request_cycles = victim_template.pre_cycles
+        + victim_template.post_cycles
+        + nonce_bits as u64 * iteration_cycles
+        + REQUEST_GAP;
+    let window = request_cycles * 2;
+    let extraction = ExtractionConfig { iteration_cycles, ..ExtractionConfig::default() };
+
+    // Shared base machine: the candidate pool is allocated *before* the
+    // snapshot so its mappings survive every per-trial rewind.
+    let mut base = Machine::builder(spec.clone())
+        .noise(environment.noise())
+        .seed(stream_seed(seed, trial_streams::MACHINE))
+        .build();
+    let mut rng = StdRng::seed_from_u64(stream_seed(seed, trial_streams::ALLOC));
+    let pool = CandidateSet::allocate(
+        &mut base,
+        0x240, // the branch line's page offset, known from the public binary
+        spec.sf.uncertainty() * spec.sf.ways() * 3,
+        &mut rng,
+    );
+    let snapshot = base.snapshot();
+
+    // Probe installation: locate the target SF set and its congruent pool
+    // members. Installing right after the snapshot pins the victim's
+    // address-space lottery — every per-trial install after `reset_to`
+    // replays the same draw, so the eviction set below stays aimed at the
+    // target set in all trials.
+    let install = |machine: &mut Machine, victim_seed: u64| {
+        let cfg = EcdsaVictimConfig { seed: victim_seed, ..victim_template.clone() };
+        let (victim, handle) = EcdsaVictim::new(cfg);
+        machine.install_victim(Box::new(victim), true, REQUEST_GAP);
+        handle
+    };
+    let handle = install(&mut base, stream_seed(seed, trial_streams::VICTIM));
+    let (layout, key_pair) = {
+        let log = handle.lock().expect("victim log");
+        (log.layout.clone().expect("layout"), log.key_pair.clone().expect("full crypto key"))
+    };
+    let target_loc = base.oracle_victim_location(layout.branch_line);
+    let groups = oracle::group_by_location(&base, pool.addresses());
+    let ways = spec.sf.ways();
+    let members = groups
+        .iter()
+        .find(|(loc, m)| **loc == target_loc && m.len() > ways)
+        .map(|(_, m)| m.clone())
+        .expect("candidate pool covers the target set");
+    let evset = EvictionSet::new(members[..ways].to_vec(), TargetCache::Sf);
+    let public = *key_pair.public();
+    let ground_truth = *key_pair.private();
+
+    // Train the boundary classifier on one profiling signing (ground-truth
+    // iteration starts, as in the pipeline and the paper's instrumentation).
+    base.reset_to(&snapshot);
+    let train_handle = install(&mut base, stream_seed(seed, trial_streams::TRAIN));
+    base.reseed(stream_seed(seed, trial_streams::TRAIN));
+    let training = llc_core::capture_signing_run(&mut base, &evset, &train_handle, window, 0)
+        .expect("training window must cover one signing");
+    let train_boundaries: Vec<u64> =
+        training.run.iteration_starts.iter().map(|&o| training.run_start + o).collect();
+    let classifier =
+        BoundaryClassifier::train(&extraction, &[(&training.trace, &train_boundaries)]);
+
+    // One fleet trial = one fresh signature observation.
+    let observations: Vec<Option<SignatureObservation>> = fleet.run_with(
+        max_signatures,
+        seed,
+        |_worker| snapshot.to_machine(),
+        |machine, ctx| {
+            machine.reset_to(&snapshot);
+            // Install before reseeding: the victim layout lottery must
+            // replay the snapshot's stream (see above); only the noise and
+            // nonce streams differ per trial.
+            let handle = install(machine, ctx.stream(trial_streams::VICTIM));
+            machine.reseed(ctx.stream(trial_streams::NOISE));
+            let capture = llc_core::capture_signing_run(machine, &evset, &handle, window, 0)?;
+            let scored = classifier.scored_boundaries(&capture.trace);
+            let decoded = decode_bits_soft(&capture.trace, &scored, &extraction);
+            let mut observation = llc_core::soft_observation(&capture.run, &decoded)?;
+            observation.sim_cycles = capture.cycles;
+            Some(observation)
+        },
+    );
+
+    // Serial, trial-ordered campaign over the observations: deterministic
+    // for any thread count because the fleet returns them in trial order.
+    let ladder_bits = nonce_bits.min(llc_ecdsa_victim::group_order().bit_length()) - 1;
+    let campaign_cfg = CampaignConfig {
+        ladder_bits,
+        iteration_cycles,
+        max_signatures,
+        max_alignment_shift: 1,
+        search,
+    };
+    let mut outcome = KeyRecoveryOutcome {
+        per_signature: Vec::new(),
+        signatures_needed: None,
+        matches_ground_truth: false,
+        recovered_key: None,
+        ladder_bits,
+        mean_capture_cycles: 0.0,
+    };
+    let mut capture_cycles = Vec::new();
+    for (index, observation) in observations.iter().enumerate() {
+        let Some(observation) = observation else { continue };
+        capture_cycles.push(observation.sim_cycles as f64);
+        let (recovered, stats) = attempt_signature(&campaign_cfg, &public, observation);
+        let row = SignatureAttemptRow {
+            index,
+            observed_bits: observation.observed.len(),
+            erasures: stats.erasures,
+            candidates_examined: stats.candidates_examined,
+            candidates_tested: stats.candidates_tested,
+            recovered: recovered.is_some(),
+        };
+        outcome.per_signature.push(row);
+        if let Some(key) = recovered {
+            outcome.signatures_needed = Some(index + 1);
+            outcome.matches_ground_truth = key.private == ground_truth;
+            outcome.recovered_key = Some(key.private);
+            break;
+        }
+    }
+    if !capture_cycles.is_empty() {
+        outcome.mean_capture_cycles =
+            capture_cycles.iter().sum::<f64>() / capture_cycles.len() as f64;
+    }
+    outcome
+}
+
+/// Runs the full end-to-end attack *including Step 4* on the pinned tiny
+/// host (the [`AttackConfig::fast_key_recovery`] configuration, with the
+/// campaign budgets overridable for scaling experiments).
+pub fn run_end_to_end_key(
+    max_signatures: usize,
+    max_flips: usize,
+    seed: u64,
+) -> AttackReport {
+    let mut config = AttackConfig::fast_key_recovery();
+    config.seed = seed;
+    config.recovery = RecoveryConfig {
+        max_signatures,
+        search: SearchConfig { max_flips, ..config.recovery.search },
+        ..config.recovery
+    };
+    EndToEndAttack::new(config).run()
+}
+
 /// Runs the full end-to-end attack (Section 7.3) on a scaled host and returns
 /// the report.
 pub fn run_end_to_end(spec: &CacheSpec, environment: Environment, seed: u64) -> AttackReport {
@@ -965,6 +1185,37 @@ mod tests {
         assert_eq!(points.len(), 2);
         for p in points {
             assert!(p.parallel_us.mean < p.sequential_us.mean);
+        }
+    }
+
+    #[test]
+    fn key_recovery_campaign_on_tiny_machine_is_deterministic() {
+        let run = |threads: usize| {
+            measure_key_recovery(
+                &tiny(),
+                Environment::QuiescentLocal,
+                32,
+                3,
+                SearchConfig { max_candidates: 150, max_flips: 2 },
+                0xeec,
+                &Fleet::new(threads).with_chunk(1),
+            )
+        };
+        let serial = run(1);
+        assert_eq!(serial.ladder_bits, 31);
+        assert!(!serial.per_signature.is_empty(), "campaign must attack at least one signature");
+        let threaded = run(2);
+        assert_eq!(serial.signatures_needed, threaded.signatures_needed);
+        assert_eq!(serial.recovered_key, threaded.recovered_key);
+        assert_eq!(serial.per_signature.len(), threaded.per_signature.len());
+        for (a, b) in serial.per_signature.iter().zip(&threaded.per_signature) {
+            assert_eq!(a.candidates_examined, b.candidates_examined);
+            assert_eq!(a.observed_bits, b.observed_bits);
+        }
+        // On success the key must equal the ground truth (public-key
+        // verification admits no false positives).
+        if serial.signatures_needed.is_some() {
+            assert!(serial.matches_ground_truth);
         }
     }
 

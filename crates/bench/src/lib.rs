@@ -19,6 +19,7 @@
 //! | `fig9`   | Figure 9 — decoded access trace vs ground-truth nonce bits |
 //! | `icelake` | Section 5.3.2 — Skylake-SP vs Ice Lake-SP associativity |
 //! | `end_to_end` | Section 7.3 — median nonce bits recovered, error rate, time |
+//! | `e2e_key` | Section 7.3 / Step 4 — multi-signature campaign recovering the ECDSA private key |
 //!
 //! ## Scaling knobs
 //!

@@ -13,12 +13,14 @@
 //! order-independent, the bytes are identical for every `--threads` value.
 
 use crate::experiments::{
-    measure_bulk, measure_identification, measure_monitoring, measure_single_set, Environment,
+    measure_bulk, measure_identification, measure_key_recovery, measure_monitoring,
+    measure_single_set, run_end_to_end_key, Environment,
 };
 use crate::{env_usize, pct, RunOpts};
 use llc_core::Algorithm;
 use llc_evsets::Scope;
 use llc_probe::Strategy;
+use llc_recovery::SearchConfig;
 use std::fmt::Write;
 
 /// Renders Table 3 — existing pruning algorithms without candidate
@@ -263,6 +265,126 @@ pub fn table6_report(opts: &RunOpts) -> String {
         .unwrap();
     writeln!(w, "scanning 762-831 sets/s. The reproduced claims are the high PageOffset").unwrap();
     writeln!(w, "success rate and the WholeSys degradation caused by de-synchronisation.").unwrap();
+    out
+}
+
+/// Renders the Step 4 key-recovery report: the fleet-sharded
+/// multi-signature campaign plus the full end-to-end attack with recovery.
+///
+/// Scaling knobs (non-smoke mode): `LLC_SIGNATURES` (campaign signature
+/// budget, default 8) and `LLC_FLIP_BUDGET` (max known-bit flips per
+/// candidate, default 2).
+pub fn e2e_key_report(opts: &RunOpts) -> String {
+    let spec = opts.spec();
+    let signatures = if opts.smoke { 6 } else { env_usize("LLC_SIGNATURES", 8) };
+    let flips = if opts.smoke { 2 } else { env_usize("LLC_FLIP_BUDGET", 2) };
+    let search = SearchConfig {
+        max_candidates: if opts.smoke { 300 } else { env_usize("LLC_CANDIDATES", 4096) as u64 },
+        max_flips: flips,
+    };
+    let nonce_bits = 48;
+    let fleet = opts.fleet();
+    let mut out = String::new();
+
+    let w = &mut out;
+    writeln!(w, "Step 4 — noisy-nonce key recovery ({}, Cloud Run noise)", spec.name).unwrap();
+    writeln!(w).unwrap();
+    writeln!(
+        w,
+        "== Multi-signature campaign ({nonce_bits}-bit nonces, one fresh signing per fleet trial) =="
+    )
+    .unwrap();
+    let campaign = measure_key_recovery(
+        &spec,
+        Environment::CloudRun,
+        nonce_bits,
+        signatures,
+        search,
+        0x7ab1e7,
+        &fleet,
+    );
+    writeln!(
+        w,
+        "{:<6} {:>10} {:>10} {:>10} {:>8} {:>10}",
+        "Sig", "Bits obs.", "Erasures", "Examined", "Tested", "Recovered"
+    )
+    .unwrap();
+    for row in &campaign.per_signature {
+        writeln!(
+            w,
+            "{:<6} {:>10} {:>10} {:>10} {:>8} {:>10}",
+            row.index,
+            format!("{}/{}", row.observed_bits, campaign.ladder_bits),
+            row.erasures,
+            row.candidates_examined,
+            row.candidates_tested,
+            if row.recovered { "yes" } else { "no" }
+        )
+        .unwrap();
+    }
+    match campaign.signatures_needed {
+        Some(n) => writeln!(
+            w,
+            "campaign: key recovered after {n} signature(s) | ground truth: {}",
+            if campaign.matches_ground_truth { "MATCH" } else { "MISMATCH" }
+        )
+        .unwrap(),
+        None => writeln!(
+            w,
+            "campaign: no signature broke within budget ({} observed)",
+            campaign.per_signature.len()
+        )
+        .unwrap(),
+    }
+
+    writeln!(w).unwrap();
+    writeln!(w, "== Full end-to-end attack with Step 4 (tiny host, 64-bit nonces) ==").unwrap();
+    let report = run_end_to_end_key(signatures, flips, 0xa77ac4);
+    writeln!(
+        w,
+        "evsets built {} | identified {} | correct {}",
+        report.evset.sets_built, report.identify.identified, report.identify.correct
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "bits recovered (median) {} | bit errors {}",
+        pct(report.extract.median_recovered_fraction()),
+        pct(report.extract.mean_bit_error_rate())
+    )
+    .unwrap();
+    match &report.recovery {
+        Some(r) => {
+            writeln!(
+                w,
+                "key recovered: {} | signatures {} | candidates tested {} | flips {}",
+                if r.recovered_key.is_some() { "yes" } else { "no" },
+                r.signatures_needed.map(|n| n.to_string()).unwrap_or_else(|| "-".into()),
+                r.candidates_tested,
+                r.flips.map(|f| f.to_string()).unwrap_or_else(|| "-".into())
+            )
+            .unwrap();
+            writeln!(
+                w,
+                "ground truth: {} | key (hex): {}",
+                if r.matches_ground_truth { "MATCH" } else { "MISMATCH" },
+                r.recovered_key
+                    .as_ref()
+                    .map(|k| k.value().to_hex())
+                    .unwrap_or_else(|| "-".into())
+            )
+            .unwrap();
+        }
+        None => writeln!(w, "key recovered: no (step 4 did not run)").unwrap(),
+    }
+    writeln!(w, "simulated attack time: {:.3} s", report.total_seconds()).unwrap();
+    writeln!(w).unwrap();
+    writeln!(w, "Paper: the end-to-end result is the victim's ECDSA private key, recovered")
+        .unwrap();
+    writeln!(w, "from partial nonces (median 81% of bits, 3% errors) via cryptanalytic").unwrap();
+    writeln!(w, "post-processing; this harness closes the same loop with a confidence-ordered")
+        .unwrap();
+    writeln!(w, "correction search, verified against the victim's public key only.").unwrap();
     out
 }
 

@@ -25,6 +25,7 @@ const TABLE3_GOLDEN: &str = include_str!("golden/table3_smoke.txt");
 const TABLE4_GOLDEN: &str = include_str!("golden/table4_smoke.txt");
 const TABLE5_GOLDEN: &str = include_str!("golden/table5_smoke.txt");
 const TABLE6_GOLDEN: &str = include_str!("golden/table6_smoke.txt");
+const E2E_KEY_GOLDEN: &str = include_str!("golden/e2e_key_smoke.txt");
 
 /// Diffs `actual` against `expected` with a readable first-mismatch report.
 fn assert_matches_golden(name: &str, actual: &str, expected: &str) {
@@ -69,6 +70,26 @@ fn table5_smoke_matches_golden() {
 fn table6_smoke_matches_golden() {
     let report = reports::table6_report(&RunOpts::smoke_with_threads(2));
     assert_matches_golden("table6 --smoke", &report, TABLE6_GOLDEN);
+}
+
+#[test]
+fn e2e_key_smoke_matches_golden() {
+    let report = reports::e2e_key_report(&RunOpts::smoke_with_threads(2));
+    assert_matches_golden("e2e_key --smoke", &report, E2E_KEY_GOLDEN);
+    // The golden file itself must record a successful, ground-truth-matching
+    // key recovery — the repository's headline claim. Guard against a
+    // regenerated golden silently locking in a broken attack.
+    assert!(E2E_KEY_GOLDEN.contains("campaign: key recovered after"));
+    assert!(E2E_KEY_GOLDEN.contains("key recovered: yes"));
+    assert!(!E2E_KEY_GOLDEN.contains("MISMATCH"));
+}
+
+#[test]
+fn e2e_key_smoke_is_thread_count_invariant() {
+    let one = reports::e2e_key_report(&RunOpts::smoke_with_threads(1));
+    let eight = reports::e2e_key_report(&RunOpts::smoke_with_threads(8));
+    assert_eq!(one, eight, "e2e_key --smoke must be byte-identical at 1 and 8 threads");
+    assert_matches_golden("e2e_key --smoke --threads 1", &one, E2E_KEY_GOLDEN);
 }
 
 #[test]

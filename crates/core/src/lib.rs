@@ -11,13 +11,18 @@
 //!   (`llc-sigproc`) and classified by an SVM (`llc-ml`), Sections 6.2/7.2;
 //! * **Step 3 — exfiltrate information**: the target set is monitored with
 //!   Parallel Probing (`llc-probe`), iteration boundaries are recognised with
-//!   a random forest and the ECDSA nonce bits are decoded and scored against
-//!   the victim's ground truth (`llc-ecdsa-victim`), Section 7.3.
+//!   a random forest and the ECDSA nonce bits are soft-decoded (value +
+//!   confidence) and scored against the victim's ground truth
+//!   (`llc-ecdsa-victim`), Section 7.3;
+//! * **Step 4 — recover the key**: the decoded bits are aligned, corrected
+//!   in confidence order and turned into the victim's private key via
+//!   `d = r⁻¹(s·k − z) mod n`, verified against the *public* key only
+//!   (`llc-recovery`).
 //!
-//! The [`EndToEndAttack`] driver runs all three steps against a simulated
+//! The [`EndToEndAttack`] driver runs the steps against a simulated
 //! multi-tenant host and produces an [`AttackReport`] with the same metrics
 //! the paper reports (fraction of nonce bits recovered, bit error rate,
-//! end-to-end time).
+//! recovered key, end-to-end time).
 //!
 //! ## Quick example
 //!
@@ -38,14 +43,15 @@ mod identify;
 mod pipeline;
 
 pub use extract::{
-    decode_bits, score_extraction, BoundaryClassifier, DecodedBit, ExtractionConfig,
-    ExtractionScore,
+    decode_bits, decode_bits_soft, score_extraction, BoundaryClassifier, DecodedBit,
+    ExtractionConfig, ExtractionScore, ScoredBoundary,
 };
 pub use features::{synthesize_trace, FeatureConfig};
 pub use identify::{
     scan_for_target, ClassifierTrainingConfig, ScanConfig, ScanOutcome, TraceClassifier,
 };
 pub use pipeline::{
-    streams, Algorithm, AttackConfig, AttackReport, EndToEndAttack, EvsetPhase, ExtractPhase,
-    IdentifyPhase,
+    capture_signing_run, soft_observation, streams, Algorithm, AttackConfig, AttackReport,
+    CapturedSigning, EndToEndAttack, EvsetPhase, ExtractPhase, IdentifyPhase, RecoveryConfig,
+    RecoveryPhase,
 };

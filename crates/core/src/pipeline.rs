@@ -1,20 +1,25 @@
 //! The end-to-end, cross-tenant attack pipeline (Section 7): Step 1 builds SF
 //! eviction sets at the victim's page offset, Step 2 identifies the target SF
-//! set with PSD + SVM while triggering the victim, and Step 3 monitors the
-//! target set with Parallel Probing and decodes the ECDSA nonce bits.
+//! set with PSD + SVM while triggering the victim, Step 3 monitors the
+//! target set with Parallel Probing and soft-decodes the ECDSA nonce bits,
+//! and Step 4 (`llc-recovery`) corrects the noisy bits and recovers the
+//! victim's private key, verified against the public key only.
 
 use crate::extract::{
-    decode_bits, score_extraction, BoundaryClassifier, ExtractionConfig, ExtractionScore,
+    decode_bits_soft, score_extraction, BoundaryClassifier, ExtractionConfig, ExtractionScore,
 };
 use crate::features::FeatureConfig;
 use crate::identify::{scan_for_target, ClassifierTrainingConfig, ScanConfig, TraceClassifier};
-use llc_ecdsa_victim::{EcdsaVictim, EcdsaVictimConfig, VictimHandle};
+use llc_ecdsa_victim::{group_order, EcdsaVictim, EcdsaVictimConfig, Scalar, VictimHandle};
 use llc_fleet::stream_seed;
 use llc_evsets::{
     BinarySearch, BulkBuilder, BulkConfig, GroupTesting, PrimeScope, PruningAlgorithm, Scope,
 };
 use llc_machine::{Machine, NoiseModel};
 use llc_probe::{AccessTrace, Monitor, Strategy};
+use llc_recovery::{
+    run_campaign, CampaignConfig, ObservedBit, SearchConfig, SignatureObservation,
+};
 use llc_cache_model::{CacheSpec, SetLocation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -114,8 +119,30 @@ pub struct AttackConfig {
     pub extraction: ExtractionConfig,
     /// Number of signings to capture in Step 3 (paper: 10).
     pub signatures: usize,
+    /// Step 4 (key recovery) parameters.
+    pub recovery: RecoveryConfig,
     /// Random seed.
     pub seed: u64,
+}
+
+/// Configuration of the Step 4 key-recovery campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Maximum signatures the campaign may consume (Step 3 captures first,
+    /// then fresh signings are monitored on demand). `0` disables Step 4;
+    /// the phase also requires a `full_crypto` victim — without real
+    /// signatures there is no key to recover.
+    pub max_signatures: usize,
+    /// Alignment-shift hypotheses tried per signature (`0..=max`).
+    pub max_alignment_shift: usize,
+    /// Budget of the per-signature correction search.
+    pub search: SearchConfig,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        Self { max_signatures: 0, max_alignment_shift: 2, search: SearchConfig::default() }
+    }
 }
 
 impl Default for AttackConfig {
@@ -135,6 +162,7 @@ impl Default for AttackConfig {
             classifier: ClassifierTrainingConfig { features, ..Default::default() },
             extraction: ExtractionConfig::default(),
             signatures: 10,
+            recovery: RecoveryConfig::default(),
             seed: 0xa77ac4,
             victim,
         }
@@ -161,6 +189,20 @@ impl AttackConfig {
         config.scan.timeout_cycles = 400_000_000;
         config.extraction.iteration_cycles = victim.iteration_cycles;
         config.victim = victim;
+        config
+    }
+
+    /// [`AttackConfig::fast_test`] with real crypto and Step 4 enabled: the
+    /// victim signs with scaled (64-bit) nonces and the campaign corrects
+    /// decoded bits until the private key verifies against the public key.
+    pub fn fast_key_recovery() -> Self {
+        let mut config = Self::fast_test();
+        config.victim.full_crypto = true;
+        config.recovery = RecoveryConfig {
+            max_signatures: 8,
+            max_alignment_shift: 1,
+            search: SearchConfig { max_candidates: 300, max_flips: 2 },
+        };
         config
     }
 }
@@ -223,6 +265,34 @@ impl ExtractPhase {
     }
 }
 
+/// Step 4 report: key recovery from the decoded nonce bits.
+#[derive(Debug, Clone)]
+pub struct RecoveryPhase {
+    /// The recovered private key, verified against the victim's *public*
+    /// key only. `None` when every observed signature stayed beyond the
+    /// correction budget.
+    pub recovered_key: Option<Scalar>,
+    /// Oracle validation: whether the recovered key is bit-for-bit the
+    /// victim's ground-truth private key (it always is when `recovered_key`
+    /// is `Some` — public-key verification admits no false positives — but
+    /// the report states it explicitly, like [`IdentifyPhase::correct`]).
+    pub matches_ground_truth: bool,
+    /// Signatures observed (Step 3 captures plus fresh monitoring).
+    pub signatures_observed: usize,
+    /// 1-based index of the signature that broke, if any.
+    pub signatures_needed: Option<usize>,
+    /// Correction-search candidates examined across all attempts.
+    pub candidates_examined: u64,
+    /// Candidates submitted to public-key verification.
+    pub candidates_tested: u64,
+    /// Known-bit flips the successful candidate needed.
+    pub flips: Option<usize>,
+    /// Simulated cycles spent in the phase (additional monitoring).
+    pub cycles: u64,
+    /// Host wall-clock milliseconds spent in the phase (search included).
+    pub wall_ms: f64,
+}
+
 /// The complete end-to-end attack report (Section 7.3).
 #[derive(Debug, Clone)]
 pub struct AttackReport {
@@ -232,6 +302,9 @@ pub struct AttackReport {
     pub identify: IdentifyPhase,
     /// Step 3 results.
     pub extract: ExtractPhase,
+    /// Step 4 results (`None` when recovery is disabled or Steps 1–3 left
+    /// nothing to attack).
+    pub recovery: Option<RecoveryPhase>,
     /// Total simulated cycles of the whole attack.
     pub total_cycles: u64,
     /// Machine frequency used to convert cycles to seconds.
@@ -336,17 +409,32 @@ impl EndToEndAttack {
         // draws Steps 1–2 consumed, coupling the phases for no reason.
         machine.reseed(stream_seed(cfg.seed, streams::STEP3));
         let extract_start = machine.now();
-        let scores = if let Some(idx) = scan.identified {
+        let step3 = if let Some(idx) = scan.identified {
             self.extract_nonces(&mut machine, &bulk.eviction_sets[idx].1, &handle)
         } else {
-            Vec::new()
+            Step3Output::default()
         };
-        let extract_phase = ExtractPhase { scores, cycles: machine.now() - extract_start };
+        let extract_phase =
+            ExtractPhase { scores: step3.scores, cycles: machine.now() - extract_start };
+
+        // ---- Step 4: correct the decoded bits and recover the key ---------
+        let recovery = match (scan.identified, step3.classifier) {
+            (Some(idx), Some(classifier)) if cfg.recovery.max_signatures > 0 => self
+                .recover_key(
+                    &mut machine,
+                    &bulk.eviction_sets[idx].1,
+                    &handle,
+                    &classifier,
+                    step3.observations,
+                ),
+            _ => None,
+        };
 
         AttackReport {
             evset: evset_phase,
             identify: identify_phase,
             extract: extract_phase,
+            recovery,
             total_cycles: machine.now() - start,
             freq_ghz: cfg.spec.freq_ghz,
         }
@@ -354,21 +442,21 @@ impl EndToEndAttack {
 
     /// Step 3: collect traces covering `signatures` victim signings and
     /// decode their nonce bits, scoring each against the victim's ground
-    /// truth (the paper's validation instrumentation).
+    /// truth (the paper's validation instrumentation). Besides the scores,
+    /// the output carries the trained boundary classifier and — for
+    /// full-crypto victims — one soft-decoded [`SignatureObservation`] per
+    /// captured signing, which Step 4 consumes.
     fn extract_nonces(
         &self,
         machine: &mut Machine,
         eviction_set: &llc_evsets::EvictionSet,
         handle: &VictimHandle,
-    ) -> Vec<ExtractionScore> {
+    ) -> Step3Output {
         let cfg = &self.config;
         let runs_before = machine.victim_runs() as usize;
 
         // Estimate one request's duration from the victim configuration.
-        let request_cycles = cfg.victim.pre_cycles
-            + cfg.victim.post_cycles
-            + cfg.victim.nonce_bits as u64 * cfg.victim.iteration_cycles
-            + cfg.victim_request_gap;
+        let request_cycles = request_cycles(cfg);
         // One extra request's worth of monitoring for the training signing.
         let window = request_cycles * (cfg.signatures as u64 + 2);
 
@@ -389,7 +477,7 @@ impl EndToEndAttack {
             per_run.truncate(cfg.signatures + 1);
         }
         if per_run.is_empty() {
-            return Vec::new();
+            return Step3Output::default();
         }
 
         // Train the boundary classifier on the first captured signing.
@@ -401,18 +489,202 @@ impl EndToEndAttack {
             BoundaryClassifier::train(&cfg.extraction, &[(&train_trace, &train_boundaries)]);
 
         // Decode and score the remaining signings.
-        per_run[1..]
-            .iter()
-            .map(|&(run_start, run)| {
-                let run_trace = slice_trace(&trace, run_start, run_start + run.duration);
-                let boundaries = boundary_classifier.boundaries(&run_trace);
-                let decoded = decode_bits(&run_trace, &boundaries, &cfg.extraction);
-                let starts: Vec<u64> =
-                    run.iteration_starts.iter().map(|&o| run_start + o).collect();
-                score_extraction(&decoded, &starts, &run.nonce_bits, &cfg.extraction)
-            })
-            .collect()
+        let mut output = Step3Output::default();
+        for &(run_start, run) in &per_run[1..] {
+            let run_trace = slice_trace(&trace, run_start, run_start + run.duration);
+            let decoded = decode_run(&run_trace, &boundary_classifier, &cfg.extraction);
+            let starts: Vec<u64> =
+                run.iteration_starts.iter().map(|&o| run_start + o).collect();
+            output.scores.push(score_extraction(
+                &decoded,
+                &starts,
+                &run.nonce_bits,
+                &cfg.extraction,
+            ));
+            if let Some(observation) = soft_observation(run, &decoded) {
+                output.observations.push(observation);
+            }
+        }
+        output.classifier = Some(boundary_classifier);
+        output
     }
+
+    /// Step 4: run the multi-signature recovery campaign. Step 3's captured
+    /// observations are consumed first; once they run out, the campaign
+    /// keeps the victim signing and monitors one fresh window per needed
+    /// signature on the live machine, until some signature's corrected nonce
+    /// verifies against the victim's public key.
+    fn recover_key(
+        &self,
+        machine: &mut Machine,
+        eviction_set: &llc_evsets::EvictionSet,
+        handle: &VictimHandle,
+        classifier: &BoundaryClassifier,
+        captured: Vec<SignatureObservation>,
+    ) -> Option<RecoveryPhase> {
+        let cfg = &self.config;
+        // The public key is what the signing service advertises; no ground
+        // truth crosses into the campaign.
+        let public = handle.lock().expect("victim log available").key_pair.as_ref()?.public().to_owned();
+
+        let nonce_width = cfg.victim.nonce_bits.min(group_order().bit_length());
+        let campaign_cfg = CampaignConfig {
+            ladder_bits: nonce_width.saturating_sub(1),
+            iteration_cycles: cfg.extraction.iteration_cycles,
+            max_signatures: cfg.recovery.max_signatures,
+            max_alignment_shift: cfg.recovery.max_alignment_shift,
+            search: cfg.recovery.search,
+        };
+
+        let phase_start = machine.now();
+        let mut captured = captured.into_iter();
+        let mut consumed_runs = machine.victim_runs() as usize;
+        let window = request_cycles(cfg) * 2;
+        let report = run_campaign(&campaign_cfg, &public, |_| {
+            if let Some(observation) = captured.next() {
+                return Some(observation);
+            }
+            // Monitor fresh signing windows on the live machine. One window
+            // can miss a complete signing (iteration jitter stretches runs
+            // past the estimate), and a `None` here ends the whole campaign
+            // — so retry a few windows before giving up the budget.
+            for _ in 0..3 {
+                if let Some(capture) =
+                    capture_signing_run(machine, eviction_set, handle, window, consumed_runs)
+                {
+                    consumed_runs = capture.consumed_runs;
+                    let decoded = decode_run(&capture.trace, classifier, &cfg.extraction);
+                    // A missing transcript means a schedule-only victim;
+                    // retrying cannot fix that.
+                    let mut observation = soft_observation(&capture.run, &decoded)?;
+                    observation.sim_cycles = capture.cycles;
+                    return Some(observation);
+                }
+            }
+            None
+        });
+
+        let ground_truth = handle
+            .lock()
+            .expect("victim log available")
+            .key_pair
+            .as_ref()
+            .map(|k| *k.private());
+        let recovered = report.recovered;
+        Some(RecoveryPhase {
+            matches_ground_truth: recovered
+                .as_ref()
+                .map(|r| Some(r.private) == ground_truth)
+                .unwrap_or(false),
+            recovered_key: recovered.as_ref().map(|r| r.private),
+            signatures_observed: report.signatures_observed,
+            signatures_needed: report.signatures_needed,
+            candidates_examined: report.candidates_examined,
+            candidates_tested: report.candidates_tested,
+            flips: recovered.map(|r| r.flips),
+            cycles: machine.now() - phase_start,
+            wall_ms: report.wall.as_secs_f64() * 1e3,
+        })
+    }
+}
+
+/// Estimated duration of one victim request, including the idle gap.
+fn request_cycles(cfg: &AttackConfig) -> u64 {
+    cfg.victim.pre_cycles
+        + cfg.victim.post_cycles
+        + cfg.victim.nonce_bits as u64 * cfg.victim.iteration_cycles
+        + cfg.victim_request_gap
+}
+
+/// Soft-decodes one signing's trace with the trained boundary classifier.
+fn decode_run(
+    run_trace: &AccessTrace,
+    classifier: &BoundaryClassifier,
+    extraction: &ExtractionConfig,
+) -> Vec<crate::extract::DecodedBit> {
+    let boundaries = classifier.scored_boundaries(run_trace);
+    decode_bits_soft(run_trace, &boundaries, extraction)
+}
+
+/// Packages one decoded signing as a Step 4 observation. Only full-crypto
+/// runs carry the (public) signature components; schedule-only victims
+/// return `None`. `sim_cycles` is left at zero for the caller to fill.
+pub fn soft_observation(
+    run: &llc_ecdsa_victim::RunGroundTruth,
+    decoded: &[crate::extract::DecodedBit],
+) -> Option<SignatureObservation> {
+    let transcript = run.transcript.as_ref()?;
+    Some(SignatureObservation {
+        signature: transcript.signature,
+        hashed_message: transcript.hashed_message,
+        observed: decoded
+            .iter()
+            .map(|d| ObservedBit { at: d.boundary, bit: d.bit, confidence: d.confidence })
+            .collect(),
+        sim_cycles: 0,
+    })
+}
+
+/// One fully monitored victim signing, sliced out of a probe trace.
+#[derive(Debug, Clone)]
+pub struct CapturedSigning {
+    /// The detections inside the signing's `[start, start + duration)`.
+    pub trace: AccessTrace,
+    /// Absolute start cycle of the signing.
+    pub run_start: u64,
+    /// The signing's ground-truth record (iteration starts for training,
+    /// transcript for Step 4).
+    pub run: llc_ecdsa_victim::RunGroundTruth,
+    /// 1-past the consumed run's index — pass back as `skip_runs` to
+    /// capture the next signing.
+    pub consumed_runs: usize,
+    /// Simulated cycles the monitoring window cost.
+    pub cycles: u64,
+}
+
+/// Monitors `eviction_set` for one `window` and returns the first victim
+/// signing (at or after `skip_runs`) that the window covers completely, or
+/// `None` when no signing finished inside it (retry with another window —
+/// iteration jitter can stretch a run past any fixed estimate).
+///
+/// This is the shared run-capture primitive of Step 3/4: the pipeline's
+/// recovery phase and `llc-bench`'s fleet-sharded `e2e_key` campaign both
+/// build on it, so run-window matching has exactly one implementation.
+pub fn capture_signing_run(
+    machine: &mut Machine,
+    eviction_set: &llc_evsets::EvictionSet,
+    handle: &VictimHandle,
+    window: u64,
+    skip_runs: usize,
+) -> Option<CapturedSigning> {
+    let before = machine.now();
+    let mut monitor = Monitor::new(Strategy::Parallel, eviction_set.clone());
+    let trace = monitor.collect(machine, window);
+    let cycles = machine.now() - before;
+    let log = handle.lock().expect("victim log available");
+    let run_starts = machine.victim_run_starts().to_vec();
+    let (index, (run_start, run)) = run_starts
+        .iter()
+        .copied()
+        .zip(log.runs.iter())
+        .enumerate()
+        .skip(skip_runs)
+        .find(|(_, (start, run))| *start >= trace.start && start + run.duration <= trace.end)?;
+    Some(CapturedSigning {
+        trace: slice_trace(&trace, run_start, run_start + run.duration),
+        run_start,
+        run: run.clone(),
+        consumed_runs: index + 1,
+        cycles,
+    })
+}
+
+/// Everything Step 3 hands to the report and to Step 4.
+#[derive(Debug, Default)]
+struct Step3Output {
+    scores: Vec<ExtractionScore>,
+    classifier: Option<BoundaryClassifier>,
+    observations: Vec<SignatureObservation>,
 }
 
 /// Restricts a trace to the detections inside `[start, end)`.
@@ -505,5 +777,50 @@ mod tests {
         let phase = ExtractPhase { scores: vec![], cycles: 0 };
         assert_eq!(phase.median_recovered_fraction(), 0.0);
         assert_eq!(phase.mean_bit_error_rate(), 0.0);
+    }
+
+    /// The headline claim: the full pipeline — eviction sets, target-set
+    /// identification, soft-decision nonce extraction and the Step 4
+    /// correction campaign — recovers the victim's exact private key,
+    /// verified against the public key only and equal to the ground truth
+    /// bit for bit.
+    #[test]
+    fn end_to_end_attack_recovers_the_exact_private_key() {
+        let config = AttackConfig::fast_key_recovery();
+        let report = EndToEndAttack::new(config.clone()).run();
+        assert!(report.identify.correct, "step 2 must find the target set");
+        let recovery = report.recovery.expect("step 4 must run");
+        let key = recovery.recovered_key.expect(
+            "the campaign must recover the key within its signature budget",
+        );
+        assert!(recovery.matches_ground_truth, "recovered key must be the ground truth");
+        // Cross-check against the victim's real key, derived from its seed.
+        let ground_truth = llc_ecdsa_victim::KeyPair::generate(
+            llc_ecdsa_victim::Ecdsa::new().curve(),
+            &mut StdRng::seed_from_u64(config.victim.key_seed),
+        );
+        assert_eq!(&key, ground_truth.private(), "bit-for-bit equality with the real key");
+        assert!(recovery.signatures_needed.is_some());
+        assert!(recovery.signatures_observed <= config.recovery.max_signatures);
+        assert!(recovery.candidates_tested >= 1);
+    }
+
+    #[test]
+    fn recovery_is_disabled_by_default_and_without_full_crypto() {
+        // Default config: max_signatures = 0 → no Step 4, reports stay as
+        // before.
+        let report = EndToEndAttack::new(AttackConfig::fast_test()).run();
+        assert!(report.recovery.is_none());
+
+        // Recovery *enabled* but the victim is schedule-only (no real
+        // signatures): Step 4 must decline gracefully, not panic.
+        let mut config = AttackConfig::fast_test();
+        config.recovery.max_signatures = 2;
+        assert!(!config.victim.full_crypto);
+        let report = EndToEndAttack::new(config).run();
+        assert!(
+            report.recovery.is_none(),
+            "a schedule-only victim has no key to recover, so the phase must opt out"
+        );
     }
 }

@@ -55,6 +55,9 @@ pub struct Signature {
 pub struct SigningTranscript {
     /// The signature itself.
     pub signature: Signature,
+    /// The hashed message z (public: the signer's client knows what it
+    /// submitted; Step 4's algebraic recovery needs it alongside r and s).
+    pub hashed_message: Scalar,
     /// The ephemeral nonce k (the attack's target secret).
     pub nonce: Scalar,
     /// The nonce bits processed by the ladder, most significant first,
@@ -132,6 +135,7 @@ impl Ecdsa {
         }
         Some(SigningTranscript {
             signature: Signature { r, s },
+            hashed_message: *z,
             nonce,
             ladder_bits: steps.iter().map(|st| st.bit).collect(),
         })

@@ -115,38 +115,37 @@ impl Gf571 {
         Gf571 { limbs }
     }
 
-    /// Field multiplication.
+    /// Field multiplication (4-bit windowed comb).
     pub fn mul(&self, other: &Gf571) -> Gf571 {
-        // 4-bit windowed left-to-right multiplication into an 18-limb product.
+        // table[w] = w(x) · other (LIMBS+1 limbs), built incrementally:
+        // even entries are a 1-bit shift of their half, odd entries add the
+        // multiplicand — one shift or one XOR per entry instead of the
+        // bit-by-bit accumulation this replaced.
         let mut table = [[0u64; LIMBS + 1]; 16];
-        // table[w] = w(x) * other, where w is a 4-bit polynomial.
-        for (w, entry) in table.iter_mut().enumerate().skip(1) {
-            let mut acc = [0u64; LIMBS + 1];
-            for bit in 0..4 {
-                if (w >> bit) & 1 == 1 {
-                    // acc ^= other << bit
-                    let mut carry = 0u64;
-                    for (a, &limb) in acc.iter_mut().zip(&other.limbs) {
-                        let v = if bit == 0 {
-                            self_or(limb, 0)
-                        } else {
-                            (limb << bit) | carry
-                        };
-                        *a ^= v;
-                        carry = if bit == 0 { 0 } else { limb >> (64 - bit) };
-                    }
-                    acc[LIMBS] ^= carry;
+        table[1][..LIMBS].copy_from_slice(&other.limbs);
+        for w in 2..16 {
+            if w % 2 == 0 {
+                let src = table[w / 2];
+                let mut carry = 0u64;
+                for (dst, &s) in table[w].iter_mut().zip(&src) {
+                    *dst = (s << 1) | carry;
+                    carry = s >> 63;
+                }
+            } else {
+                let src = table[w - 1];
+                for (i, dst) in table[w].iter_mut().enumerate() {
+                    *dst = src[i] ^ if i < LIMBS { other.limbs[i] } else { 0 };
                 }
             }
-            *entry = acc;
         }
 
+        // Comb over nibble columns: one product shift per column (16 total)
+        // instead of one per nibble (144), with every limb's matching nibble
+        // accumulated at its limb offset.
         let mut product = [0u64; 2 * LIMBS];
-        // Process self 4 bits at a time, from the most significant nibble.
-        let total_nibbles = LIMBS * 16;
-        for n in (0..total_nibbles).rev() {
-            // product <<= 4 (skip on the very first processed nibble).
-            if n != total_nibbles - 1 {
+        for j in (0..16).rev() {
+            if j != 15 {
+                // product <<= 4
                 let mut carry = 0u64;
                 for limb in product.iter_mut() {
                     let new_carry = *limb >> 60;
@@ -154,10 +153,12 @@ impl Gf571 {
                     carry = new_carry;
                 }
             }
-            let nib = ((self.limbs[n / 16] >> ((n % 16) * 4)) & 0xf) as usize;
-            if nib != 0 {
-                for i in 0..=LIMBS {
-                    product[i] ^= table[nib][i];
+            for (i, &a) in self.limbs.iter().enumerate() {
+                let nib = ((a >> (j * 4)) & 0xf) as usize;
+                if nib != 0 {
+                    for (t, &v) in table[nib].iter().enumerate() {
+                        product[i + t] ^= v;
+                    }
                 }
             }
         }
@@ -221,11 +222,6 @@ impl Gf571 {
     }
 }
 
-#[inline]
-fn self_or(v: u64, _z: u64) -> u64 {
-    v
-}
-
 /// Spreads the bits of `x` so that bit i lands at position 2i (squaring).
 fn spread_bits(x: u64) -> (u64, u64) {
     fn spread32(mut v: u64) -> u64 {
@@ -241,20 +237,35 @@ fn spread_bits(x: u64) -> (u64, u64) {
 }
 
 /// Reduces an up-to-1142-bit polynomial modulo f(x) = x^571 + x^10 + x^5 + x^2 + 1.
+///
+/// Word-level folding: bit `k ≥ 571` reduces to `k − 571 + {0, 2, 5, 10}`,
+/// so a whole high limb folds down with four shifted XORs. High limbs are
+/// processed top-down — their folds only ever land on strictly lower limbs
+/// (`64·i − 571 + 10 < 64·(i − 8)`), so each limb is cleared exactly once.
+/// This replaced a bit-serial loop over ~580 individual bits, which
+/// dominated the cost of every field multiplication and squaring.
 fn reduce(product: &mut [u64; 2 * LIMBS]) {
-    // Process bits from the top down to bit 571; bit k reduces to
-    // k-571 + {10, 5, 2, 0}.
-    for bit in (DEGREE..2 * LIMBS * 64).rev() {
-        let limb = bit / 64;
-        let shift = bit % 64;
-        if (product[limb] >> shift) & 1 == 1 {
-            product[limb] ^= 1 << shift;
-            let base = bit - DEGREE;
-            for &offset in &[0usize, 2, 5, 10] {
-                let b = base + offset;
-                product[b / 64] ^= 1 << (b % 64);
+    for i in (LIMBS..2 * LIMBS).rev() {
+        let w = product[i];
+        if w == 0 {
+            continue;
+        }
+        product[i] = 0;
+        let base = i * 64 - DEGREE; // ≥ 5 for i ≥ LIMBS, so word + 1 ≤ i
+        for offset in [0usize, 2, 5, 10] {
+            let b = base + offset;
+            let (word, shift) = (b / 64, b % 64);
+            product[word] ^= w << shift;
+            if shift > 0 {
+                product[word + 1] ^= w >> (64 - shift);
             }
         }
+    }
+    // Fold the residual bits 571..=575 of the top in-field limb.
+    let top = product[LIMBS - 1] >> (DEGREE % 64);
+    if top != 0 {
+        product[LIMBS - 1] &= (1u64 << (DEGREE % 64)) - 1;
+        product[0] ^= top ^ (top << 2) ^ (top << 5) ^ (top << 10);
     }
 }
 

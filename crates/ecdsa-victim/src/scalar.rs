@@ -317,6 +317,40 @@ impl Scalar {
         }
     }
 
+    /// Samples a uniformly random scalar with *exactly* `bits` significant
+    /// bits (the top bit is forced to 1), clamped to the group order's bit
+    /// length. The scaled-down victims use this to draw short nonces whose
+    /// Montgomery ladder still performs `bits − 1` genuine iterations —
+    /// ECDSA stays verifiable, only cryptographically weakened on purpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bits` is zero.
+    pub fn random_with_bit_length(rng: &mut impl Rng, bits: usize) -> Scalar {
+        assert!(bits > 0, "a nonce needs at least one bit");
+        let n = group_order();
+        let bits = bits.min(n.bit_length());
+        loop {
+            let mut limbs = [0u64; LIMBS];
+            for l in limbs.iter_mut().take(bits.div_ceil(64)) {
+                *l = rng.gen();
+            }
+            // Mask to `bits` bits and force the top bit.
+            let top = bits - 1;
+            if bits % 64 > 0 {
+                limbs[top / 64] &= (1u64 << (bits % 64)) - 1;
+            }
+            limbs[top / 64] |= 1u64 << (top % 64);
+            for l in limbs.iter_mut().skip(bits.div_ceil(64)) {
+                *l = 0;
+            }
+            let v = U576::from_limbs(limbs);
+            if v.cmp_value(&n) == std::cmp::Ordering::Less {
+                return Scalar { value: v };
+            }
+        }
+    }
+
     /// Samples a uniformly random non-zero scalar.
     pub fn random(rng: &mut impl Rng) -> Scalar {
         let n = group_order();
@@ -433,6 +467,20 @@ mod tests {
             v = (v << 1) | b as u64;
         }
         assert_eq!(v, 0b1011_0110);
+    }
+
+    #[test]
+    fn random_with_bit_length_forces_exact_width() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for bits in [1usize, 2, 17, 48, 63, 64, 65, 128, 570, 600] {
+            let s = Scalar::random_with_bit_length(&mut rng, bits);
+            assert_eq!(s.bit_length(), bits.min(group_order().bit_length()), "bits = {bits}");
+            assert_eq!(s.value().cmp_value(&group_order()), std::cmp::Ordering::Less);
+        }
+        // Distinct draws at the same width.
+        let a = Scalar::random_with_bit_length(&mut rng, 64);
+        let b = Scalar::random_with_bit_length(&mut rng, 64);
+        assert_ne!(a, b);
     }
 
     #[test]

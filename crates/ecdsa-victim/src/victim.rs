@@ -68,12 +68,17 @@ pub struct RunGroundTruth {
 }
 
 /// Shared view of the victim's layout and per-run ground truth, used by the
-/// experiments for validation (the attack itself only uses the layout, which
-/// is public knowledge).
+/// experiments for validation (the attack itself only uses the layout and
+/// the *public* half of the key, which are public knowledge).
 #[derive(Debug, Default)]
 pub struct VictimLog {
     /// Populated during `setup`.
     pub layout: Option<VictimLayout>,
+    /// The service's ECDSA key pair, populated during `setup` when
+    /// `full_crypto` is enabled. The attack side may read `.public()` only
+    /// (a signing service's public key is public); the private half is
+    /// ground truth for validating Step 4's recovery.
+    pub key_pair: Option<KeyPair>,
     /// One entry per served request, in order.
     pub runs: Vec<RunGroundTruth>,
 }
@@ -96,10 +101,18 @@ pub struct EcdsaVictimConfig {
     pub post_cycles: u64,
     /// When true, each request performs a real ECDSA signing (slower); when
     /// false, only the nonce is drawn and the ladder schedule generated,
-    /// which is sufficient for the cache-channel experiments.
+    /// which is sufficient for the cache-channel experiments. Scaled victims
+    /// (`nonce_bits` below the group order's 570 bits) sign with nonces of
+    /// exactly `nonce_bits` significant bits — still verifiable ECDSA, just
+    /// deliberately weakened so the ladder length matches the scaled
+    /// schedule.
     pub full_crypto: bool,
     /// RNG seed for nonces and jitter.
     pub seed: u64,
+    /// RNG seed for the service's long-term key pair. Kept separate from
+    /// `seed` so a key-recovery campaign can draw fresh nonce streams per
+    /// captured signature while attacking one fixed key.
+    pub key_seed: u64,
 }
 
 impl Default for EcdsaVictimConfig {
@@ -112,6 +125,7 @@ impl Default for EcdsaVictimConfig {
             post_cycles: 3_000_000,
             full_crypto: false,
             seed: 0xECD5A,
+            key_seed: 77,
         }
     }
 }
@@ -168,12 +182,26 @@ impl EcdsaVictim {
 
     fn generate_nonce_bits(&mut self) -> (Vec<bool>, Option<SigningTranscript>) {
         if self.config.full_crypto {
+            let key_seed = self.config.key_seed;
             let key = self
                 .key
-                .get_or_insert_with(|| KeyPair::generate(&Ecdsa::new().curve().clone(), &mut rand::rngs::StdRng::seed_from_u64(77)))
+                .get_or_insert_with(|| {
+                    KeyPair::generate(
+                        Ecdsa::new().curve(),
+                        &mut rand::rngs::StdRng::seed_from_u64(key_seed),
+                    )
+                })
                 .clone();
             let message: [u8; 16] = self.rng.gen();
-            let transcript = self.ecdsa.sign(&key, &message, &mut self.rng);
+            let z = crate::ecdsa::hash_to_scalar(&message);
+            // Draw nonces at the configured (possibly scaled-down) width so
+            // the real signing's ladder matches the scheduled iterations.
+            let transcript = loop {
+                let nonce = Scalar::random_with_bit_length(&mut self.rng, self.config.nonce_bits);
+                if let Some(t) = self.ecdsa.sign_with_nonce(&key, &z, nonce) {
+                    break t;
+                }
+            };
             (transcript.ladder_bits.clone(), Some(transcript))
         } else {
             // Draw a nonce of the configured width; the ladder processes the
@@ -207,7 +235,18 @@ impl VictimProgram for EcdsaVictim {
             frontend_lines: (0..16).map(|i| frontend.offset((i / 8) * PAGE_SIZE + (i % 8) * 512)).collect(),
         };
         self.layout = Some(layout.clone());
-        self.log.lock().expect("victim log poisoned").layout = Some(layout);
+        // Full-crypto services generate their long-term key at start-up and
+        // publish it in the log (the public half is what a real service
+        // advertises; the private half is validation ground truth).
+        if self.config.full_crypto && self.key.is_none() {
+            self.key = Some(KeyPair::generate(
+                self.ecdsa.curve(),
+                &mut rand::rngs::StdRng::seed_from_u64(self.config.key_seed),
+            ));
+        }
+        let mut log = self.log.lock().expect("victim log poisoned");
+        log.layout = Some(layout);
+        log.key_pair = self.key.clone();
     }
 
     fn on_request(&mut self) -> VictimSchedule {
@@ -364,12 +403,42 @@ mod tests {
     fn full_crypto_mode_produces_verifiable_signatures() {
         let mut config = EcdsaVictimConfig::fast_test();
         config.full_crypto = true;
-        let (mut victim, log, _layout) = setup_victim(config);
+        let (mut victim, log, _layout) = setup_victim(config.clone());
         let _ = victim.on_request();
-        let run = log.lock().unwrap().runs.last().cloned().expect("run recorded");
+        let log = log.lock().unwrap();
+        let run = log.runs.last().cloned().expect("run recorded");
         let transcript = run.transcript.expect("full crypto records the transcript");
         assert_eq!(transcript.ladder_bits, run.nonce_bits);
-        assert!(run.nonce_bits.len() > 500, "real nonces are ~570 bits");
+        // Scaled victims sign with nonces of exactly `nonce_bits` bits, so
+        // the ladder performs `nonce_bits − 1` iterations.
+        assert_eq!(run.nonce_bits.len(), config.nonce_bits - 1);
+        let key = log.key_pair.as_ref().expect("full crypto publishes the key pair");
+        let ecdsa = Ecdsa::new();
+        // The scaled-nonce signature must still verify like ordinary ECDSA.
+        let w = transcript.signature.s.inverse();
+        let u1 = transcript.hashed_message.mul(&w);
+        let u2 = transcript.signature.r.mul(&w);
+        let (p1, _) = ecdsa.curve().montgomery_ladder(&u1, &ecdsa.curve().generator());
+        let (p2, _) = ecdsa.curve().montgomery_ladder(&u2, key.public());
+        let sum = ecdsa.curve().add(&p1, &p2);
+        let x = sum.x().expect("verification point is affine");
+        let mut limbs = [0u64; crate::scalar::LIMBS];
+        limbs.copy_from_slice(x.limbs());
+        assert_eq!(Scalar::new(crate::scalar::U576::from_limbs(limbs)), transcript.signature.r);
+    }
+
+    #[test]
+    fn key_pair_is_stable_across_instances_and_nonce_seeds() {
+        let mut a_cfg = EcdsaVictimConfig::fast_test();
+        a_cfg.full_crypto = true;
+        let mut b_cfg = a_cfg.clone();
+        b_cfg.seed ^= 0xdead; // different nonce stream, same key_seed
+        let (_a, a_log, _) = setup_victim(a_cfg);
+        let (_b, b_log, _) = setup_victim(b_cfg);
+        let a_key = a_log.lock().unwrap().key_pair.clone().expect("key");
+        let b_key = b_log.lock().unwrap().key_pair.clone().expect("key");
+        assert_eq!(a_key.private(), b_key.private(), "key must derive from key_seed alone");
+        assert_eq!(a_key.public(), b_key.public());
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Confidence-ordered error-correction search over candidate nonces.
+//!
+//! Step 3 leaves two kinds of uncertainty: **erasures** (ladder positions no
+//! observation covered) and **errors** (observed bits that are wrong —
+//! overwhelmingly the low-confidence ones). Both reduce to the same
+//! operation: *flip a position of the baseline reconstruction*. Flipping an
+//! erased position is free (the baseline fill carries no information);
+//! flipping a known bit costs its confidence.
+//!
+//! The search enumerates flip sets in order of increasing total cost — the
+//! classic most-reliable-positions soft-decision decoding discipline — so
+//! the first candidates tried are exactly the most likely corrections. Key
+//! verification ([`crate::algebra::KeyVerifier`]) is a perfect,
+//! public-information oracle, so the first accepted candidate *is* the key:
+//! there are no false positives to trade off, only budget.
+//!
+//! Budget has two knobs ([`SearchConfig`]): a **breadth bound** on examined
+//! candidates and a **max flips** cap on how many *known* (non-erased) bits
+//! a single candidate may flip. Within budget the enumeration is exhaustive
+//! in cost order; beyond it the search reports failure cleanly.
+
+use crate::algebra::nonce_from_ladder_bits;
+use crate::soft::BitEstimate;
+use llc_ecdsa_victim::Scalar;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Budget of the correction search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// Breadth bound: maximum number of candidate flip sets examined.
+    pub max_candidates: u64,
+    /// Maximum number of *known* (non-erased) bits one candidate may flip.
+    /// Erasure fills are not limited (they are what the search is for);
+    /// the breadth bound caps them implicitly.
+    pub max_flips: usize,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self { max_candidates: 1 << 16, max_flips: 3 }
+    }
+}
+
+/// Result of one correction search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// The recovered private key, when some candidate verified.
+    pub key: Option<Scalar>,
+    /// The verified full nonce behind `key`.
+    pub nonce: Option<Scalar>,
+    /// Candidate flip sets examined (tested candidates plus flip-capped
+    /// skips).
+    pub candidates_examined: u64,
+    /// Candidates actually submitted to the verifier.
+    pub candidates_tested: u64,
+    /// Known-bit flips of the successful candidate.
+    pub flips_of_solution: Option<usize>,
+    /// Erased positions in the input estimates.
+    pub erasures: usize,
+}
+
+/// A flip set in the cost-ordered frontier. Ordered as a *min-heap* through
+/// the reversed [`Ord`]: lowest cost first, ties broken by the flip mask so
+/// the enumeration order — and therefore every reported statistic — is
+/// bit-for-bit deterministic.
+#[derive(Debug, Clone, Copy)]
+struct Frontier {
+    cost: f64,
+    mask: u128,
+    /// Index (into the sorted uncertain-position list) of the highest set
+    /// bit of `mask`; drives the two-successor enumeration scheme.
+    top: usize,
+}
+
+impl PartialEq for Frontier {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Frontier {}
+impl PartialOrd for Frontier {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Frontier {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the cheapest set first.
+        other
+            .cost
+            .total_cmp(&self.cost)
+            .then_with(|| other.mask.cmp(&self.mask))
+    }
+}
+
+/// Maximum number of flippable positions the enumeration tracks (the flip
+/// set is a `u128` bitmask). When a reconstruction has more uncertain
+/// positions than this, only the `MAX_FLIP_POSITIONS` cheapest are eligible
+/// for flipping — positions beyond that are far outside any realistic
+/// budget anyway.
+pub const MAX_FLIP_POSITIONS: usize = 128;
+
+/// Runs the confidence-ordered search over `estimates`, submitting candidate
+/// nonces to `verify` until it returns a key or the budget is exhausted.
+///
+/// `verify` receives the candidate *full nonce* (ladder bits prefixed with
+/// the implicit leading 1) and returns the private key when the candidate is
+/// consistent with the signature and public key — see
+/// [`KeyVerifier::try_nonce`](crate::algebra::KeyVerifier::try_nonce).
+pub fn correct_and_recover<F>(
+    estimates: &[BitEstimate],
+    config: &SearchConfig,
+    mut verify: F,
+) -> SearchOutcome
+where
+    F: FnMut(&Scalar) -> Option<Scalar>,
+{
+    // Baseline reconstruction plus the flippable-position list.
+    let mut baseline = Vec::with_capacity(estimates.len());
+    let mut uncertain: Vec<(f64, usize)> = Vec::new(); // (flip cost, position)
+    let mut erasures = 0usize;
+    for (i, e) in estimates.iter().enumerate() {
+        match *e {
+            BitEstimate::Erased => {
+                baseline.push(false);
+                erasures += 1;
+                uncertain.push((0.0, i));
+            }
+            BitEstimate::Known { bit, confidence } => {
+                baseline.push(bit);
+                uncertain.push((confidence.clamp(0.0, 1.0), i));
+            }
+        }
+    }
+    // Cheapest flips first; ties break on position for determinism.
+    uncertain.sort_by(|a, b| a.0.total_cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    uncertain.truncate(MAX_FLIP_POSITIONS);
+
+    let mut outcome = SearchOutcome {
+        key: None,
+        nonce: None,
+        candidates_examined: 0,
+        candidates_tested: 0,
+        flips_of_solution: None,
+        erasures,
+    };
+
+    let mut heap: BinaryHeap<Frontier> = BinaryHeap::new();
+    heap.push(Frontier { cost: 0.0, mask: 0, top: 0 });
+    let mut bits = baseline.clone();
+
+    while let Some(set) = heap.pop() {
+        if outcome.candidates_examined >= config.max_candidates {
+            break;
+        }
+        outcome.candidates_examined += 1;
+
+        // Apply the flip set to the baseline.
+        bits.copy_from_slice(&baseline);
+        let mut known_flips = 0usize;
+        for (idx, &(_, pos)) in uncertain.iter().enumerate() {
+            if set.mask >> idx & 1 == 1 {
+                bits[pos] = !bits[pos];
+                if !estimates[pos].is_erased() {
+                    known_flips += 1;
+                }
+            }
+        }
+
+        if known_flips <= config.max_flips {
+            if let Some(k) = nonce_from_ladder_bits(&bits) {
+                outcome.candidates_tested += 1;
+                if let Some(d) = verify(&k) {
+                    outcome.key = Some(d);
+                    outcome.nonce = Some(k);
+                    outcome.flips_of_solution = Some(known_flips);
+                    return outcome;
+                }
+            }
+        }
+
+        // Two-successor scheme: every non-empty subset of {0..len} is
+        // generated exactly once, in nondecreasing cost order.
+        let next = if set.mask == 0 { 0 } else { set.top + 1 };
+        if next < uncertain.len() {
+            // Extend: S ∪ {next}.
+            heap.push(Frontier {
+                cost: set.cost + uncertain[next].0,
+                mask: set.mask | 1 << next,
+                top: next,
+            });
+            if set.mask != 0 {
+                // Sibling: S \ {top} ∪ {next}.
+                heap.push(Frontier {
+                    cost: set.cost - uncertain[set.top].0 + uncertain[next].0,
+                    mask: (set.mask & !(1 << set.top)) | 1 << next,
+                    top: next,
+                });
+            }
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::soft::BitEstimate::{Erased, Known};
+
+    /// A verifier that accepts exactly one target nonce and returns a marker
+    /// key for it.
+    fn oracle(target: &Scalar) -> impl FnMut(&Scalar) -> Option<Scalar> + '_ {
+        move |k| (k == target).then(Scalar::one)
+    }
+
+    fn known(bit: bool, confidence: f64) -> BitEstimate {
+        Known { bit, confidence }
+    }
+
+    fn target_from_bits(bits: &[bool]) -> Scalar {
+        nonce_from_ladder_bits(bits).expect("valid")
+    }
+
+    #[test]
+    fn exact_estimates_succeed_on_the_first_candidate() {
+        let truth = [true, false, true, true, false, false, true];
+        let estimates: Vec<BitEstimate> = truth.iter().map(|&b| known(b, 0.9)).collect();
+        let target = target_from_bits(&truth);
+        let out = correct_and_recover(&estimates, &SearchConfig::default(), oracle(&target));
+        assert_eq!(out.key, Some(Scalar::one()));
+        assert_eq!(out.nonce, Some(target));
+        assert_eq!(out.candidates_tested, 1);
+        assert_eq!(out.flips_of_solution, Some(0));
+    }
+
+    #[test]
+    fn erasures_are_filled_for_free() {
+        let truth = [true, true, false, true, false, true, true, false];
+        let mut estimates: Vec<BitEstimate> = truth.iter().map(|&b| known(b, 0.9)).collect();
+        for i in [1usize, 4, 6] {
+            estimates[i] = Erased;
+        }
+        let target = target_from_bits(&truth);
+        let out = correct_and_recover(&estimates, &SearchConfig::default(), oracle(&target));
+        assert_eq!(out.key, Some(Scalar::one()));
+        assert_eq!(out.erasures, 3);
+        assert_eq!(out.flips_of_solution, Some(0), "erasure fills are not known-bit flips");
+        assert!(out.candidates_tested <= 8, "3 erasures need at most 2^3 candidates");
+    }
+
+    #[test]
+    fn low_confidence_errors_are_corrected_before_high_confidence_ones() {
+        let truth = [true, false, false, true, true, false];
+        let mut wrong: Vec<BitEstimate> = truth.iter().map(|&b| known(b, 0.95)).collect();
+        // One low-confidence error at position 2.
+        wrong[2] = known(!truth[2], 0.1);
+        let target = target_from_bits(&truth);
+        let out = correct_and_recover(&wrong, &SearchConfig::default(), oracle(&target));
+        assert_eq!(out.key, Some(Scalar::one()));
+        assert_eq!(out.flips_of_solution, Some(1));
+        // The cheapest single flip is tried before any high-confidence flip:
+        // candidate #1 is the baseline, #2 flips the cheapest position.
+        assert_eq!(out.candidates_tested, 2);
+    }
+
+    #[test]
+    fn flip_budget_is_respected() {
+        let truth = [true, false, true, false, true];
+        let mut wrong: Vec<BitEstimate> = truth.iter().map(|&b| known(b, 0.9)).collect();
+        // Two errors but a budget of one flip: must fail cleanly.
+        wrong[1] = known(!truth[1], 0.2);
+        wrong[3] = known(!truth[3], 0.2);
+        let target = target_from_bits(&truth);
+        let config = SearchConfig { max_flips: 1, max_candidates: 1 << 16 };
+        let out = correct_and_recover(&wrong, &config, oracle(&target));
+        assert_eq!(out.key, None);
+        assert_eq!(out.flips_of_solution, None);
+        // Raising the budget to two flips recovers.
+        let config = SearchConfig { max_flips: 2, max_candidates: 1 << 16 };
+        let out = correct_and_recover(&wrong, &config, oracle(&target));
+        assert_eq!(out.key, Some(Scalar::one()));
+        assert_eq!(out.flips_of_solution, Some(2));
+    }
+
+    #[test]
+    fn breadth_bound_caps_the_work() {
+        let truth: Vec<bool> = (0..24).map(|i| i % 3 == 0).collect();
+        let estimates: Vec<BitEstimate> = (0..24).map(|_| Erased).collect();
+        let target = target_from_bits(&truth);
+        let config = SearchConfig { max_candidates: 100, max_flips: 0 };
+        let out = correct_and_recover(&estimates, &config, oracle(&target));
+        assert!(out.candidates_examined <= 100);
+        // 2^24 fills cannot fit in 100 candidates (for this target pattern).
+        assert_eq!(out.key, None);
+    }
+
+    #[test]
+    fn enumeration_is_cost_ordered_and_duplicate_free() {
+        // Track every candidate; no nonce may be proposed twice, and
+        // verification order must follow nondecreasing flip cost.
+        let estimates = vec![
+            known(true, 0.8),
+            known(false, 0.2),
+            Erased,
+            known(true, 0.5),
+        ];
+        let mut seen = std::collections::HashSet::new();
+        let mut costs: Vec<f64> = Vec::new();
+        let config = SearchConfig { max_candidates: 1 << 12, max_flips: 4 };
+        let out = correct_and_recover(&estimates, &config, |k| {
+            assert!(seen.insert(*k.value()), "candidate proposed twice");
+            // Reconstruct the implied flip cost from the candidate's bits.
+            let bits: Vec<bool> = (0..4).map(|i| k.bit(3 - i)).collect();
+            let mut cost = 0.0;
+            if !bits[0] {
+                cost += 0.8; // flipped the 0.8-confidence `true`
+            }
+            if bits[1] {
+                cost += 0.2; // flipped the 0.2-confidence `false`
+            }
+            if !bits[3] {
+                cost += 0.5; // flipped the 0.5-confidence `true`
+            }
+            costs.push(cost);
+            None
+        });
+        assert_eq!(out.key, None);
+        assert_eq!(out.candidates_tested, 16, "4 uncertain positions → 2^4 candidates");
+        for w in costs.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12, "verification not cost-ordered: {costs:?}");
+        }
+    }
+}

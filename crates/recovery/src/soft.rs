@@ -1,0 +1,202 @@
+//! Soft-decision nonce reconstruction: aligning time-stamped bit
+//! observations onto ladder positions.
+//!
+//! Step 3 hands over decoded bits as `(timestamp, value, confidence)`
+//! triples. The ladder's structure is public — the attacker knows the
+//! nominal iteration duration and how many iterations a signing performs
+//! (the nonce width is the group order's bit length, or the service's
+//! documented scaled width) — but not *which* iteration each decoded bit
+//! belongs to. This module derives those positions from the inter-bit gaps:
+//! consecutive decoded bits a little over one nominal iteration apart are
+//! adjacent positions, a two-iteration gap skips one position (an erasure),
+//! and so on. Per-gap rounding keeps the per-iteration jitter from
+//! accumulating into position drift.
+//!
+//! The absolute anchor (how many leading iterations were missed entirely)
+//! is not observable from the gaps; [`align_observed_bits`] takes it as the
+//! `shift` hypothesis, and the campaign tries a few shifts per signature —
+//! key verification is a perfect oracle, so a wrong hypothesis only costs
+//! search budget.
+
+/// One decoded ladder bit as observed on the wire: Step 3's soft-decision
+/// output, stripped of any cache-specific context.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObservedBit {
+    /// Cycle at which the bit's iteration boundary was observed.
+    pub at: u64,
+    /// The decoded bit value.
+    pub bit: bool,
+    /// Decoder confidence in `[0, 1]`.
+    pub confidence: f64,
+}
+
+/// The reconstruction's belief about one ladder position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BitEstimate {
+    /// No observation covered this position.
+    Erased,
+    /// An observation was aligned here.
+    Known {
+        /// The observed bit value.
+        bit: bool,
+        /// The observation's confidence in `[0, 1]`.
+        confidence: f64,
+    },
+}
+
+impl BitEstimate {
+    /// True if this position has no observation.
+    pub fn is_erased(&self) -> bool {
+        matches!(self, BitEstimate::Erased)
+    }
+}
+
+/// Aligns time-stamped observations onto `positions` ladder positions.
+///
+/// The first observation is assigned position `shift` (the hypothesis that
+/// `shift` leading iterations were missed); each subsequent observation
+/// advances by `round(gap / iteration_cycles)`. A gap shorter than half an
+/// iteration rounds to zero: the observation is a duplicate detection of
+/// the *same* boundary (e.g. a trailing noise access) and collides with the
+/// previous one — the more confident observation wins, and later positions
+/// are unaffected. Observations that land beyond the last position are
+/// dropped; unclaimed positions are [`BitEstimate::Erased`].
+pub fn align_observed_bits(
+    observed: &[ObservedBit],
+    iteration_cycles: u64,
+    positions: usize,
+    shift: usize,
+) -> Vec<BitEstimate> {
+    let mut estimates = vec![BitEstimate::Erased; positions];
+    let mut iter = observed.iter();
+    let Some(first) = iter.next() else {
+        return estimates;
+    };
+    let iteration = iteration_cycles.max(1);
+
+    let mut place = |idx: usize, bit: &ObservedBit| {
+        if idx >= positions {
+            return;
+        }
+        match estimates[idx] {
+            BitEstimate::Known { confidence, .. } if confidence >= bit.confidence => {}
+            _ => estimates[idx] = BitEstimate::Known { bit: bit.bit, confidence: bit.confidence },
+        }
+    };
+
+    let mut pos = shift;
+    let mut last_at = first.at;
+    place(pos, first);
+    for bit in iter {
+        let gap = bit.at.saturating_sub(last_at);
+        // Per-gap rounding: (gap + iteration/2) / iteration. Zero is a
+        // same-boundary duplicate and resolves by confidence in `place`;
+        // clamping it to one would shift every later bit off its true
+        // position.
+        let delta = ((gap + iteration / 2) / iteration) as usize;
+        pos = pos.saturating_add(delta);
+        last_at = bit.at;
+        if pos >= positions {
+            break;
+        }
+        place(pos, bit);
+    }
+    estimates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(at: u64, bit: bool) -> ObservedBit {
+        ObservedBit { at, bit, confidence: 0.9 }
+    }
+
+    #[test]
+    fn contiguous_observations_fill_contiguous_positions() {
+        let observed: Vec<ObservedBit> =
+            (0..5).map(|i| obs(1_000 + i * 10_000, i % 2 == 0)).collect();
+        let est = align_observed_bits(&observed, 10_000, 8, 0);
+        for (i, e) in est.iter().take(5).enumerate() {
+            assert_eq!(*e, BitEstimate::Known { bit: i % 2 == 0, confidence: 0.9 }, "pos {i}");
+        }
+        assert!(est[5..].iter().all(|e| e.is_erased()));
+    }
+
+    #[test]
+    fn double_gap_skips_a_position() {
+        let observed = [obs(0, true), obs(19_800, false)]; // ~2 iterations apart
+        let est = align_observed_bits(&observed, 10_000, 4, 0);
+        assert!(!est[0].is_erased());
+        assert!(est[1].is_erased(), "the skipped iteration must be an erasure");
+        assert_eq!(est[2], BitEstimate::Known { bit: false, confidence: 0.9 });
+    }
+
+    #[test]
+    fn jitter_does_not_accumulate_into_drift() {
+        // 3% per-iteration jitter over 40 iterations: cumulative absolute
+        // rounding would drift by more than one position; per-gap rounding
+        // must keep every bit on its true position.
+        let iteration = 10_000u64;
+        let mut at = 500u64;
+        let mut observed = Vec::new();
+        for i in 0..40u64 {
+            observed.push(obs(at, i % 3 == 0));
+            at += iteration + if i % 2 == 0 { 300 } else { 260 };
+        }
+        let est = align_observed_bits(&observed, iteration, 40, 0);
+        for (i, e) in est.iter().enumerate() {
+            assert_eq!(
+                *e,
+                BitEstimate::Known { bit: i as u64 % 3 == 0, confidence: 0.9 },
+                "position {i} drifted"
+            );
+        }
+    }
+
+    #[test]
+    fn shift_hypothesis_offsets_every_position() {
+        let observed = [obs(0, true), obs(10_000, false)];
+        let est = align_observed_bits(&observed, 10_000, 5, 2);
+        assert!(est[0].is_erased() && est[1].is_erased());
+        assert_eq!(est[2], BitEstimate::Known { bit: true, confidence: 0.9 });
+        assert_eq!(est[3], BitEstimate::Known { bit: false, confidence: 0.9 });
+    }
+
+    #[test]
+    fn duplicate_detections_collide_and_confidence_wins() {
+        // A trailing duplicate of the same boundary (gap ≪ iteration) must
+        // NOT consume a ladder position — clamping it forward would shift
+        // every later bit off its true position.
+        let observed = [
+            obs(0, true),
+            ObservedBit { at: 100, bit: false, confidence: 0.99 }, // duplicate, more confident
+            obs(10_050, false), // the real next iteration
+        ];
+        let est = align_observed_bits(&observed, 10_000, 3, 0);
+        assert_eq!(
+            est[0],
+            BitEstimate::Known { bit: false, confidence: 0.99 },
+            "the more confident duplicate wins position 0"
+        );
+        assert_eq!(est[1], BitEstimate::Known { bit: false, confidence: 0.9 });
+        assert!(est[2].is_erased());
+
+        // The less confident duplicate loses.
+        let observed = [obs(0, true), ObservedBit { at: 100, bit: false, confidence: 0.1 }];
+        let est = align_observed_bits(&observed, 10_000, 2, 0);
+        assert_eq!(est[0], BitEstimate::Known { bit: true, confidence: 0.9 });
+        assert!(est[1].is_erased());
+    }
+
+    #[test]
+    fn overflow_and_empty_inputs_are_handled() {
+        // Observations landing past the last position are dropped.
+        let observed = [obs(0, true), obs(10_000, false), obs(20_000, true)];
+        let est = align_observed_bits(&observed, 10_000, 2, 0);
+        assert_eq!(est.len(), 2);
+        assert!(!est[0].is_erased() && !est[1].is_erased());
+
+        assert!(align_observed_bits(&[], 10_000, 3, 0).iter().all(|e| e.is_erased()));
+    }
+}

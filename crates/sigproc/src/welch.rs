@@ -144,19 +144,28 @@ pub fn welch_psd(signal: &[f64], config: &WelchConfig) -> PowerSpectrum {
     let mut start = 0usize;
     loop {
         let end = start + seg_len;
-        let mut seg: Vec<f64> = if end <= signal.len() {
-            signal[start..end].to_vec()
+        // (segment, number of real samples in it). Detrending must average
+        // over the real samples only: averaging over the padded length lets
+        // the zeros bias the mean, leaving a DC step in the padded segment.
+        let (mut seg, real_len): (Vec<f64>, usize) = if end <= signal.len() {
+            (signal[start..end].to_vec(), seg_len)
         } else if start == 0 {
             // Zero-pad a too-short signal into a single segment.
             let mut s = signal.to_vec();
             s.resize(seg_len, 0.0);
-            s
+            (s, signal.len())
         } else {
             break;
         };
-        // Remove the segment mean (detrend) and apply the window.
-        let mean = seg.iter().sum::<f64>() / seg.len() as f64;
-        for (x, w) in seg.iter_mut().zip(&window) {
+        // Remove the mean of the real samples (detrend), then window. The
+        // padding stays exactly zero, as if the signal had been detrended
+        // before padding.
+        let mean = if real_len > 0 {
+            seg[..real_len].iter().sum::<f64>() / real_len as f64
+        } else {
+            0.0
+        };
+        for (x, w) in seg[..real_len].iter_mut().zip(&window) {
             *x = (*x - mean) * w;
         }
         let spectrum: Vec<Complex> = fft_real(&seg);
@@ -232,6 +241,24 @@ mod tests {
         let psd = welch_psd(&[1.0, 0.0, 1.0], &WelchConfig::default());
         assert!(!psd.is_empty());
         assert_eq!(psd.len(), 256 / 2 + 1);
+    }
+
+    /// Regression test for the short-signal detrend bug: the mean used to be
+    /// computed over the *padded* segment length, so a constant short signal
+    /// came out as a step function (samples at `c - c·k/N`, padding at
+    /// `-c·k/N`) and leaked a large DC component. A constant signal detrended
+    /// over its real samples is identically zero, so the whole spectrum —
+    /// including the DC bin — must stay at (numerical) zero.
+    #[test]
+    fn short_constant_signal_has_no_dc_leak() {
+        let signal = vec![2.0; 24]; // much shorter than the 256-sample segment
+        let psd = welch_psd(&signal, &WelchConfig::default());
+        assert!(
+            psd.power_at(0.0).abs() < 1e-12,
+            "detrended constant signal must have ~zero DC, got {}",
+            psd.power_at(0.0)
+        );
+        assert!(psd.power().iter().all(|p| p.abs() < 1e-12));
     }
 
     #[test]

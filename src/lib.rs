@@ -13,7 +13,10 @@
 //! * [`sigproc`] — FFT / Welch power spectral density;
 //! * [`ml`] — SVM and random-forest classifiers;
 //! * [`ecdsa_victim`] — the vulnerable sect571r1 ECDSA victim service;
-//! * [`attack`] — the end-to-end Steps 1–3 pipeline.
+//! * [`attack`] — the end-to-end Steps 1–4 pipeline;
+//! * [`recovery`] — Step 4 cryptanalysis: soft-decision nonce
+//!   reconstruction, confidence-ordered correction search, algebraic ECDSA
+//!   key recovery.
 //!
 //! See `README.md` for a walkthrough and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the experiment inventory.
@@ -39,4 +42,5 @@ pub use llc_evsets as evsets;
 pub use llc_machine as machine;
 pub use llc_ml as ml;
 pub use llc_probe as probe;
+pub use llc_recovery as recovery;
 pub use llc_sigproc as sigproc;
