@@ -200,8 +200,11 @@ pub fn scan_for_target(
                 break 'outer;
             }
             let mut positives = 0;
+            // One monitor per set: `collect` re-prepares (and re-compiles the
+            // traversal plan) per trace, so confirmations are independent
+            // exactly as before — without re-cloning the eviction set.
+            let mut monitor = Monitor::new(config.strategy, set.clone());
             for _ in 0..config.confirmations {
-                let mut monitor = Monitor::new(config.strategy, set.clone());
                 let trace = monitor.collect(machine, config.trace_cycles);
                 traces_collected += 1;
                 if classifier.is_target(&trace) {

@@ -14,11 +14,11 @@
 //! detects this when the final prefix fails to evict the target and recovers
 //! by growing the upper bound with a large stride and re-running the search.
 
-use super::{check_deadline, counted_test, verify_set, PruneOutcome, PruningAlgorithm};
+use super::{check_deadline, counted_test_planned, verify_set, PruneOutcome, PruningAlgorithm};
 use crate::config::{EvsetConfig, TargetCache};
 use crate::error::EvsetError;
 use crate::evset::EvictionSet;
-use llc_machine::Machine;
+use llc_machine::{Machine, TraversalPlan};
 use llc_cache_model::VirtAddr;
 
 /// The binary-search pruning algorithm (`BinS`).
@@ -62,6 +62,9 @@ impl PruningAlgorithm for BinarySearch {
         // (initially the whole list; preserved by the front swaps).
         let mut ub = n;
         let stride = (n / 8).max(ways).max(8);
+        // Reused plan arena: every prefix test recompiles this one plan in
+        // place, so the whole search allocates nothing per test.
+        let mut plan = TraversalPlan::default();
 
         for i in 1..=ways {
             // Addresses 0..i-1 are congruent addresses found so far.
@@ -88,7 +91,7 @@ impl PruningAlgorithm for BinarySearch {
                 while ub > lb + 1 {
                     check_deadline(machine, start, deadline)?;
                     let mid = (lb + ub) / 2;
-                    if counted_test(machine, ta, &addrs[..mid], target, &mut tests) {
+                    if counted_test_planned(machine, ta, &addrs[..mid], &mut plan, target, &mut tests) {
                         ub = mid;
                     } else {
                         lb = mid;
@@ -97,7 +100,7 @@ impl PruningAlgorithm for BinarySearch {
                 // Verify: the prefix of length UB must genuinely evict the
                 // target. A noise-induced false positive during the search can
                 // leave UB below the true tipping point.
-                if counted_test(machine, ta, &addrs[..ub], target, &mut tests) {
+                if counted_test_planned(machine, ta, &addrs[..ub], &mut plan, target, &mut tests) {
                     break;
                 }
                 backtracks += 1;
@@ -106,11 +109,11 @@ impl PruningAlgorithm for BinarySearch {
                 }
                 ub = (ub + stride).min(n);
                 lb = i - 1;
-                if ub == n && !counted_test(machine, ta, &addrs[..ub], target, &mut tests) {
+                if ub == n && !counted_test_planned(machine, ta, &addrs[..ub], &mut plan, target, &mut tests) {
                     // Even the full candidate list no longer evicts: either the
                     // set is genuinely short of congruent addresses, or noise
                     // struck twice; retry once more before giving up.
-                    if !counted_test(machine, ta, &addrs[..ub], target, &mut tests) {
+                    if !counted_test_planned(machine, ta, &addrs[..ub], &mut plan, target, &mut tests) {
                         return Err(EvsetError::InsufficientCandidates {
                             found: i - 1,
                             required: ways,

@@ -9,11 +9,11 @@
 //! per round and turns out to be both faster and more noise-resilient on
 //! Skylake-SP.
 
-use super::{check_deadline, counted_test, verify_set, PruneOutcome, PruningAlgorithm};
+use super::{check_deadline, counted_test_planned, verify_set, PruneOutcome, PruningAlgorithm};
 use crate::config::{EvsetConfig, TargetCache};
 use crate::error::EvsetError;
 use crate::evset::EvictionSet;
-use llc_machine::Machine;
+use llc_machine::{Machine, TraversalPlan};
 use llc_cache_model::VirtAddr;
 
 /// The group-testing pruning algorithm.
@@ -71,6 +71,11 @@ impl PruningAlgorithm for GroupTesting {
         let mut backtracks = 0u32;
         let mut tests = 0u32;
         let groups = ways + 1;
+        // Reused across every group test of every round: the withheld-group
+        // remainder and its compiled traversal (the "plan arena" — steady
+        // state performs no per-test allocation for either).
+        let mut remainder: Vec<VirtAddr> = Vec::with_capacity(candidates.len());
+        let mut plan = TraversalPlan::default();
 
         while working.len() > ways {
             check_deadline(machine, start, deadline)?;
@@ -90,16 +95,18 @@ impl PruningAlgorithm for GroupTesting {
                     continue;
                 }
                 check_deadline(machine, start, deadline)?;
-                let remainder: Vec<VirtAddr> = group_vec
-                    .iter()
-                    .enumerate()
-                    .filter(|&(i, _)| keep[i] && i != g)
-                    .flat_map(|(_, v)| v.iter().copied())
-                    .collect();
+                remainder.clear();
+                remainder.extend(
+                    group_vec
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| keep[i] && i != g)
+                        .flat_map(|(_, v)| v.iter().copied()),
+                );
                 if remainder.len() < ways {
                     continue;
                 }
-                if counted_test(machine, ta, &remainder, target, &mut tests) {
+                if counted_test_planned(machine, ta, &remainder, &mut plan, target, &mut tests) {
                     keep[g] = false;
                     removed_stack.push(group_vec[g].clone());
                     reduced_any = true;

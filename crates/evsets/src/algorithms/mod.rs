@@ -20,8 +20,8 @@ pub use ps::PrimeScope;
 use crate::config::{EvsetConfig, TargetCache};
 use crate::error::EvsetError;
 use crate::evset::EvictionSet;
-use crate::test_eviction::{parallel_test_eviction, test_eviction, TraversalOrder};
-use llc_machine::Machine;
+use crate::test_eviction::{test_eviction_plan, TraversalOrder};
+use llc_machine::{Machine, TraversalPlan};
 use llc_cache_model::VirtAddr;
 
 /// Statistics and result of one pruning run.
@@ -88,7 +88,9 @@ pub(crate) fn check_deadline(machine: &Machine, start: u64, deadline: u64) -> Re
 }
 
 /// Final verification shared by all algorithms: the constructed set must
-/// evict the target in `config.verify_rounds` consecutive tests.
+/// evict the target in `config.verify_rounds` consecutive tests. The set is
+/// fixed across the rounds, so it is compiled once and every round traverses
+/// the plan.
 pub(crate) fn verify_set(
     machine: &mut Machine,
     ta: VirtAddr,
@@ -96,17 +98,25 @@ pub(crate) fn verify_set(
     target: TargetCache,
     config: &EvsetConfig,
 ) -> bool {
-    (0..config.verify_rounds).all(|_| parallel_test_eviction(machine, ta, set, target))
+    let plan = machine.compile_plan(set);
+    (0..config.verify_rounds).all(|_| {
+        test_eviction_plan(machine, ta, &plan, target, TraversalOrder::Parallel).0
+    })
 }
 
-/// Runs one parallel `TestEviction` and bumps the counter.
-pub(crate) fn counted_test(
+/// One counted parallel `TestEviction` over a candidate subset compiled
+/// into `plan` — the pruning loops' hot path. `plan` is the caller's
+/// reusable arena: it is recompiled in place for `subset`, so steady-state
+/// tests allocate nothing.
+pub(crate) fn counted_test_planned(
     machine: &mut Machine,
     ta: VirtAddr,
-    set: &[VirtAddr],
+    subset: &[VirtAddr],
+    plan: &mut TraversalPlan,
     target: TargetCache,
     counter: &mut u32,
 ) -> bool {
     *counter += 1;
-    test_eviction(machine, ta, set, target, TraversalOrder::Parallel).0
+    machine.compile_plan_into(subset, plan);
+    test_eviction_plan(machine, ta, plan, target, TraversalOrder::Parallel).0
 }

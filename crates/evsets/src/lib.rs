@@ -62,5 +62,5 @@ pub use filter::{
 };
 pub use test_eviction::{
     eviction_threshold, load_target, oracle, parallel_test_eviction, sequential_test_eviction,
-    test_eviction, TraversalOrder,
+    test_eviction, test_eviction_plan, TraversalOrder,
 };

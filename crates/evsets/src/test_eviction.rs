@@ -15,7 +15,7 @@
 //! touches the set mid-test and corrupts the answer.
 
 use crate::config::TargetCache;
-use llc_machine::Machine;
+use llc_machine::{Machine, TraversalPlan};
 use llc_cache_model::VirtAddr;
 
 /// How candidate addresses are traversed by `TestEviction`.
@@ -66,6 +66,12 @@ pub fn load_target(machine: &mut Machine, ta: VirtAddr, target: TargetCache) {
 /// whether `ta` was evicted from `target`.
 ///
 /// Returns `(evicted, elapsed_cycles)`.
+///
+/// When the same candidate set (or many subsets of one pool) is tested
+/// repeatedly, prefer [`test_eviction_plan`] with a reused
+/// [`TraversalPlan`]: it skips the per-call VA translation, slice hashing
+/// and touched-set sorting while producing bit-identical simulation
+/// behaviour.
 pub fn test_eviction(
     machine: &mut Machine,
     ta: VirtAddr,
@@ -98,6 +104,46 @@ pub fn test_eviction(
             }
             TraversalOrder::Sequential => {
                 machine.sequential_traverse(candidates);
+            }
+        }
+    }
+    let (latency, _level) = machine.timed_access(ta);
+    machine.set_helper_echo(prev);
+    let evicted = latency >= eviction_threshold(machine, target);
+    (evicted, machine.now() - start)
+}
+
+/// [`test_eviction`] over a compiled [`TraversalPlan`] (the candidates are
+/// `plan.addresses()`). Pruning loops compile each candidate subset into a
+/// reused plan and test through this entry point, so the per-test
+/// translation/sort overhead is paid once per subset instead of once per
+/// traversal pass — and the simulated behaviour is bit-identical to the
+/// slice-based path.
+pub fn test_eviction_plan(
+    machine: &mut Machine,
+    ta: VirtAddr,
+    plan: &TraversalPlan,
+    target: TargetCache,
+    order: TraversalOrder,
+) -> (bool, u64) {
+    let start = machine.now();
+    let prev = machine.helper_echo();
+    if target == TargetCache::Sf {
+        // See `test_eviction`: SF tests reset Shared candidate lines first.
+        for &c in plan.addresses() {
+            machine.clflush(c);
+        }
+    }
+    load_target(machine, ta, target);
+    machine.set_helper_echo(target == TargetCache::Llc);
+    let passes = if target == TargetCache::L2 { 2 } else { 1 };
+    for _ in 0..passes {
+        match order {
+            TraversalOrder::Parallel => {
+                machine.parallel_traverse_plan(plan);
+            }
+            TraversalOrder::Sequential => {
+                machine.sequential_traverse_plan(plan);
             }
         }
     }
@@ -224,6 +270,30 @@ mod tests {
         // One fewer congruent address fills the set exactly (together with the
         // target) and must not evict it.
         assert!(!parallel_test_eviction(&mut m, ta, &cong[..w - 1], TargetCache::Sf));
+    }
+
+    /// The plan-based entry point must be observationally identical to the
+    /// slice-based one: same verdicts, same elapsed cycles, same downstream
+    /// machine state (checked through the next timed access).
+    #[test]
+    fn plan_based_test_eviction_is_bit_identical() {
+        let mut a = machine();
+        let mut b = machine();
+        let w = a.spec().llc.ways();
+        let (ta_a, cong_a, _) = setup(&mut a, w + 1, 0);
+        let (ta_b, cong_b, _) = setup(&mut b, w + 1, 0);
+        assert_eq!(ta_a, ta_b);
+        for target in [TargetCache::Llc, TargetCache::Sf] {
+            for order in [TraversalOrder::Parallel, TraversalOrder::Sequential] {
+                let (ev_a, t_a) = test_eviction(&mut a, ta_a, &cong_a, target, order);
+                let plan = b.compile_plan(&cong_b);
+                let (ev_b, t_b) = test_eviction_plan(&mut b, ta_b, &plan, target, order);
+                assert_eq!(ev_a, ev_b, "{target:?}/{order:?} verdict diverged");
+                assert_eq!(t_a, t_b, "{target:?}/{order:?} elapsed cycles diverged");
+            }
+        }
+        assert_eq!(a.now(), b.now());
+        assert_eq!(a.timed_access(ta_a), b.timed_access(ta_b));
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub struct TrialCtx {
 }
 
 impl TrialCtx {
+    /// Derives the canonical context of trial `trial` in a `trials`-trial
+    /// sweep under `master_seed` — the one definition of the per-trial seed
+    /// derivation, used by the executor itself and by callers that bypass
+    /// it (e.g. single-trial bench fast paths that must still measure the
+    /// exact trial the executor would have run).
+    pub fn derive(master_seed: u64, trial: usize, trials: usize) -> Self {
+        Self { trial, trials, seed: trial_seed(master_seed, trial as u64) }
+    }
+
     /// A fresh RNG seeded with this trial's seed.
     pub fn rng(&self) -> StdRng {
         StdRng::seed_from_u64(self.seed)
@@ -124,11 +133,7 @@ impl Fleet {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut S, TrialCtx) -> T + Sync,
     {
-        let ctx = |trial: usize| TrialCtx {
-            trial,
-            trials,
-            seed: trial_seed(master_seed, trial as u64),
-        };
+        let ctx = |trial: usize| TrialCtx::derive(master_seed, trial, trials);
 
         if self.threads == 1 || trials <= 1 {
             let mut state = init(0);
@@ -201,11 +206,7 @@ impl Fleet {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut S, TrialCtx) -> A::Item + Sync,
     {
-        let ctx = |trial: usize| TrialCtx {
-            trial,
-            trials,
-            seed: trial_seed(master_seed, trial as u64),
-        };
+        let ctx = |trial: usize| TrialCtx::derive(master_seed, trial, trials);
 
         if self.threads == 1 || trials <= 1 {
             let mut state = init(0);

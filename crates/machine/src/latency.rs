@@ -96,14 +96,20 @@ impl LatencyModel {
     /// accesses served at the given levels.
     ///
     /// The slowest access is paid in full; the rest are overlapped subject to
-    /// the MLP width; every access pays its issue overhead.
+    /// the MLP width; every access pays its issue overhead. Runs once per
+    /// probe on the monitoring hot path, so the max/sum fold is a single
+    /// allocation-free pass.
     pub fn parallel_cost(&self, levels: &[HitLevel]) -> u64 {
         if levels.is_empty() {
             return 0;
         }
-        let latencies: Vec<u64> = levels.iter().map(|&l| self.level_latency(l)).collect();
-        let max = *latencies.iter().max().expect("non-empty");
-        let sum: u64 = latencies.iter().sum();
+        let mut max = 0u64;
+        let mut sum = 0u64;
+        for &level in levels {
+            let latency = self.level_latency(level);
+            sum += latency;
+            max = max.max(latency);
+        }
         let issue = self.issue_overhead * levels.len() as u64;
         issue + max + (sum - max) / self.mlp_width
     }
@@ -124,8 +130,14 @@ impl LatencyModel {
     /// least one of the lines missed the private caches.
     pub fn parallel_probe_threshold(&self, count: usize) -> u64 {
         // All-hit baseline plus half the gap to a single LLC/memory miss.
-        let all_hits = vec![HitLevel::L2; count];
-        let baseline = self.parallel_cost(&all_hits);
+        // The baseline is `parallel_cost` of `count` L2 hits, written in
+        // closed form: this runs once per probe and must not allocate.
+        let baseline = if count == 0 {
+            0
+        } else {
+            let sum = self.l2_hit * count as u64;
+            self.issue_overhead * count as u64 + self.l2_hit + (sum - self.l2_hit) / self.mlp_width
+        };
         self.timer_overhead + baseline + (self.llc_hit.max(self.memory / 2)) / 2
     }
 }
@@ -164,6 +176,23 @@ mod tests {
         assert!(m.timer_overhead + m.memory > m.llc_miss_threshold());
         assert!(m.timer_overhead + m.llc_hit < m.llc_miss_threshold());
         assert!(m.timer_overhead + m.llc_hit > m.private_miss_threshold());
+    }
+
+    /// `parallel_probe_threshold` inlines `parallel_cost` of `count` L2 hits
+    /// in closed form (the vec-based call allocated on the probe hot path);
+    /// this pins the two formulas together so an edit to one cannot silently
+    /// skew probe classification.
+    #[test]
+    fn probe_threshold_closed_form_matches_parallel_cost() {
+        let m = LatencyModel::default();
+        for count in [0usize, 1, 2, 5, 12, 16, 64] {
+            let baseline = m.parallel_cost(&vec![HitLevel::L2; count]);
+            assert_eq!(
+                m.parallel_probe_threshold(count),
+                m.timer_overhead + baseline + (m.llc_hit.max(m.memory / 2)) / 2,
+                "closed form diverged from parallel_cost at count {count}"
+            );
+        }
     }
 
     #[test]

@@ -13,7 +13,12 @@
 //!   one [`VictimSchedule`] per request;
 //! * the [`Machine`] itself, which exposes to the attack code exactly the
 //!   operations an unprivileged attacker has: timed/untimed loads of its own
-//!   memory, `clflush` of its own lines, and waiting.
+//!   memory, `clflush` of its own lines, and waiting;
+//! * compiled [`TraversalPlan`]s ([`Machine::compile_plan`]): the
+//!   per-call-invariant part of a prime/probe traversal (translation, slice
+//!   hashing, touched-set sorting) computed once, with bit-identical
+//!   `*_traverse_plan` hot paths for the millions of traversals every
+//!   experiment performs over fixed eviction sets.
 //!
 //! ## Quick example
 //!
@@ -41,7 +46,7 @@ mod noise;
 mod schedule;
 
 pub use latency::LatencyModel;
-pub use machine::{Machine, MachineBuilder, MachineSnapshot, MachineStats};
+pub use machine::{Machine, MachineBuilder, MachineSnapshot, MachineStats, TraversalPlan};
 pub use noise::{sample_poisson, NoiseEvent, NoiseModel, NoiseProcess};
 pub use schedule::{PeriodicToucher, ScheduledAccess, VictimProgram, VictimSchedule};
 

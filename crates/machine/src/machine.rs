@@ -92,12 +92,13 @@ impl MachineBuilder {
     pub fn build(self) -> Machine {
         assert!(self.spec.cores >= 3, "need at least 3 cores (attacker, helper, victim)");
         let sets_per_slice = self.spec.llc.slice_geometry().sets();
+        let num_slices = self.spec.llc.num_slices();
         let mut hierarchy = Hierarchy::new(self.spec.clone(), self.seed);
         hierarchy.set_options(self.hierarchy_options);
         Machine {
             hierarchy,
             latency: self.latency,
-            noise: NoiseProcess::new(self.noise, sets_per_slice),
+            noise: NoiseProcess::new(self.noise, sets_per_slice, num_slices),
             clock: 0,
             rng: StdRng::seed_from_u64(self.seed ^ 0x6d61_6368),
             attacker_aspace: AddressSpace::with_seed(self.seed ^ 0xa77a),
@@ -112,6 +113,7 @@ impl MachineBuilder {
             scratch_levels: Vec::new(),
             scratch_locs: Vec::new(),
             scratch_locs_sorted: Vec::new(),
+            plan_epoch: 0,
         }
     }
 }
@@ -166,7 +168,80 @@ impl MachineSnapshot {
             scratch_levels: Vec::new(),
             scratch_locs: Vec::new(),
             scratch_locs_sorted: Vec::new(),
+            plan_epoch: 0,
         }
+    }
+}
+
+/// A compiled traversal: the per-call-invariant part of a prime/probe
+/// traversal, computed once by [`Machine::compile_plan`].
+///
+/// Every experiment in the paper bottoms out in millions of traversals of
+/// *fixed* eviction sets, yet the ad-hoc traverse path re-derives the same
+/// VA→PA translations, slice-hash locations and sorted/deduped touched-set
+/// list on every call. A plan captures all three up front; the
+/// `*_traverse_plan` hot paths then go straight to noise catch-up and the
+/// cache accesses. Traversing via a plan is **bit-identical** to traversing
+/// the same addresses ad hoc: identical access order, identical noise
+/// catch-up order (canonical sorted distinct sets), identical RNG stream.
+///
+/// Lifecycle:
+///
+/// * Plans are per-machine. They stay valid across [`Machine::reset_to`]
+///   (snapshots keep the VA→PA lottery, so translations cannot change) but
+///   are invalidated by [`Machine::reseed`], which redraws the frame lottery
+///   for future allocations — recompile with [`Machine::compile_plan_into`]
+///   after reseeding (the buffers are reused, so recompiles don't allocate
+///   in steady state).
+/// * A default-constructed plan is empty and never valid; compile before
+///   traversing.
+#[derive(Debug, Clone)]
+pub struct TraversalPlan {
+    /// The traversed virtual addresses, in traversal order.
+    vas: Vec<VirtAddr>,
+    /// Pre-translated physical lines, 1:1 with `vas`.
+    lines: Vec<LineAddr>,
+    /// Pre-computed LLC/SF locations, 1:1 with `lines`.
+    locs: Vec<SetLocation>,
+    /// The distinct touched locations in canonical sorted order (the noise
+    /// catch-up order the ad-hoc path derives per call via sort + dedup).
+    distinct: Vec<SetLocation>,
+    /// The machine's plan epoch at compile time (see [`Machine::reseed`]).
+    epoch: u64,
+}
+
+impl Default for TraversalPlan {
+    fn default() -> Self {
+        Self {
+            vas: Vec::new(),
+            lines: Vec::new(),
+            locs: Vec::new(),
+            distinct: Vec::new(),
+            epoch: u64::MAX,
+        }
+    }
+}
+
+impl TraversalPlan {
+    /// The planned addresses, in traversal order.
+    pub fn addresses(&self) -> &[VirtAddr] {
+        &self.vas
+    }
+
+    /// Number of planned accesses.
+    pub fn len(&self) -> usize {
+        self.vas.len()
+    }
+
+    /// True if the plan covers no addresses.
+    pub fn is_empty(&self) -> bool {
+        self.vas.is_empty()
+    }
+
+    /// The distinct LLC/SF sets the traversal touches, in the canonical
+    /// (sorted) noise catch-up order.
+    pub fn distinct_sets(&self) -> &[SetLocation] {
+        &self.distinct
     }
 }
 
@@ -212,6 +287,12 @@ pub struct Machine {
     scratch_levels: Vec<HitLevel>,
     scratch_locs: Vec<SetLocation>,
     scratch_locs_sorted: Vec<SetLocation>,
+    /// Monotonic counter of [`Machine::reseed`] calls; a [`TraversalPlan`]
+    /// is valid while its recorded epoch matches. Deliberately *not* part of
+    /// snapshots and never rewound by `reset_to`: plans survive rewinds (the
+    /// snapshot keeps the VA→PA lottery) and a restored epoch could alias a
+    /// stale plan onto a machine whose lottery has since been redrawn.
+    plan_epoch: u64,
 }
 
 impl Machine {
@@ -377,6 +458,98 @@ impl Machine {
         levels
     }
 
+    // ---- compiled traversal plans -----------------------------------------
+
+    /// Compiles `vas` into a [`TraversalPlan`]: VA→PA translation, slice-hash
+    /// locations and the canonical sorted/deduped distinct-set list are
+    /// computed once, so the `*_traverse_plan` hot paths skip all three.
+    ///
+    /// The plan is valid for this machine until the next [`Machine::reseed`];
+    /// it survives [`Machine::reset_to`].
+    pub fn compile_plan(&self, vas: &[VirtAddr]) -> TraversalPlan {
+        let mut plan = TraversalPlan::default();
+        self.compile_plan_into(vas, &mut plan);
+        plan
+    }
+
+    /// [`Machine::compile_plan`] into an existing plan, reusing its buffers
+    /// (the "plan arena" pattern: pruning loops that compile a fresh
+    /// candidate subset per test keep one plan and recompile it in place,
+    /// allocation-free in steady state).
+    pub fn compile_plan_into(&self, vas: &[VirtAddr], plan: &mut TraversalPlan) {
+        plan.vas.clear();
+        plan.vas.extend_from_slice(vas);
+        plan.lines.clear();
+        plan.lines.extend(vas.iter().map(|&va| self.attacker_line(va)));
+        plan.locs.clear();
+        plan.locs.extend(plan.lines.iter().map(|&l| self.hierarchy.shared_location(l)));
+        plan.distinct.clear();
+        plan.distinct.extend_from_slice(&plan.locs);
+        plan.distinct.sort_unstable();
+        plan.distinct.dedup();
+        plan.epoch = self.plan_epoch;
+    }
+
+    /// True if `plan` was compiled against this machine's current VA→PA
+    /// lottery (i.e. no [`Machine::reseed`] happened since compilation).
+    pub fn plan_is_current(&self, plan: &TraversalPlan) -> bool {
+        plan.epoch == self.plan_epoch
+    }
+
+    /// [`Machine::parallel_traverse`] over a compiled plan.
+    pub fn parallel_traverse_plan(&mut self, plan: &TraversalPlan) -> u64 {
+        self.traverse_plan(plan);
+        let cost = self.latency.parallel_cost(&self.scratch_levels);
+        let cost = self.latency.jittered(cost, &mut self.rng);
+        self.tick(cost);
+        cost
+    }
+
+    /// [`Machine::timed_parallel_traverse`] over a compiled plan.
+    pub fn timed_parallel_traverse_plan(&mut self, plan: &TraversalPlan) -> u64 {
+        self.traverse_plan(plan);
+        let raw = self.latency.parallel_cost(&self.scratch_levels) + self.latency.timer_overhead;
+        let measured = self.latency.jittered(raw, &mut self.rng);
+        self.tick(measured);
+        measured
+    }
+
+    /// [`Machine::sequential_traverse`] over a compiled plan.
+    pub fn sequential_traverse_plan(&mut self, plan: &TraversalPlan) -> u64 {
+        self.traverse_plan(plan);
+        let cost = self.latency.sequential_cost(&self.scratch_levels);
+        let cost = self.latency.jittered(cost, &mut self.rng);
+        self.tick(cost);
+        cost
+    }
+
+    /// Plan-based traverse core: applies pending background noise to the
+    /// plan's pre-sorted distinct sets and performs the accesses with the
+    /// pre-computed locations, leaving the serving levels in
+    /// `scratch_levels`. No translation, slice hash, sort or heap allocation
+    /// on this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is stale (compiled before the last
+    /// [`Machine::reseed`]) or was never compiled.
+    fn traverse_plan(&mut self, plan: &TraversalPlan) {
+        assert!(
+            plan.epoch == self.plan_epoch,
+            "stale TraversalPlan (compiled at epoch {}, machine at {}): recompile after reseed",
+            plan.epoch,
+            self.plan_epoch
+        );
+        for &loc in &plan.distinct {
+            self.prepare_set(loc);
+        }
+        self.scratch_levels.clear();
+        for (&line, &loc) in plan.lines.iter().zip(&plan.locs) {
+            let level = self.do_attacker_access(line, loc);
+            self.scratch_levels.push(level);
+        }
+    }
+
     /// Re-establishes `va` as the eviction candidate (next victim) of its
     /// LLC/SF set without touching it.
     ///
@@ -536,9 +709,13 @@ impl Machine {
     /// identical noise, jitter and VA→PA lottery streams; reseeding with a
     /// per-trial seed (see `llc-fleet`'s seed derivation) keeps trials
     /// statistically independent while remaining fully deterministic.
+    /// Reseeding also invalidates every [`TraversalPlan`] compiled against
+    /// this machine (the frame lottery behind future allocations changes);
+    /// recompile plans after reseeding.
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(stream_seed(seed, RESEED_RNG_STREAM));
         self.attacker_aspace.reseed(stream_seed(seed, RESEED_ASPACE_STREAM));
+        self.plan_epoch += 1;
     }
 
     // ---- internals ----------------------------------------------------------
@@ -576,12 +753,15 @@ impl Machine {
     }
 
     /// Applies pending background noise to one shared set.
+    ///
+    /// The events come back as a borrow of the noise process's scratch
+    /// buffer and are applied through the hierarchy's bulk path, so this —
+    /// the innermost step of every traversal — performs no heap allocation
+    /// and borrows each set view once per burst.
     fn prepare_set(&mut self, loc: SetLocation) {
         let events = self.noise.catch_up(loc, self.clock, &mut self.rng);
         self.stats.noise_events += events.len() as u64;
-        for e in events {
-            self.hierarchy.noise_access(loc, e.shared);
-        }
+        self.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
     }
 
     fn do_attacker_access(&mut self, line: LineAddr, loc: SetLocation) -> HitLevel {
@@ -623,9 +803,7 @@ impl Machine {
                     let loc = self.hierarchy.shared_location(line);
                     let events = self.noise.catch_up(loc, at, &mut self.rng);
                     self.stats.noise_events += events.len() as u64;
-                    for e in events {
-                        self.hierarchy.noise_access(loc, e.shared);
-                    }
+                    self.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
                     self.hierarchy.access_at(self.victim_core, line, loc, AccessKind::Read);
                     self.stats.victim_accesses += 1;
                     run.next += 1;

@@ -75,14 +75,20 @@ impl NoiseModel {
 /// `(slice, set)` location rather than a hash map: the map lookup ran once
 /// per simulated memory access (the noise catch-up in `Machine`'s
 /// `prepare_sets`), where a SipHash round per access is measurable. The
-/// vector grows on demand and is restored by a truncating `clone_from`, so
-/// machine rewinds stay allocation-free in steady state.
-#[derive(Debug, Clone)]
+/// vector is pre-sized to the full `(slice, set)` index space at
+/// construction, so the hot path is a plain bounds-checked index with no
+/// resize branch, and restores are a same-length `clone_from`.
+///
+/// Catch-up events are materialised into a reusable scratch buffer owned by
+/// the process (borrowed out as a slice), so the per-traversal hot path of
+/// the machine performs **zero heap allocations** in steady state.
+#[derive(Debug)]
 pub struct NoiseProcess {
     model: NoiseModel,
     /// Last cycle at which each set was synchronised with the noise process,
     /// indexed by `slice * sets_per_slice + set`; [`NEVER_SYNCED`] marks a
-    /// set that has not been observed yet.
+    /// set that has not been observed yet. Pre-sized to cover every set of
+    /// the simulated host's shared structures.
     last_sync: Vec<u64>,
     /// Sets per slice of the flattened index space.
     sets_per_slice: usize,
@@ -90,6 +96,25 @@ pub struct NoiseProcess {
     /// insertions are fully masked by newer ones, so this only needs to cover
     /// a few times the associativity.
     max_burst: u32,
+    /// Reusable event buffer filled by [`NoiseProcess::catch_up`]. Its
+    /// contents are dead between calls; it exists only so the hot path does
+    /// not allocate. Capacity converges to `max_burst` and stays there.
+    scratch: Vec<NoiseEvent>,
+}
+
+impl Clone for NoiseProcess {
+    /// Clones the process state. The event scratch buffer is deliberately
+    /// *not* cloned (its contents are dead outside a `catch_up` call), so
+    /// snapshots stay as small as the bookkeeping they actually need.
+    fn clone(&self) -> Self {
+        Self {
+            model: self.model.clone(),
+            last_sync: self.last_sync.clone(),
+            sets_per_slice: self.sets_per_slice,
+            max_burst: self.max_burst,
+            scratch: Vec::new(),
+        }
+    }
 }
 
 /// `last_sync` sentinel: the set has never been synchronised.
@@ -106,11 +131,20 @@ pub struct NoiseEvent {
 
 impl NoiseProcess {
     /// Creates a noise process for `model`, flattening `(slice, set)`
-    /// locations over `sets_per_slice` sets per slice (the LLC/SF slice
-    /// geometry of the simulated host).
-    pub fn new(model: NoiseModel, sets_per_slice: usize) -> Self {
+    /// locations over `sets_per_slice` sets per slice across `num_slices`
+    /// slices (the LLC/SF slice geometry of the simulated host). The
+    /// synchronisation vector is sized for the whole geometry up front so
+    /// the per-access hot path never grows it.
+    pub fn new(model: NoiseModel, sets_per_slice: usize, num_slices: usize) -> Self {
         assert!(sets_per_slice > 0, "sets_per_slice must be non-zero");
-        Self { model, last_sync: Vec::new(), sets_per_slice, max_burst: 96 }
+        assert!(num_slices > 0, "num_slices must be non-zero");
+        Self {
+            model,
+            last_sync: vec![NEVER_SYNCED; sets_per_slice * num_slices],
+            sets_per_slice,
+            max_burst: 96,
+            scratch: Vec::new(),
+        }
     }
 
     /// The underlying model.
@@ -120,6 +154,8 @@ impl NoiseProcess {
 
     /// Copies `source`'s state into `self` in place, reusing the
     /// synchronisation vector's allocation (hot path of machine restores).
+    /// The event scratch buffer is per-machine transient state and keeps
+    /// `self`'s allocation.
     pub fn restore_from(&mut self, source: &NoiseProcess) {
         self.model.clone_from(&source.model);
         self.last_sync.clone_from(&source.last_sync);
@@ -127,42 +163,59 @@ impl NoiseProcess {
         self.max_burst = source.max_burst;
     }
 
-    /// Flat `last_sync` index of `loc`, growing the vector to cover it.
+    /// Flat `last_sync` index of `loc`. The vector covers the whole slice
+    /// geometry by construction, so this is a plain index (no resize branch
+    /// on the hot path; an out-of-geometry location is a caller bug and
+    /// panics via the bounds check).
     #[inline]
     fn sync_slot(&mut self, loc: SetLocation) -> &mut u64 {
         debug_assert!(loc.set < self.sets_per_slice, "set index outside the slice geometry");
-        let idx = loc.flat_index(self.sets_per_slice);
-        if idx >= self.last_sync.len() {
-            self.last_sync.resize(idx + 1, NEVER_SYNCED);
-        }
-        &mut self.last_sync[idx]
+        &mut self.last_sync[loc.flat_index(self.sets_per_slice)]
     }
 
     /// Computes the background accesses that hit `loc` between the last
     /// synchronisation of that set and `now`, and marks the set synchronised.
     ///
-    /// The returned events are ordered by timestamp. At most `max_burst`
-    /// events are returned (the most recent ones); longer gaps simply mean the
-    /// set content is entirely noise, which a few dozen insertions already
-    /// guarantee.
-    pub fn catch_up(&mut self, loc: SetLocation, now: u64, rng: &mut impl Rng) -> Vec<NoiseEvent> {
+    /// The returned events are ordered by timestamp and borrowed from an
+    /// internal scratch buffer (valid until the next `catch_up` call), so
+    /// the traversal hot path allocates nothing. At most `max_burst` events
+    /// are produced; when the Poisson draw for the gap exceeds that cap, the
+    /// burst is *thinned*: `max_burst` insertion timestamps are sampled
+    /// uniformly over the **whole** gap (not just its most recent portion).
+    /// This bounds the per-catch-up work without biasing where in the gap
+    /// insertions land; a gap long enough to hit the cap has filled the set
+    /// with noise many times over either way, so only the last ~associativity
+    /// insertions are observable.
+    pub fn catch_up(&mut self, loc: SetLocation, now: u64, rng: &mut impl Rng) -> &[NoiseEvent] {
+        self.scratch.clear();
         let slot = self.sync_slot(loc);
         let last = if *slot == NEVER_SYNCED { now } else { *slot };
         *slot = now;
         if self.model.is_silent() || now <= last {
-            return Vec::new();
+            return &self.scratch;
         }
         let dt = (now - last) as f64;
         let lambda = dt * self.model.accesses_per_cycle_per_set;
         let count = sample_poisson(lambda, rng).min(self.max_burst as u64);
-        let mut events: Vec<NoiseEvent> = (0..count)
-            .map(|_| NoiseEvent {
-                at: last + rng.gen_range(0..(now - last).max(1)),
-                shared: rng.gen_bool(self.model.shared_fraction),
-            })
-            .collect();
-        events.sort_by_key(|e| e.at);
-        events
+        let span = (now - last).max(1);
+        let shared_fraction = self.model.shared_fraction;
+        self.scratch.extend((0..count).map(|_| NoiseEvent {
+            at: last + rng.gen_range(0..span),
+            shared: rng.gen_bool(shared_fraction),
+        }));
+        // Stable insertion sort by timestamp: identical output (ties
+        // included) to the slice stable sort it replaces, but without the
+        // merge buffer std's stable sort heap-allocates — bursts are capped
+        // at `max_burst`, so quadratic worst case is bounded and rare.
+        let events = self.scratch.as_mut_slice();
+        for i in 1..events.len() {
+            let mut j = i;
+            while j > 0 && events[j - 1].at > events[j].at {
+                events.swap(j - 1, j);
+                j -= 1;
+            }
+        }
+        &self.scratch
     }
 
     /// Marks a set as synchronised at `now` without generating events.
@@ -230,7 +283,7 @@ mod tests {
 
     #[test]
     fn silent_noise_produces_no_events() {
-        let mut p = NoiseProcess::new(NoiseModel::silent(), 2048);
+        let mut p = NoiseProcess::new(NoiseModel::silent(), 2048, 8);
         let mut rng = SmallRng::seed_from_u64(0);
         let loc = SetLocation::new(0, 0);
         p.mark_synced(loc, 0);
@@ -239,7 +292,7 @@ mod tests {
 
     #[test]
     fn catch_up_mean_matches_rate() {
-        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
         let mut rng = SmallRng::seed_from_u64(7);
         let loc = SetLocation::new(1, 5);
         // 1 ms at 2 GHz = 2e6 cycles -> expect ~11.5 events per window.
@@ -257,7 +310,7 @@ mod tests {
 
     #[test]
     fn first_touch_does_not_burst() {
-        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
         let mut rng = SmallRng::seed_from_u64(3);
         // Never marked synced: first catch_up treats `now` as the sync point.
         let events = p.catch_up(SetLocation::new(0, 3), 10_000_000_000, &mut rng);
@@ -266,7 +319,7 @@ mod tests {
 
     #[test]
     fn events_are_sorted_and_in_window() {
-        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
         let mut rng = SmallRng::seed_from_u64(11);
         let loc = SetLocation::new(2, 9);
         p.mark_synced(loc, 1000);
@@ -275,9 +328,67 @@ mod tests {
         for w in events.windows(2) {
             assert!(w[0].at <= w[1].at);
         }
-        for e in &events {
+        for e in events {
             assert!(e.at >= 1000 && e.at < 5_000_000);
         }
+    }
+
+    /// Pins the capped-burst semantics: when the Poisson draw for a long gap
+    /// exceeds `max_burst`, the burst is *thinned* — `max_burst` timestamps
+    /// sampled uniformly over the whole gap — not truncated to the gap's
+    /// most recent portion. The doc comment promises exactly this; if the
+    /// sampling ever changes (e.g. to a genuinely "most recent events"
+    /// scheme), this test forces the docs and the RNG-stream impact to be
+    /// revisited together.
+    #[test]
+    fn capped_burst_thins_uniformly_over_the_whole_gap() {
+        let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
+        let mut rng = SmallRng::seed_from_u64(17);
+        let loc = SetLocation::new(1, 7);
+        p.mark_synced(loc, 0);
+        // 100 ms at 2 GHz: the expected count (~1150) is far beyond the cap.
+        let gap = 200_000_000u64;
+        let events = p.catch_up(loc, gap, &mut rng).to_vec();
+        assert_eq!(events.len(), 96, "burst must cap at max_burst");
+        // Uniform sampling over the gap: every quarter of the window holds
+        // events. A "most recent" scheme would leave the early quarters empty.
+        for quarter in 0..4u64 {
+            let lo = quarter * gap / 4;
+            let hi = (quarter + 1) * gap / 4;
+            assert!(
+                events.iter().any(|e| e.at >= lo && e.at < hi),
+                "no events in quarter {quarter} — sampling is not gap-uniform"
+            );
+        }
+        for w in events.windows(2) {
+            assert!(w[0].at <= w[1].at, "events must stay timestamp-ordered");
+        }
+    }
+
+    /// The scratch-buffer rewrite must not change the event stream: a second
+    /// process driven by an identical RNG produces bit-identical events, and
+    /// reusing one process across calls leaves no stale events behind.
+    #[test]
+    fn scratch_reuse_is_stream_transparent() {
+        let mut a = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
+        let mut b = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
+        let mut rng_a = SmallRng::seed_from_u64(23);
+        let mut rng_b = SmallRng::seed_from_u64(23);
+        let loc = SetLocation::new(0, 42);
+        a.mark_synced(loc, 0);
+        b.mark_synced(loc, 0);
+        let mut now = 0u64;
+        let mut lens = Vec::new();
+        for step in 1..20u64 {
+            now += step * 250_000; // growing gaps: small and large bursts
+            let ea = a.catch_up(loc, now, &mut rng_a).to_vec();
+            let eb = b.catch_up(loc, now, &mut rng_b).to_vec();
+            assert_eq!(ea, eb, "identical RNG streams must give identical events");
+            lens.push(ea.len());
+        }
+        // The sweep must have exercised both shrinking and growing bursts,
+        // otherwise stale-scratch bugs could hide.
+        assert!(lens.windows(2).any(|w| w[1] < w[0]) && lens.windows(2).any(|w| w[1] > w[0]));
     }
 
     #[test]
@@ -296,7 +407,7 @@ mod tests {
 
     #[test]
     fn interarrival_mean_is_inverse_rate() {
-        let p = NoiseProcess::new(NoiseModel::cloud_run(), 2048);
+        let p = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
         let mut rng = SmallRng::seed_from_u64(13);
         let n = 20_000;
         let total: f64 = (0..n).map(|_| p.sample_interarrival(&mut rng) as f64).sum();

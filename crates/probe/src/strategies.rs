@@ -16,7 +16,7 @@
 //! preparation, which is what makes it robust in a noisy cloud.
 
 use llc_evsets::EvictionSet;
-use llc_machine::Machine;
+use llc_machine::{Machine, TraversalPlan};
 
 /// Which prime/probe strategy a monitor uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,6 +60,11 @@ pub struct ProbeOutcome {
 pub struct PrimedSet {
     strategy: Strategy,
     eviction_set: EvictionSet,
+    /// Compiled traversal of the eviction set, built once per
+    /// [`PrimedSet::prepare`]. The prime/probe loop runs millions of
+    /// traversals over this one fixed set; the plan amortises translation,
+    /// slice hashing and touched-set sorting across all of them.
+    plan: TraversalPlan,
     /// Whether the last prime successfully established the monitored state
     /// (PS-Alt can fail to re-establish the EVC after a disturbance).
     armed: bool,
@@ -69,7 +74,7 @@ impl PrimedSet {
     /// Creates a monitoring context; call [`PrimedSet::prepare`] once and
     /// then alternate [`PrimedSet::prime`] / [`PrimedSet::probe`].
     pub fn new(strategy: Strategy, eviction_set: EvictionSet) -> Self {
-        Self { strategy, eviction_set, armed: false }
+        Self { strategy, eviction_set, plan: TraversalPlan::default(), armed: false }
     }
 
     /// The strategy in use.
@@ -84,7 +89,8 @@ impl PrimedSet {
 
     /// One-time preparation: flush the eviction-set lines and fault them in
     /// privately so they occupy snoop-filter entries (the attacker stops the
-    /// helper thread before monitoring).
+    /// helper thread before monitoring), and compile the traversal plan the
+    /// prime/probe hot loop runs over.
     pub fn prepare(&mut self, machine: &mut Machine) {
         machine.set_helper_echo(false);
         for &va in self.eviction_set.addresses() {
@@ -93,15 +99,17 @@ impl PrimedSet {
         for &va in self.eviction_set.addresses() {
             machine.access(va);
         }
+        machine.compile_plan_into(self.eviction_set.addresses(), &mut self.plan);
         self.armed = false;
     }
 
     /// Primes the monitored set; returns the prime latency in cycles.
     pub fn prime(&mut self, machine: &mut Machine) -> u64 {
         let start = machine.now();
-        // The machine and the eviction set are disjoint borrows; passing the
-        // addresses straight through keeps the per-interval prime free of
-        // allocations (this runs once per monitoring interval).
+        // The machine and this context are disjoint borrows; the compiled
+        // plan keeps the per-interval prime free of translation, slice
+        // hashing, sorting and allocation (this runs once per monitoring
+        // interval).
         let addrs = self.eviction_set.addresses();
         match self.strategy {
             Strategy::Parallel => {
@@ -109,18 +117,18 @@ impl PrimedSet {
                 // replacement-state preparation is needed because the probe
                 // checks every line.
                 for _ in 0..addrs.len() {
-                    machine.parallel_traverse(addrs);
+                    machine.parallel_traverse_plan(&self.plan);
                 }
                 self.armed = true;
             }
             Strategy::PsFlush => {
                 // Load, flush and sequentially reload the set, then leave the
                 // first line primed as the eviction candidate.
-                machine.sequential_traverse(addrs);
+                machine.sequential_traverse_plan(&self.plan);
                 for &va in addrs {
                     machine.clflush(va);
                 }
-                machine.sequential_traverse(addrs);
+                machine.sequential_traverse_plan(&self.plan);
                 machine.prime_as_victim(addrs[0]);
                 self.armed = true;
             }
@@ -154,9 +162,9 @@ impl PrimedSet {
     pub fn probe(&mut self, machine: &mut Machine) -> ProbeOutcome {
         match self.strategy {
             Strategy::Parallel => {
-                let addrs = self.eviction_set.addresses();
-                let latency = machine.timed_parallel_traverse(addrs);
-                let threshold = machine.latency_model().parallel_probe_threshold(addrs.len());
+                let latency = machine.timed_parallel_traverse_plan(&self.plan);
+                let threshold =
+                    machine.latency_model().parallel_probe_threshold(self.plan.len());
                 ProbeOutcome { latency, detected: latency >= threshold }
             }
             Strategy::PsFlush | Strategy::PsAlt => {
