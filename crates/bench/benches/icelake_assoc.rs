@@ -6,6 +6,7 @@ use llc_bench::experiments::{measure_single_set, Environment};
 use llc_fleet::Fleet;
 use llc_core::Algorithm;
 use llc_cache_model::{CacheSpec, SlicedGeometry};
+use llc_machine::NoiseFidelity;
 
 fn scaled_ice_lake(slices: usize) -> CacheSpec {
     let mut icx = CacheSpec::ice_lake_sp();
@@ -27,7 +28,16 @@ fn bench_associativity(c: &mut Criterion) {
                     let mut seed = 0u64;
                     b.iter(|| {
                         seed += 1;
-                        measure_single_set(spec, Environment::QuiescentLocal, algo, true, 1, seed, &Fleet::single())
+                        measure_single_set(
+                            spec,
+                            Environment::QuiescentLocal,
+                            NoiseFidelity::Exact,
+                            algo,
+                            true,
+                            1,
+                            seed,
+                            &Fleet::single(),
+                        )
                     });
                 },
             );

@@ -6,6 +6,7 @@ use llc_bench::experiments::{measure_single_set, Environment};
 use llc_fleet::Fleet;
 use llc_core::Algorithm;
 use llc_cache_model::CacheSpec;
+use llc_machine::NoiseFidelity;
 
 fn bench_filtered_construction(c: &mut Criterion) {
     let spec = CacheSpec::skylake_sp(2, 4);
@@ -20,7 +21,16 @@ fn bench_filtered_construction(c: &mut Criterion) {
                     let mut seed = 100u64;
                     b.iter(|| {
                         seed += 1;
-                        measure_single_set(&spec, env, algo, true, 1, seed, &Fleet::single())
+                        measure_single_set(
+                            &spec,
+                            env,
+                            NoiseFidelity::Exact,
+                            algo,
+                            true,
+                            1,
+                            seed,
+                            &Fleet::single(),
+                        )
                     });
                 },
             );

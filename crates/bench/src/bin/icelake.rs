@@ -37,8 +37,16 @@ fn main() {
     let mut gtop_time = [0.0f64; 2];
     for (idx, (name, spec)) in machines.iter().enumerate() {
         for algo in algorithms {
-            let s =
-                measure_single_set(spec, Environment::QuiescentLocal, algo, true, trials, 0x1ce, &fleet);
+            let s = measure_single_set(
+                spec,
+                Environment::QuiescentLocal,
+                opts.fidelity,
+                algo,
+                true,
+                trials,
+                0x1ce,
+                &fleet,
+            );
             println!(
                 "{:<14} {:>8} {:>8} {:<8} {:>10} {:>12.2}",
                 name,

@@ -16,7 +16,7 @@ use llc_evsets::{
     EvsetConfig, TargetCache, TraversalOrder,
 };
 use llc_fleet::{stream_seed, Aggregate, Counts, Fleet, Samples};
-use llc_machine::{Machine, NoiseModel};
+use llc_machine::{Machine, NoiseFidelity, NoiseModel};
 use llc_probe::{
     run_covert_channel, AccessTrace, CovertChannelConfig, Monitor, MonitorStats, Strategy,
 };
@@ -169,9 +169,17 @@ impl Aggregate for SingleSetAgg {
 /// rewind tripled the measured machine-acquisition cost without changing a
 /// single simulated cycle. The output is byte-identical either way (trial 0
 /// derives the same seeds and sees the same machine state).
+///
+/// `fidelity` selects the background-noise model fidelity
+/// ([`NoiseFidelity::Exact`] reproduces the per-event reference byte for
+/// byte; [`NoiseFidelity::Aggregate`] applies one bulk state transition per
+/// catch-up window — statistically equivalent, far cheaper under Cloud Run
+/// noise).
+#[allow(clippy::too_many_arguments)] // one knob per experiment axis; callers name each cell
 pub fn measure_single_set(
     spec: &CacheSpec,
     environment: Environment,
+    fidelity: NoiseFidelity,
     algorithm: Algorithm,
     filtering: bool,
     trials: usize,
@@ -181,6 +189,7 @@ pub fn measure_single_set(
     let config = if filtering { EvsetConfig::filtered() } else { EvsetConfig::unfiltered() };
     let base = Machine::builder(spec.clone())
         .noise(environment.noise())
+        .noise_fidelity(fidelity)
         .seed(stream_seed(seed, trial_streams::MACHINE))
         .build();
 
@@ -932,9 +941,11 @@ pub struct KeyRecoveryOutcome {
 /// confidence-ordered correction search then attacks them serially until a
 /// corrected nonce verifies against the service's public key, so the whole
 /// report is bit-identical for every `--threads` value.
+#[allow(clippy::too_many_arguments)] // one knob per experiment axis; callers name each cell
 pub fn measure_key_recovery(
     spec: &CacheSpec,
     environment: Environment,
+    fidelity: NoiseFidelity,
     nonce_bits: usize,
     max_signatures: usize,
     search: SearchConfig,
@@ -962,6 +973,7 @@ pub fn measure_key_recovery(
     // snapshot so its mappings survive every per-trial rewind.
     let mut base = Machine::builder(spec.clone())
         .noise(environment.noise())
+        .noise_fidelity(fidelity)
         .seed(stream_seed(seed, trial_streams::MACHINE))
         .build();
     let mut rng = StdRng::seed_from_u64(stream_seed(seed, trial_streams::ALLOC));
@@ -1136,6 +1148,7 @@ mod tests {
         let stats = measure_single_set(
             &tiny(),
             Environment::QuiescentLocal,
+            NoiseFidelity::Exact,
             Algorithm::BinS,
             true,
             3,
@@ -1158,6 +1171,7 @@ mod tests {
         let fast = measure_single_set(
             &spec,
             Environment::CloudRun,
+            NoiseFidelity::Exact,
             Algorithm::BinS,
             false,
             1,
@@ -1207,6 +1221,7 @@ mod tests {
             measure_single_set(
                 &tiny(),
                 Environment::CloudRun,
+                NoiseFidelity::Exact,
                 Algorithm::BinS,
                 true,
                 6,
@@ -1268,6 +1283,7 @@ mod tests {
             measure_key_recovery(
                 &tiny(),
                 Environment::QuiescentLocal,
+                NoiseFidelity::Exact,
                 32,
                 3,
                 SearchConfig { max_candidates: 150, max_flips: 2 },

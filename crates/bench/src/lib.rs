@@ -36,7 +36,12 @@
 //!   for every thread count;
 //! * `--smoke` — a pinned, environment-independent configuration with small
 //!   trial counts and stable output, used by the golden regression tests and
-//!   the CI smoke job.
+//!   the CI smoke job;
+//! * `--noise-fidelity exact|aggregate` / `LLC_NOISE_FIDELITY` — noise-model
+//!   fidelity of the single-set and key-recovery harnesses (default `exact`,
+//!   the per-event reference; `aggregate` collapses each catch-up window
+//!   into one bulk state transition — statistically equivalent, much faster
+//!   under Cloud Run noise).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -46,6 +51,7 @@ pub mod reports;
 
 use llc_cache_model::CacheSpec;
 use llc_fleet::{Fleet, Summary};
+use llc_machine::NoiseFidelity;
 
 /// Reads a positive integer from the environment, with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -81,20 +87,29 @@ pub fn smoke_skylake() -> CacheSpec {
 /// Command-line options shared by every experiment binary.
 ///
 /// All 11 binaries accept `--threads N` (worker threads of the `llc-fleet`
-/// executor; `LLC_THREADS` or the machine's parallelism when omitted) and
+/// executor; `LLC_THREADS` or the machine's parallelism when omitted),
 /// `--smoke` (small pinned trial counts with environment-independent,
-/// thread-count-independent output, for CI and the golden tests).
+/// thread-count-independent output, for CI and the golden tests) and
+/// `--noise-fidelity exact|aggregate` (`LLC_NOISE_FIDELITY` when omitted;
+/// selects the noise-model fidelity of the harnesses that honour it).
 #[derive(Debug, Clone)]
 pub struct RunOpts {
     /// Worker threads for the trial executor.
     pub threads: usize,
     /// Run the pinned smoke configuration.
     pub smoke: bool,
+    /// Noise-model fidelity for the harnesses that honour it (tables 3/4
+    /// single-set cells and the Step 4 campaign).
+    pub fidelity: NoiseFidelity,
 }
 
 impl Default for RunOpts {
     fn default() -> Self {
-        Self { threads: llc_fleet::default_threads(), smoke: false }
+        let fidelity = std::env::var("LLC_NOISE_FIDELITY")
+            .ok()
+            .and_then(|v| NoiseFidelity::parse(&v))
+            .unwrap_or_default();
+        Self { threads: llc_fleet::default_threads(), smoke: false, fidelity }
     }
 }
 
@@ -105,7 +120,9 @@ impl RunOpts {
             Ok(opts) => opts,
             Err(msg) => {
                 eprintln!("{msg}");
-                eprintln!("usage: <experiment> [--threads N] [--smoke]");
+                eprintln!(
+                    "usage: <experiment> [--threads N] [--noise-fidelity exact|aggregate] [--smoke]"
+                );
                 std::process::exit(2);
             }
         }
@@ -129,6 +146,11 @@ impl RunOpts {
                 opts.threads = parse_threads(v.as_ref())?;
             } else if let Some(v) = arg.strip_prefix("--threads=") {
                 opts.threads = parse_threads(v)?;
+            } else if arg == "--noise-fidelity" {
+                let v = iter.next().ok_or("--noise-fidelity requires a value")?;
+                opts.fidelity = parse_fidelity(v.as_ref())?;
+            } else if let Some(v) = arg.strip_prefix("--noise-fidelity=") {
+                opts.fidelity = parse_fidelity(v)?;
             } else {
                 return Err(format!("unknown argument: {arg}"));
             }
@@ -136,9 +158,18 @@ impl RunOpts {
         Ok(opts)
     }
 
-    /// A smoke-mode options value (used by the golden tests).
+    /// A smoke-mode options value (used by the golden tests). Pins `exact`
+    /// fidelity regardless of `LLC_NOISE_FIDELITY`, so the exact golden
+    /// files stay environment-independent; combine with
+    /// [`RunOpts::with_fidelity`] for the aggregate goldens.
     pub fn smoke_with_threads(threads: usize) -> Self {
-        Self { threads, smoke: true }
+        Self { threads, smoke: true, fidelity: NoiseFidelity::Exact }
+    }
+
+    /// Returns these options with the given noise fidelity.
+    pub fn with_fidelity(mut self, fidelity: NoiseFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
     }
 
     /// The trial executor these options select.
@@ -172,6 +203,11 @@ fn parse_threads(v: &str) -> Result<usize, String> {
         .ok()
         .filter(|&n| n > 0)
         .ok_or_else(|| format!("--threads expects a positive integer, got {v:?}"))
+}
+
+fn parse_fidelity(v: &str) -> Result<NoiseFidelity, String> {
+    NoiseFidelity::parse(v)
+        .ok_or_else(|| format!("--noise-fidelity expects 'exact' or 'aggregate', got {v:?}"))
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -255,11 +291,25 @@ mod tests {
     }
 
     #[test]
+    fn run_opts_parse_fidelity_forms() {
+        let o = RunOpts::from_args(["--noise-fidelity", "aggregate"]).unwrap();
+        assert_eq!(o.fidelity, NoiseFidelity::Aggregate);
+        let o = RunOpts::from_args(["--noise-fidelity=exact"]).unwrap();
+        assert_eq!(o.fidelity, NoiseFidelity::Exact);
+        assert!(RunOpts::from_args(["--noise-fidelity", "sloppy"]).is_err());
+        assert!(RunOpts::from_args(["--noise-fidelity"]).is_err());
+        // The golden-test constructor pins exact and opts back in explicitly.
+        let o = RunOpts::smoke_with_threads(2);
+        assert_eq!(o.fidelity, NoiseFidelity::Exact);
+        assert_eq!(o.with_fidelity(NoiseFidelity::Aggregate).fidelity, NoiseFidelity::Aggregate);
+    }
+
+    #[test]
     fn smoke_spec_is_env_independent() {
         let o = RunOpts::smoke_with_threads(1);
         assert_eq!(o.spec().sf.num_slices(), 4);
         assert_eq!(o.trials(2, 100), 2);
-        let loud = RunOpts { smoke: false, threads: 1 };
+        let loud = RunOpts { smoke: false, threads: 1, fidelity: NoiseFidelity::Exact };
         assert_eq!(loud.trials(2, 100), trials(100));
     }
 

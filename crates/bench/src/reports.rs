@@ -18,10 +18,20 @@ use crate::experiments::{
 };
 use crate::{env_usize, pct, RunOpts};
 use llc_core::Algorithm;
+use llc_machine::NoiseFidelity;
 use llc_evsets::Scope;
 use llc_probe::Strategy;
 use llc_recovery::SearchConfig;
 use std::fmt::Write;
+
+/// Header suffix naming the noise fidelity. Empty in exact mode so the
+/// pre-existing exact reports (and their golden files) stay byte-identical.
+fn fidelity_suffix(opts: &RunOpts) -> &'static str {
+    match opts.fidelity {
+        NoiseFidelity::Exact => "",
+        NoiseFidelity::Aggregate => " | noise fidelity: aggregate",
+    }
+}
 
 /// Renders Table 3 — existing pruning algorithms without candidate
 /// filtering, quiescent local vs Cloud Run.
@@ -33,7 +43,8 @@ pub fn table3_report(opts: &RunOpts) -> String {
 
     let w = &mut out;
     writeln!(w, "Table 3 — existing pruning algorithms, no candidate filtering").unwrap();
-    writeln!(w, "machine: {} | trials per cell: {trials}", spec.name).unwrap();
+    writeln!(w, "machine: {} | trials per cell: {trials}{}", spec.name, fidelity_suffix(opts))
+        .unwrap();
     writeln!(
         w,
         "{:<18} {:<8} {:>10} {:>12} {:>12} {:>12}",
@@ -42,7 +53,8 @@ pub fn table3_report(opts: &RunOpts) -> String {
     .unwrap();
     for env in Environment::all() {
         for algo in [Algorithm::Gt, Algorithm::GtOp, Algorithm::Ps, Algorithm::PsOp] {
-            let s = measure_single_set(&spec, env, algo, false, trials, 0x7ab1e3, &fleet);
+            let s =
+                measure_single_set(&spec, env, opts.fidelity, algo, false, trials, 0x7ab1e3, &fleet);
             writeln!(
                 w,
                 "{:<18} {:<8} {:>10} {:>12.1} {:>12.1} {:>12.1}",
@@ -75,7 +87,13 @@ pub fn table4_report(opts: &RunOpts) -> String {
     let mut out = String::new();
 
     let w = &mut out;
-    writeln!(w, "Table 4 — construction with candidate filtering ({})", spec.name).unwrap();
+    writeln!(
+        w,
+        "Table 4 — construction with candidate filtering ({}{})",
+        spec.name,
+        fidelity_suffix(opts)
+    )
+    .unwrap();
     writeln!(w, "== SingleSet ({} trials per cell) ==", trials).unwrap();
     writeln!(
         w,
@@ -85,7 +103,8 @@ pub fn table4_report(opts: &RunOpts) -> String {
     .unwrap();
     for env in Environment::all() {
         for algo in algorithms {
-            let s = measure_single_set(&spec, env, algo, true, trials, 0x7ab1e4, &fleet);
+            let s =
+                measure_single_set(&spec, env, opts.fidelity, algo, true, trials, 0x7ab1e4, &fleet);
             writeln!(
                 w,
                 "{:<18} {:<8} {:>10} {:>12.1} {:>13.0}%",
@@ -287,7 +306,13 @@ pub fn e2e_key_report(opts: &RunOpts) -> String {
     let mut out = String::new();
 
     let w = &mut out;
-    writeln!(w, "Step 4 — noisy-nonce key recovery ({}, Cloud Run noise)", spec.name).unwrap();
+    writeln!(
+        w,
+        "Step 4 — noisy-nonce key recovery ({}, Cloud Run noise{})",
+        spec.name,
+        fidelity_suffix(opts)
+    )
+    .unwrap();
     writeln!(w).unwrap();
     writeln!(
         w,
@@ -297,6 +322,7 @@ pub fn e2e_key_report(opts: &RunOpts) -> String {
     let campaign = measure_key_recovery(
         &spec,
         Environment::CloudRun,
+        opts.fidelity,
         nonce_bits,
         signatures,
         search,

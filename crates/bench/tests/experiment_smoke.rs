@@ -16,12 +16,15 @@
 //!
 //! To regenerate after an intentional change:
 //! `cargo run --release -p llc-bench --bin table3 -- --smoke > crates/bench/tests/golden/table3_smoke.txt`
-//! (same for table4/table5/table6), then review the diff like any other
+//! (same for table4/table5/table6, and with `--noise-fidelity aggregate`
+//! for `table3_aggregate_smoke.txt`), then review the diff like any other
 //! code change.
 
 use llc_bench::{reports, RunOpts};
+use llc_machine::NoiseFidelity;
 
 const TABLE3_GOLDEN: &str = include_str!("golden/table3_smoke.txt");
+const TABLE3_AGGREGATE_GOLDEN: &str = include_str!("golden/table3_aggregate_smoke.txt");
 const TABLE4_GOLDEN: &str = include_str!("golden/table4_smoke.txt");
 const TABLE5_GOLDEN: &str = include_str!("golden/table5_smoke.txt");
 const TABLE6_GOLDEN: &str = include_str!("golden/table6_smoke.txt");
@@ -52,6 +55,37 @@ fn assert_matches_golden(name: &str, actual: &str, expected: &str) {
 fn table3_smoke_matches_golden() {
     let report = reports::table3_report(&RunOpts::smoke_with_threads(2));
     assert_matches_golden("table3 --smoke", &report, TABLE3_GOLDEN);
+}
+
+#[test]
+fn table3_aggregate_smoke_matches_golden() {
+    let opts = RunOpts::smoke_with_threads(2).with_fidelity(NoiseFidelity::Aggregate);
+    let report = reports::table3_report(&opts);
+    assert_matches_golden("table3 --smoke --noise-fidelity aggregate", &report, TABLE3_AGGREGATE_GOLDEN);
+    // The aggregate report must be a *different* simulation (labelled as
+    // such), not a silent fall-through to the exact path.
+    assert!(report.contains("noise fidelity: aggregate"));
+    assert_ne!(report, TABLE3_GOLDEN, "aggregate smoke must not equal the exact golden");
+}
+
+#[test]
+fn table3_aggregate_smoke_is_thread_count_invariant() {
+    let run = |threads: usize| {
+        reports::table3_report(
+            &RunOpts::smoke_with_threads(threads).with_fidelity(NoiseFidelity::Aggregate),
+        )
+    };
+    let one = run(1);
+    assert_eq!(
+        one,
+        run(8),
+        "table3 --smoke --noise-fidelity aggregate must be byte-identical at 1 and 8 threads"
+    );
+    assert_matches_golden(
+        "table3 --smoke --noise-fidelity aggregate --threads 1",
+        &one,
+        TABLE3_AGGREGATE_GOLDEN,
+    );
 }
 
 #[test]

@@ -461,6 +461,87 @@ impl Hierarchy {
         self.noise_evictions = pending;
     }
 
+    /// Applies an *aggregate* noise advance to one LLC/SF set: `llc_fills`
+    /// shared-line insertions and `sf_fills` other-tenant private-line
+    /// insertions, as one bulk evict-and-fill transition per structure
+    /// (`SetViewMut::advance_fills`) instead of per-event dispatch.
+    ///
+    /// Back-invalidations of displaced real lines are deferred and applied
+    /// after both structures advance, exactly as
+    /// [`Hierarchy::noise_access_bulk`] does; displaced synthetic noise
+    /// lines and ownerless SF entries are skipped for the same reason (their
+    /// back-invalidations are guaranteed no-ops). Processing all LLC fills
+    /// and then all SF fills is state-equivalent to any timestamp
+    /// interleaving of the same counts: the two structures share no ways and
+    /// nothing reads the private caches mid-burst. The exception is again
+    /// the reuse predictor, whose SF→LLC re-insertions genuinely interleave
+    /// the structures — with `reuse_insert_probability > 0` this falls back
+    /// to per-event [`Hierarchy::noise_access`] dispatch (LLC events first),
+    /// trading the speedup for exact ordering.
+    ///
+    /// Work is `O(min(fills, ways))` per structure, which is what makes
+    /// long-gap catch-ups cheap in the aggregate noise mode regardless of
+    /// the Poisson draw.
+    pub fn noise_advance_bulk(&mut self, loc: SetLocation, llc_fills: u64, sf_fills: u64) {
+        if llc_fills == 0 && sf_fills == 0 {
+            return;
+        }
+        if self.options.reuse_insert_probability > 0.0 {
+            for _ in 0..llc_fills {
+                self.noise_access(loc, true);
+            }
+            for _ in 0..sf_fills {
+                self.noise_access(loc, false);
+            }
+            return;
+        }
+
+        let mut pending = std::mem::take(&mut self.noise_evictions);
+        pending.clear();
+        let all_cores = core_mask(self.spec.cores);
+        {
+            let counter = &mut self.noise_counter;
+            let mut llc_view = self.llc.set_view_mut(loc);
+            llc_view.advance_fills(
+                llc_fills,
+                || {
+                    *counter += 1;
+                    LineAddr::from_line_number(NOISE_LINE_BASE + *counter)
+                },
+                |evicted| {
+                    if evicted.line.line_number() < NOISE_LINE_BASE {
+                        pending.push((evicted.line, all_cores));
+                    }
+                },
+            );
+        }
+        {
+            let counter = &mut self.noise_counter;
+            let mut sf_view = self.sf.set_view_mut(loc);
+            sf_view.advance_fills(
+                sf_fills,
+                || {
+                    *counter += 1;
+                    LineAddr::from_line_number(NOISE_LINE_BASE + *counter)
+                },
+                |evicted| {
+                    if evicted.payload.owners != 0 {
+                        pending.push((evicted.line, evicted.payload.owners));
+                    }
+                },
+            );
+        }
+        for &(line, owners) in &pending {
+            for core in 0..self.spec.cores {
+                if owners & (1 << core) != 0 {
+                    self.l1[core].invalidate(line);
+                    self.l2[core].invalidate(line);
+                }
+            }
+        }
+        self.noise_evictions = pending;
+    }
+
     /// Marks `line` as the next replacement victim of its LLC or SF set.
     ///
     /// This is the abstract effect of Prime+Scope's replacement-state priming
@@ -882,6 +963,105 @@ mod tests {
             a.noise_access(loc, s);
         }
         b.noise_access_bulk(loc, burst.iter().copied());
+        let (va, vb) = (a.llc_set_view(loc), b.llc_set_view(loc));
+        for w in 0..va.num_ways() {
+            assert_eq!(va.line(w), vb.line(w));
+            assert_eq!(va.meta_word(w), vb.meta_word(w));
+        }
+        let (sa, sb) = (a.sf_set_view(loc), b.sf_set_view(loc));
+        for w in 0..sa.num_ways() {
+            assert_eq!(sa.line(w), sb.line(w));
+        }
+    }
+
+    /// Below saturation, `noise_advance_bulk(kl, ks)` must be
+    /// state-identical to `kl` shared then `ks` private per-event noise
+    /// accesses: same tags, same metadata, same back-invalidations.
+    #[test]
+    fn noise_advance_bulk_matches_per_event_below_saturation() {
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        let target = line(0x4242);
+        let shared_victim = congruent_lines(&a, target, 1)[0];
+        for h in [&mut a, &mut b] {
+            h.access(0, target, AccessKind::Read);
+            h.access(0, shared_victim, AccessKind::Read);
+            h.access(1, shared_victim, AccessKind::Read);
+        }
+        let loc = a.shared_location(target);
+        let (kl, ks) = (a.spec().llc.ways() as u64 - 1, a.spec().sf.ways() as u64 - 1);
+        for _ in 0..kl {
+            a.noise_access(loc, true);
+        }
+        for _ in 0..ks {
+            a.noise_access(loc, false);
+        }
+        b.noise_advance_bulk(loc, kl, ks);
+
+        let (va, vb) = (a.llc_set_view(loc), b.llc_set_view(loc));
+        assert_eq!(va.occupancy(), vb.occupancy());
+        for w in 0..va.num_ways() {
+            assert_eq!(va.line(w), vb.line(w), "LLC way {w} diverged");
+            assert_eq!(va.meta_word(w), vb.meta_word(w), "LLC meta {w} diverged");
+        }
+        let (sa, sb) = (a.sf_set_view(loc), b.sf_set_view(loc));
+        assert_eq!(sa.occupancy(), sb.occupancy());
+        for w in 0..sa.num_ways() {
+            assert_eq!(sa.line(w), sb.line(w), "SF way {w} diverged");
+            assert_eq!(sa.meta_word(w), sb.meta_word(w), "SF meta {w} diverged");
+        }
+        for l in [target, shared_victim] {
+            for c in 0..a.cores() {
+                assert_eq!(a.in_l1(c, l), b.in_l1(c, l));
+                assert_eq!(a.in_l2(c, l), b.in_l2(c, l));
+            }
+            assert_eq!(a.in_llc(l), b.in_llc(l));
+            assert_eq!(a.in_sf(l), b.in_sf(l));
+        }
+    }
+
+    /// A saturating advance displaces every resident of both structures,
+    /// back-invalidates the private copies, and fills each set to capacity
+    /// with synthetic lines — in O(ways), so an absurdly large count must
+    /// terminate instantly.
+    #[test]
+    fn noise_advance_bulk_saturating_burst_displaces_everything() {
+        let mut h = hierarchy();
+        let target = line(0x5000);
+        let shared_victim = congruent_lines(&h, target, 1)[0];
+        h.access(0, target, AccessKind::Read); // SF-tracked private line
+        h.access(0, shared_victim, AccessKind::Read);
+        h.access(1, shared_victim, AccessKind::Read); // LLC-resident shared line
+        let loc = h.shared_location(target);
+        h.noise_advance_bulk(loc, 1_000_000_000, 1_000_000_000);
+        assert!(!h.in_sf(target));
+        assert!(!h.in_llc(shared_victim));
+        assert!(!h.in_l2(0, target), "SF displacement must back-invalidate");
+        assert!(!h.in_l2(0, shared_victim) && !h.in_l2(1, shared_victim));
+        assert_eq!(h.llc_occupancy(loc), h.spec().llc.ways());
+        assert_eq!(h.sf_occupancy(loc), h.spec().sf.ways());
+    }
+
+    /// With the reuse predictor enabled the aggregate path must fall back to
+    /// per-event dispatch (LLC fills first, then SF fills) so SF→LLC
+    /// re-insertions interleave exactly.
+    #[test]
+    fn noise_advance_bulk_matches_with_reuse_predictor() {
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        for h in [&mut a, &mut b] {
+            h.set_options(HierarchyOptions { reuse_insert_probability: 1.0 });
+            h.access(0, line(0x4242), AccessKind::Read);
+        }
+        let loc = a.shared_location(line(0x4242));
+        let (kl, ks) = (3u64, 2 * a.spec().sf.ways() as u64);
+        for _ in 0..kl {
+            a.noise_access(loc, true);
+        }
+        for _ in 0..ks {
+            a.noise_access(loc, false);
+        }
+        b.noise_advance_bulk(loc, kl, ks);
         let (va, vb) = (a.llc_set_view(loc), b.llc_set_view(loc));
         for w in 0..va.num_ways() {
             assert_eq!(va.line(w), vb.line(w));

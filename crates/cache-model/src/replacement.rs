@@ -339,6 +339,62 @@ impl ReplacementKind {
     pub fn reset_way(self, meta: &mut [u64], way: usize) {
         self.demote(meta, way);
     }
+
+    /// Applies `count` consecutive *fill* transitions to a fully-occupied
+    /// set's metadata: for each fill, a victim way is chosen, reported
+    /// through `on_victim`, and then touched as a fresh fill — exactly the
+    /// metadata effect of `count` back-to-back conflict insertions.
+    ///
+    /// This is the survival-probability engine of the aggregate noise mode:
+    /// a resident line survives a `count`-insertion noise burst iff its way
+    /// is never selected by this sequence. Given the metadata, the victim
+    /// sequence is deterministic for every policy except
+    /// [`ReplacementKind::Random`] (which draws from `rng` as usual), so
+    /// per-way survival is resolved exactly rather than approximated.
+    ///
+    /// True LRU admits a closed form: victims are the `count` oldest ways in
+    /// descending age order, and every age advances by `count` modulo the
+    /// associativity (survivors age by `count`; the `j`-th fill ends at age
+    /// `count - j`). The nibble-packed representation uses that closed form
+    /// directly — one pass over the ways instead of `count` victim scans —
+    /// and `tests` pin its equivalence to the generic loop.
+    pub fn bulk_fill(
+        self,
+        meta: &mut [u64],
+        count: u64,
+        mut rng: Option<&mut SmallRng>,
+        mut on_victim: impl FnMut(usize),
+    ) {
+        let ways = meta.len();
+        if count == 0 || ways == 0 {
+            return;
+        }
+        if self == ReplacementKind::Lru && ways <= LRU_PACKED_MAX_WAYS && count < ways as u64 {
+            let x = meta[0];
+            let count = count as usize;
+            // Victims in descending age order: age ways-1, ways-2, ...
+            // (the ages form a permutation, so the table is total).
+            let mut way_of_age = [0usize; LRU_PACKED_MAX_WAYS];
+            for w in 0..ways {
+                way_of_age[packed_age(x, w) as usize] = w;
+            }
+            for j in 0..count {
+                on_victim(way_of_age[ways - 1 - j]);
+            }
+            let mut word = x;
+            for w in 0..ways {
+                let age = (packed_age(x, w) as usize + count) % ways;
+                word = (word & !(0xF << (4 * w))) | ((age as u64) << (4 * w));
+            }
+            meta[0] = word;
+            return;
+        }
+        for _ in 0..count {
+            let way = self.victim(meta, rng.as_deref_mut());
+            on_victim(way);
+            self.touch(meta, way, true);
+        }
+    }
 }
 
 /// Whether a root-to-leaf walk points the Tree-PLRU bits away from a way
@@ -552,6 +608,67 @@ mod tests {
             kind.touch(&mut m, 0, true);
             let rng = kind.uses_rng().then_some(&mut rng);
             assert!(kind.victim(&mut m, rng) < 8);
+        }
+    }
+
+    /// The packed-LRU closed form in `bulk_fill` must be indistinguishable
+    /// from literally running `count` victim/touch-fill rounds: same victim
+    /// ways in the same order, same final metadata word.
+    #[test]
+    fn lru_bulk_fill_closed_form_matches_generic_loop() {
+        let k = ReplacementKind::Lru;
+        for ways in [4usize, 7, 16] {
+            for scramble in 0..8u64 {
+                for count in 1..ways as u64 {
+                    let mut base = meta(k, ways);
+                    fill_and_reference(k, &mut base);
+                    // Scramble recency with a deterministic touch pattern.
+                    for i in 0..scramble {
+                        k.touch(&mut base, (i as usize * 3 + 1) % ways, false);
+                    }
+                    let mut fast = base.clone();
+                    let mut slow = base.clone();
+                    let mut fast_victims = Vec::new();
+                    k.bulk_fill(&mut fast, count, None, |w| fast_victims.push(w));
+                    let mut slow_victims = Vec::new();
+                    for _ in 0..count {
+                        let w = k.victim(&mut slow, None);
+                        slow_victims.push(w);
+                        k.touch(&mut slow, w, true);
+                    }
+                    assert_eq!(fast_victims, slow_victims, "{ways} ways, count {count}");
+                    assert_eq!(fast, slow, "{ways} ways, count {count}: metadata diverged");
+                }
+            }
+        }
+    }
+
+    /// `bulk_fill` on the non-closed-form policies is definitionally the
+    /// victim/touch loop; sanity-check victim validity and determinism.
+    #[test]
+    fn bulk_fill_generic_policies_yield_valid_deterministic_victims() {
+        for kind in [
+            ReplacementKind::TreePlru,
+            ReplacementKind::Qlru,
+            ReplacementKind::Srrip,
+            ReplacementKind::Random,
+        ] {
+            let ways = 8;
+            let run = |seed: u64| {
+                let mut m = meta(kind, ways);
+                fill_and_reference(kind, &mut m);
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mut victims = Vec::new();
+                let rng_arg = kind.uses_rng().then_some(&mut rng);
+                kind.bulk_fill(&mut m, 20, rng_arg, |w| victims.push(w));
+                (victims, m)
+            };
+            let (va, ma) = run(5);
+            let (vb, mb) = run(5);
+            assert_eq!(va.len(), 20);
+            assert!(va.iter().all(|&w| w < ways), "{kind:?}: victim out of range");
+            assert_eq!(va, vb, "{kind:?}: bulk_fill must be deterministic per seed");
+            assert_eq!(ma, mb);
         }
     }
 

@@ -331,6 +331,78 @@ impl<'a, T: Copy> SetViewMut<'a, T> {
         }
     }
 
+    /// Applies `count` background fills in one pass: each fill installs a
+    /// line minted by `mint` (with `T::default()` payload), evicting a
+    /// victim when no way is free and reporting every displaced entry
+    /// through `on_evict`, in eviction order.
+    ///
+    /// This is the aggregate noise mode's per-set state transition. Three
+    /// regimes:
+    ///
+    /// * `count >= ways` — the burst saturates the set: every resident is
+    ///   displaced and the set ends holding the newest `ways` fills with
+    ///   canonical freshly-filled metadata (`init_meta` + fill touches in
+    ///   way order). `mint` is still called `count` times so line minting
+    ///   stays injective; the overwritten fills are never materialised.
+    ///   O(ways) regardless of `count`.
+    /// * free ways — filled lowest-index-first, matching
+    ///   [`SetViewMut::insert`]'s preference.
+    /// * full set — the remaining fills run through
+    ///   [`ReplacementKind::bulk_fill`] (closed form for LRU, the exact
+    ///   victim/touch loop otherwise).
+    pub fn advance_fills(
+        &mut self,
+        count: u64,
+        mut mint: impl FnMut() -> LineAddr,
+        mut on_evict: impl FnMut(Entry<T>),
+    ) where
+        T: Default,
+    {
+        if count == 0 {
+            return;
+        }
+        let ways = self.lines.len();
+        if count >= ways as u64 {
+            for _ in 0..count - ways as u64 {
+                mint();
+            }
+            let valid = *self.valid;
+            for w in 0..ways {
+                if valid & (1 << w) != 0 {
+                    on_evict(Entry { line: self.lines[w], payload: self.payload[w] });
+                }
+            }
+            *self.valid = 0;
+            self.policy.init_meta(self.meta);
+            for w in 0..ways {
+                let line = mint();
+                self.install(w, line, T::default());
+            }
+            return;
+        }
+        let mut remaining = count;
+        loop {
+            let free = !*self.valid & self.way_mask();
+            if free == 0 {
+                break;
+            }
+            let way = free.trailing_zeros() as usize;
+            let line = mint();
+            self.install(way, line, T::default());
+            remaining -= 1;
+            if remaining == 0 {
+                return;
+            }
+        }
+        let lines = &mut *self.lines;
+        let payload = &mut *self.payload;
+        self.policy.bulk_fill(self.meta, remaining, self.rng.as_deref_mut(), |way| {
+            on_evict(Entry { line: lines[way], payload: payload[way] });
+            lines[way] = mint();
+            payload[way] = T::default();
+        });
+    }
+
     /// Removes `line` from the set, returning its payload if it was present.
     ///
     /// The way's replacement metadata is reset (see
@@ -474,6 +546,93 @@ mod tests {
         assert!(a.view(0).contains(line(0)) && !a.view(0).contains(line(99)));
         let evicted = a.view_mut(0).insert(line(100), 0).expect("full set evicts");
         assert_eq!(evicted.line, line(0), "restored recency must match the snapshot");
+    }
+
+    /// `advance_fills` below the saturation threshold must be
+    /// indistinguishable from the same number of `insert` calls (the
+    /// aggregate noise transition is exactly "k conflict insertions").
+    #[test]
+    fn advance_fills_matches_repeated_inserts_below_saturation() {
+        for kind in [ReplacementKind::Lru, ReplacementKind::TreePlru, ReplacementKind::Srrip] {
+            let mut a: SetArena<u8> = arena(8, kind);
+            let mut b: SetArena<u8> = arena(8, kind);
+            // Partially warm both sets identically (6 of 8 ways valid).
+            for h in [&mut a, &mut b] {
+                for i in 0..6 {
+                    h.view_mut(0).insert(line(i), i as u8);
+                }
+            }
+            let mut next = 100u64;
+            let mut evicted_a = Vec::new();
+            for _ in 0..5 {
+                next += 1;
+                if let Some(e) = a.view_mut(0).insert(line(next), 0) {
+                    evicted_a.push(e.line);
+                }
+            }
+            let mut next_b = 100u64;
+            let mut evicted_b = Vec::new();
+            b.view_mut(0).advance_fills(
+                5,
+                || {
+                    next_b += 1;
+                    line(next_b)
+                },
+                |e| evicted_b.push(e.line),
+            );
+            assert_eq!(evicted_a, evicted_b, "{kind:?}: eviction stream diverged");
+            let (va, vb) = (a.view(0), b.view(0));
+            assert_eq!(va.occupancy(), vb.occupancy());
+            for w in 0..8 {
+                assert_eq!(va.line(w), vb.line(w), "{kind:?} way {w}");
+                assert_eq!(va.meta_word(w), vb.meta_word(w), "{kind:?} meta {w}");
+            }
+        }
+    }
+
+    /// A saturating burst (`count >= ways`) displaces every resident, leaves
+    /// exactly the newest `ways` minted lines behind, and keeps minting
+    /// injective (all `count` mints are consumed).
+    #[test]
+    fn advance_fills_saturating_burst_resets_to_newest_fills() {
+        let mut a: SetArena<()> = arena(4, ReplacementKind::Lru);
+        for i in 0..4 {
+            a.view_mut(0).insert(line(i), ());
+        }
+        let mut next = 0u64;
+        let mut evicted = Vec::new();
+        a.view_mut(0).advance_fills(
+            11,
+            || {
+                next += 1;
+                line(1000 + next)
+            },
+            |e| evicted.push(e.line),
+        );
+        assert_eq!(next, 11, "every fill must be minted");
+        evicted.sort_unstable();
+        assert_eq!(evicted, (0..4).map(line).collect::<Vec<_>>());
+        let v = a.view(0);
+        assert_eq!(v.occupancy(), 4);
+        // The survivors are the last 4 minted lines, in way order.
+        for w in 0..4 {
+            assert_eq!(v.line(w), Some(line(1000 + 8 + w as u64)));
+        }
+        // Metadata is the canonical full-fill state: way 3 was filled last,
+        // so the LRU victim is way 0.
+        let e = a.view_mut(0).insert(line(5000), ()).expect("full set evicts");
+        assert_eq!(e.line, line(1000 + 8));
+    }
+
+    /// Zero fills are a strict no-op.
+    #[test]
+    fn advance_fills_zero_is_noop() {
+        let mut a: SetArena<u8> = arena(4, ReplacementKind::Qlru);
+        a.view_mut(0).insert(line(1), 7);
+        let before: Vec<_> = (0..4).map(|w| (a.view(0).line(w), a.view(0).meta_word(w))).collect();
+        a.view_mut(0).advance_fills(0, || unreachable!("no mints"), |_| panic!("no evictions"));
+        let after: Vec<_> = (0..4).map(|w| (a.view(0).line(w), a.view(0).meta_word(w))).collect();
+        assert_eq!(before, after);
     }
 
     /// The invalidate metadata-reset regression pin (LRU): refilling an

@@ -50,7 +50,12 @@
 pub mod aggregate;
 pub mod executor;
 pub mod seed;
+pub mod stats;
 
 pub use aggregate::{Aggregate, Counts, Samples, Summary};
 pub use executor::{default_threads, Fleet, TrialCtx};
 pub use seed::{mix64, stream_seed, trial_seed};
+pub use stats::{
+    compare_means, compare_rates, ecdf_distance, ks_threshold, MeanComparison, RateComparison,
+    KS_ALPHA_001, KS_ALPHA_05,
+};

@@ -1,0 +1,266 @@
+//! Two-sample statistical comparisons for equivalence testing.
+//!
+//! The aggregate noise mode (and, ahead, scenario/defense variations) is
+//! validated by *distributional* equivalence against an exact oracle, not by
+//! bit-identity: the question is always "do these two samples plausibly come
+//! from the same distribution?". This module packages the three comparisons
+//! every such harness needs — CI-bounded mean comparison, CI-bounded
+//! success-rate comparison, and a Kolmogorov–Smirnov-style ECDF distance —
+//! so test suites pin explicit thresholds instead of hand-rolling ad-hoc
+//! tolerances.
+//!
+//! All functions are pure and deterministic; used with a fixed seed (the
+//! equivalence suites honour `LLC_EQUIV_SEED`), the resulting assertions are
+//! reproducible rather than flaky.
+
+/// Result of a Welch-style two-sample mean comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanComparison {
+    /// Sample mean of the first sample.
+    pub mean_a: f64,
+    /// Sample mean of the second sample.
+    pub mean_b: f64,
+    /// Standard error of the mean difference, `sqrt(s²_a/n_a + s²_b/n_b)`.
+    pub std_err: f64,
+    /// The standardised difference `|mean_a − mean_b| / std_err`
+    /// (Welch z statistic). Zero when both samples are constant and equal;
+    /// infinite when they are constant and different.
+    pub z: f64,
+}
+
+impl MeanComparison {
+    /// True if the means agree within `z_bound` standard errors (e.g. 3.0
+    /// for a ~99.7% two-sided bound on large samples).
+    pub fn within(&self, z_bound: f64) -> bool {
+        self.z <= z_bound
+    }
+}
+
+/// Welch two-sample comparison of the means of `a` and `b`.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than 2 observations (the variance
+/// estimate needs at least 2).
+pub fn compare_means(a: &[f64], b: &[f64]) -> MeanComparison {
+    assert!(a.len() >= 2 && b.len() >= 2, "compare_means needs ≥ 2 observations per sample");
+    let (mean_a, var_a) = mean_and_variance(a);
+    let (mean_b, var_b) = mean_and_variance(b);
+    let std_err = (var_a / a.len() as f64 + var_b / b.len() as f64).sqrt();
+    let diff = (mean_a - mean_b).abs();
+    let z = if std_err > 0.0 {
+        diff / std_err
+    } else if diff == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    MeanComparison { mean_a, mean_b, std_err, z }
+}
+
+/// Sample mean and (unbiased) sample variance.
+fn mean_and_variance(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Result of a two-proportion success-rate comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateComparison {
+    /// Success rate of the first sample.
+    pub rate_a: f64,
+    /// Success rate of the second sample.
+    pub rate_b: f64,
+    /// The pooled two-proportion z statistic
+    /// `|p_a − p_b| / sqrt(p(1−p)(1/n_a + 1/n_b))`. Zero when both rates
+    /// are equal (including the degenerate all-success / all-failure pools);
+    /// infinite when the pooled variance is zero but the rates differ.
+    pub z: f64,
+}
+
+impl RateComparison {
+    /// True if the rates agree within `z_bound` pooled standard errors.
+    pub fn within(&self, z_bound: f64) -> bool {
+        self.z <= z_bound
+    }
+}
+
+/// Pooled two-proportion comparison: `hits_a` successes out of `n_a` trials
+/// versus `hits_b` out of `n_b`.
+///
+/// # Panics
+///
+/// Panics if either trial count is zero or a hit count exceeds its trials.
+pub fn compare_rates(hits_a: u64, n_a: u64, hits_b: u64, n_b: u64) -> RateComparison {
+    assert!(n_a > 0 && n_b > 0, "compare_rates needs non-empty samples");
+    assert!(hits_a <= n_a && hits_b <= n_b, "hits cannot exceed trials");
+    let rate_a = hits_a as f64 / n_a as f64;
+    let rate_b = hits_b as f64 / n_b as f64;
+    let pooled = (hits_a + hits_b) as f64 / (n_a + n_b) as f64;
+    let std_err = (pooled * (1.0 - pooled) * (1.0 / n_a as f64 + 1.0 / n_b as f64)).sqrt();
+    let diff = (rate_a - rate_b).abs();
+    let z = if std_err > 0.0 {
+        diff / std_err
+    } else if diff == 0.0 {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    RateComparison { rate_a, rate_b, z }
+}
+
+/// The two-sample Kolmogorov–Smirnov statistic: the supremum distance
+/// between the empirical CDFs of `a` and `b`, in `[0, 1]`.
+///
+/// `0` for identical samples, `1` for samples with disjoint supports.
+/// Compare against [`ks_threshold`] for an asymptotic same-distribution
+/// test.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn ecdf_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "ecdf_distance needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    let by_value = |x: &f64, y: &f64| x.partial_cmp(y).expect("NaN in ECDF sample");
+    sa.sort_unstable_by(by_value);
+    sb.sort_unstable_by(by_value);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut sup = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        // Advance past ties in whichever sample holds the smaller value so
+        // both ECDFs are evaluated *after* every jump at that value.
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        let d = (i as f64 / na - j as f64 / nb).abs();
+        if d > sup {
+            sup = d;
+        }
+    }
+    sup
+}
+
+/// KS critical coefficient `c(α)` for α = 0.05 (two-sided).
+pub const KS_ALPHA_05: f64 = 1.358;
+
+/// KS critical coefficient `c(α)` for α = 0.001 (two-sided) — the
+/// conservative default for pinned CI thresholds, where a false alarm costs
+/// a spurious red build.
+pub const KS_ALPHA_001: f64 = 1.95;
+
+/// Asymptotic two-sample KS rejection threshold
+/// `c_alpha · sqrt((n_a + n_b) / (n_a · n_b))`: samples from the same
+/// distribution have [`ecdf_distance`] below this with probability ≈ 1 − α.
+///
+/// # Panics
+///
+/// Panics if either sample size is zero.
+pub fn ks_threshold(n_a: usize, n_b: usize, c_alpha: f64) -> f64 {
+    assert!(n_a > 0 && n_b > 0, "ks_threshold needs non-empty samples");
+    c_alpha * ((n_a + n_b) as f64 / (n_a as f64 * n_b as f64)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Deterministic uniform sample in `[lo, hi)`.
+    fn uniform(seed: u64, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+    }
+
+    #[test]
+    fn same_distribution_means_agree() {
+        let a = uniform(1, 2000, 0.0, 1.0);
+        let b = uniform(2, 2000, 0.0, 1.0);
+        let cmp = compare_means(&a, &b);
+        assert!(cmp.within(4.0), "z = {} for same-distribution samples", cmp.z);
+    }
+
+    #[test]
+    fn shifted_means_are_detected() {
+        let a = uniform(3, 2000, 0.0, 1.0);
+        let b = uniform(4, 2000, 0.1, 1.1);
+        let cmp = compare_means(&a, &b);
+        assert!(cmp.z > 6.0, "z = {} should flag a 0.1 shift at n=2000", cmp.z);
+    }
+
+    #[test]
+    fn constant_samples_compare_exactly() {
+        let cmp = compare_means(&[2.0, 2.0, 2.0], &[2.0, 2.0]);
+        assert_eq!(cmp.z, 0.0);
+        let cmp = compare_means(&[2.0, 2.0], &[3.0, 3.0]);
+        assert!(cmp.z.is_infinite());
+    }
+
+    #[test]
+    fn equal_rates_pass_and_distant_rates_fail() {
+        let cmp = compare_rates(450, 500, 455, 500);
+        assert!(cmp.within(3.0), "z = {}", cmp.z);
+        let cmp = compare_rates(450, 500, 300, 500);
+        assert!(cmp.z > 6.0, "z = {}", cmp.z);
+    }
+
+    #[test]
+    fn degenerate_rates_are_handled() {
+        assert_eq!(compare_rates(0, 100, 0, 50).z, 0.0);
+        assert_eq!(compare_rates(100, 100, 50, 50).z, 0.0);
+        // Pool not degenerate: a 0-vs-all split has finite, huge z.
+        assert!(compare_rates(0, 100, 50, 50).z > 6.0);
+    }
+
+    #[test]
+    fn ecdf_distance_bounds() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ecdf_distance(&a, &a), 0.0, "identical samples");
+        let b = [10.0, 11.0];
+        assert_eq!(ecdf_distance(&a, &b), 1.0, "disjoint supports");
+    }
+
+    #[test]
+    fn ecdf_distance_is_symmetric_and_exact_on_a_known_case() {
+        // a = {0,1}, b = {0.5}: ECDFs differ by at most 1/2 (at x in
+        // [0,0.5) F_a=1/2 F_b=0; at [0.5,1) F_a=1/2 F_b=1).
+        let a = [0.0, 1.0];
+        let b = [0.5];
+        assert!((ecdf_distance(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(ecdf_distance(&a, &b), ecdf_distance(&b, &a));
+    }
+
+    #[test]
+    fn ecdf_handles_ties_across_samples() {
+        // Equal multisets with repeated values must be distance 0.
+        let a = [1.0, 1.0, 2.0, 2.0];
+        let b = [2.0, 1.0, 2.0, 1.0];
+        assert_eq!(ecdf_distance(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn same_distribution_passes_ks_threshold_and_shift_fails() {
+        let a = uniform(5, 1500, 0.0, 1.0);
+        let b = uniform(6, 1500, 0.0, 1.0);
+        let d = ecdf_distance(&a, &b);
+        assert!(d < ks_threshold(a.len(), b.len(), KS_ALPHA_001), "d = {d}");
+        let c = uniform(7, 1500, 0.15, 1.15);
+        let d = ecdf_distance(&a, &c);
+        assert!(d > ks_threshold(a.len(), c.len(), KS_ALPHA_001), "d = {d} should flag the shift");
+    }
+
+    #[test]
+    fn ks_threshold_formula() {
+        let t = ks_threshold(100, 400, KS_ALPHA_05);
+        assert!((t - 1.358 * (500.0f64 / 40_000.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -47,7 +47,10 @@ mod schedule;
 
 pub use latency::LatencyModel;
 pub use machine::{Machine, MachineBuilder, MachineSnapshot, MachineStats, TraversalPlan};
-pub use noise::{sample_poisson, NoiseEvent, NoiseModel, NoiseProcess};
+pub use noise::{
+    sample_poisson, InitialSync, NoiseAdvance, NoiseConfig, NoiseEvent, NoiseFidelity, NoiseModel,
+    NoiseProcess,
+};
 pub use schedule::{PeriodicToucher, ScheduledAccess, VictimProgram, VictimSchedule};
 
 // Re-export the types attack code needs constantly, so downstream crates can

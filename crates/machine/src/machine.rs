@@ -8,7 +8,7 @@
 //! side effect of simulated time advancing.
 
 use crate::latency::LatencyModel;
-use crate::noise::{NoiseModel, NoiseProcess};
+use crate::noise::{NoiseConfig, NoiseFidelity, NoiseModel, NoiseProcess};
 use crate::schedule::{VictimProgram, VictimSchedule};
 use llc_cache_model::{
     AccessKind, AddressSpace, CacheSpec, CoreId, Hierarchy, HierarchyOptions, HitLevel, LineAddr,
@@ -41,7 +41,7 @@ pub struct MachineStats {
 #[derive(Debug)]
 pub struct MachineBuilder {
     spec: CacheSpec,
-    noise: NoiseModel,
+    noise: NoiseConfig,
     latency: LatencyModel,
     hierarchy_options: HierarchyOptions,
     seed: u64,
@@ -52,16 +52,33 @@ impl MachineBuilder {
     pub fn new(spec: CacheSpec) -> Self {
         Self {
             spec,
-            noise: NoiseModel::quiescent_local(),
+            noise: NoiseConfig::exact(NoiseModel::quiescent_local()),
             latency: LatencyModel::default(),
             hierarchy_options: HierarchyOptions::default(),
             seed: 0xC10D_5EED,
         }
     }
 
-    /// Sets the background-noise model (e.g. [`NoiseModel::cloud_run`]).
+    /// Sets the background-noise model (e.g. [`NoiseModel::cloud_run`]),
+    /// keeping the configured fidelity and first-touch semantics.
     pub fn noise(mut self, noise: NoiseModel) -> Self {
-        self.noise = noise;
+        self.noise.model = noise;
+        self
+    }
+
+    /// Sets the complete noise configuration (model, fidelity, first-touch
+    /// semantics) in one call.
+    pub fn noise_config(mut self, config: NoiseConfig) -> Self {
+        self.noise = config;
+        self
+    }
+
+    /// Sets the noise fidelity ([`NoiseFidelity::Exact`] replays individual
+    /// events and is the bit-pinned default; [`NoiseFidelity::Aggregate`]
+    /// applies bulk per-sync transitions, statistically equivalent and
+    /// several times faster under heavy noise).
+    pub fn noise_fidelity(mut self, fidelity: NoiseFidelity) -> Self {
+        self.noise.fidelity = fidelity;
         self
     }
 
@@ -98,7 +115,7 @@ impl MachineBuilder {
         Machine {
             hierarchy,
             latency: self.latency,
-            noise: NoiseProcess::new(self.noise, sets_per_slice, num_slices),
+            noise: NoiseProcess::with_config(self.noise, sets_per_slice, num_slices),
             clock: 0,
             rng: StdRng::seed_from_u64(self.seed ^ 0x6d61_6368),
             attacker_aspace: AddressSpace::with_seed(self.seed ^ 0xa77a),
@@ -324,6 +341,11 @@ impl Machine {
     /// The background-noise model in force.
     pub fn noise_model(&self) -> &NoiseModel {
         self.noise.model()
+    }
+
+    /// The noise fidelity in force (see [`NoiseFidelity`]).
+    pub fn noise_fidelity(&self) -> NoiseFidelity {
+        self.noise.fidelity()
     }
 
     /// Simulation work counters.
@@ -753,15 +775,33 @@ impl Machine {
     }
 
     /// Applies pending background noise to one shared set.
-    ///
-    /// The events come back as a borrow of the noise process's scratch
-    /// buffer and are applied through the hierarchy's bulk path, so this —
-    /// the innermost step of every traversal — performs no heap allocation
-    /// and borrows each set view once per burst.
     fn prepare_set(&mut self, loc: SetLocation) {
-        let events = self.noise.catch_up(loc, self.clock, &mut self.rng);
-        self.stats.noise_events += events.len() as u64;
-        self.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
+        self.prepare_set_at(loc, self.clock);
+    }
+
+    /// Applies pending background noise to one shared set as of cycle `at`
+    /// (the victim replay synchronises sets at each access's own timestamp,
+    /// not the post-tick clock).
+    ///
+    /// This — the innermost step of every traversal — performs no heap
+    /// allocation and borrows each set view once per burst, in both
+    /// fidelities. Exact mode borrows the noise process's event scratch
+    /// buffer and replays it through the hierarchy's bulk event path;
+    /// aggregate mode draws only the per-structure insertion counts and
+    /// applies them as one evict-and-fill transition.
+    fn prepare_set_at(&mut self, loc: SetLocation, at: u64) {
+        match self.noise.fidelity() {
+            NoiseFidelity::Exact => {
+                let events = self.noise.catch_up(loc, at, &mut self.rng);
+                self.stats.noise_events += events.len() as u64;
+                self.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
+            }
+            NoiseFidelity::Aggregate => {
+                let advance = self.noise.catch_up_aggregate(loc, at, &mut self.rng);
+                self.stats.noise_events += advance.total();
+                self.hierarchy.noise_advance_bulk(loc, advance.llc, advance.sf);
+            }
+        }
     }
 
     fn do_attacker_access(&mut self, line: LineAddr, loc: SetLocation) -> HitLevel {
@@ -801,9 +841,7 @@ impl Machine {
                     let line = v.aspace.translate_unchecked(acc.va).line();
                     // Background noise also hits the victim's sets.
                     let loc = self.hierarchy.shared_location(line);
-                    let events = self.noise.catch_up(loc, at, &mut self.rng);
-                    self.stats.noise_events += events.len() as u64;
-                    self.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
+                    self.prepare_set_at(loc, at);
                     self.hierarchy.access_at(self.victim_core, line, loc, AccessKind::Read);
                     self.stats.victim_accesses += 1;
                     run.next += 1;

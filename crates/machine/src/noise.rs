@@ -9,6 +9,22 @@
 //! needs the state of a set, the elapsed interval since the set was last
 //! synchronised is converted into a Poisson-distributed number of background
 //! insertions.
+//!
+//! Two fidelities of that conversion exist (see [`NoiseFidelity`]):
+//!
+//! * **Exact** (the default): every background insertion is materialised as
+//!   an individual timestamped [`NoiseEvent`] and replayed through the
+//!   hierarchy. This path is bit-for-bit pinned by the golden experiment
+//!   outputs.
+//! * **Aggregate**: the catch-up draws only the *counts* of LLC and SF
+//!   insertions for the gap (Poisson thinning of the same rate) and the
+//!   hierarchy applies them as one bulk evict-and-fill state transition per
+//!   sync (`Hierarchy::noise_advance_bulk`). Statistically equivalent to the
+//!   exact path — the equivalence harness in `tests/noise_equivalence.rs`
+//!   pins eviction probabilities, probe-latency distributions and pruning
+//!   success rates across the noise presets — but several times faster under
+//!   Cloud Run noise because the per-event timestamps, their sort and the
+//!   per-event replacement updates all disappear.
 
 use llc_cache_model::SetLocation;
 use rand::Rng;
@@ -69,6 +85,135 @@ impl NoiseModel {
     }
 }
 
+/// How faithfully the noise process converts elapsed time into hierarchy
+/// state changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NoiseFidelity {
+    /// Materialise every background insertion as an individual timestamped
+    /// [`NoiseEvent`]. Bit-for-bit reproducible and pinned by the golden
+    /// experiment outputs; this is the oracle the aggregate mode is
+    /// validated against.
+    #[default]
+    Exact,
+    /// Draw only the per-structure insertion *counts* for the gap and let the
+    /// hierarchy apply them as one bulk evict-and-fill transition per sync.
+    /// Statistically equivalent to [`NoiseFidelity::Exact`] (same Poisson
+    /// rate, thinned per structure) but does O(min(count, ways)) work per
+    /// sync instead of O(count) event materialisation.
+    Aggregate,
+}
+
+impl NoiseFidelity {
+    /// Parses a fidelity name as used by `--noise-fidelity` /
+    /// `LLC_NOISE_FIDELITY` (`"exact"` or `"aggregate"`, case-insensitive).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.to_ascii_lowercase().as_str() {
+            "exact" => Some(Self::Exact),
+            "aggregate" => Some(Self::Aggregate),
+            _ => None,
+        }
+    }
+
+    /// The canonical lowercase name (`"exact"` / `"aggregate"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Aggregate => "aggregate",
+        }
+    }
+}
+
+/// What a set's first observation assumes about its unobserved pre-history.
+///
+/// The noise process only tracks sets lazily: a set that has never been
+/// touched has no synchronisation timestamp, so its first `catch_up` must
+/// pick an effective "last sync". Both variants apply identically to both
+/// fidelities (the window computation is shared), so switching fidelity never
+/// changes first-touch semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InitialSync {
+    /// Treat `now` as the sync point: the first observation of a set sees no
+    /// pre-history noise at all. This is the historical (and default)
+    /// behaviour — experiments prime every set they care about anyway, and an
+    /// arbitrarily long simulated pre-history must not produce an arbitrary
+    /// burst on first touch.
+    #[default]
+    TreatAsSynced,
+    /// Behave as if the set was last synchronised `gap` cycles before its
+    /// first observation (saturating at cycle 0), i.e. the first catch-up
+    /// replays up to `gap` cycles of pre-history noise. Models a host that
+    /// was already busy before the attacker arrived.
+    Warmup(u64),
+}
+
+/// Complete configuration of the background-noise process: the rate model
+/// plus the two behavioural knobs ([`NoiseFidelity`], [`InitialSync`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// The Poisson rate model.
+    pub model: NoiseModel,
+    /// Exact per-event replay or aggregate bulk transitions.
+    pub fidelity: NoiseFidelity,
+    /// What the first observation of a set assumes about its pre-history.
+    pub initial_sync: InitialSync,
+}
+
+impl NoiseConfig {
+    /// Exact-fidelity configuration with default first-touch semantics
+    /// (the historical behaviour of `NoiseProcess::new`).
+    pub fn exact(model: NoiseModel) -> Self {
+        Self { model, fidelity: NoiseFidelity::Exact, initial_sync: InitialSync::default() }
+    }
+
+    /// Aggregate-fidelity configuration with default first-touch semantics.
+    pub fn aggregate(model: NoiseModel) -> Self {
+        Self { model, fidelity: NoiseFidelity::Aggregate, initial_sync: InitialSync::default() }
+    }
+
+    /// Returns the configuration with `fidelity` substituted.
+    pub fn with_fidelity(mut self, fidelity: NoiseFidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Returns the configuration with `initial_sync` substituted.
+    pub fn with_initial_sync(mut self, initial_sync: InitialSync) -> Self {
+        self.initial_sync = initial_sync;
+        self
+    }
+}
+
+impl From<NoiseModel> for NoiseConfig {
+    fn from(model: NoiseModel) -> Self {
+        Self::exact(model)
+    }
+}
+
+/// Result of an aggregate-fidelity catch-up: how many background insertions
+/// each shared structure absorbs for the elapsed gap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoiseAdvance {
+    /// Shared-line insertions into the LLC set.
+    pub llc: u64,
+    /// Private-line (other-tenant) insertions into the SF set.
+    pub sf: u64,
+}
+
+impl NoiseAdvance {
+    /// An advance that changes nothing.
+    pub const NONE: Self = Self { llc: 0, sf: 0 };
+
+    /// Total insertions across both structures.
+    pub fn total(self) -> u64 {
+        self.llc + self.sf
+    }
+
+    /// True if the advance performs no insertions.
+    pub fn is_empty(self) -> bool {
+        self.llc == 0 && self.sf == 0
+    }
+}
+
 /// Lazily-evaluated per-set Poisson noise process.
 ///
 /// Synchronisation timestamps live in a flat vector indexed by the flattened
@@ -85,6 +230,10 @@ impl NoiseModel {
 #[derive(Debug)]
 pub struct NoiseProcess {
     model: NoiseModel,
+    /// Exact per-event replay or aggregate bulk transitions.
+    fidelity: NoiseFidelity,
+    /// First-touch semantics shared by both fidelities.
+    initial_sync: InitialSync,
     /// Last cycle at which each set was synchronised with the noise process,
     /// indexed by `slice * sets_per_slice + set`; [`NEVER_SYNCED`] marks a
     /// set that has not been observed yet. Pre-sized to cover every set of
@@ -109,6 +258,8 @@ impl Clone for NoiseProcess {
     fn clone(&self) -> Self {
         Self {
             model: self.model.clone(),
+            fidelity: self.fidelity,
+            initial_sync: self.initial_sync,
             last_sync: self.last_sync.clone(),
             sets_per_slice: self.sets_per_slice,
             max_burst: self.max_burst,
@@ -136,10 +287,18 @@ impl NoiseProcess {
     /// synchronisation vector is sized for the whole geometry up front so
     /// the per-access hot path never grows it.
     pub fn new(model: NoiseModel, sets_per_slice: usize, num_slices: usize) -> Self {
+        Self::with_config(NoiseConfig::exact(model), sets_per_slice, num_slices)
+    }
+
+    /// [`NoiseProcess::new`] with explicit fidelity and first-touch
+    /// semantics.
+    pub fn with_config(config: NoiseConfig, sets_per_slice: usize, num_slices: usize) -> Self {
         assert!(sets_per_slice > 0, "sets_per_slice must be non-zero");
         assert!(num_slices > 0, "num_slices must be non-zero");
         Self {
-            model,
+            model: config.model,
+            fidelity: config.fidelity,
+            initial_sync: config.initial_sync,
             last_sync: vec![NEVER_SYNCED; sets_per_slice * num_slices],
             sets_per_slice,
             max_burst: 96,
@@ -152,12 +311,26 @@ impl NoiseProcess {
         &self.model
     }
 
+    /// The configured fidelity. The machine layer dispatches on this:
+    /// [`NoiseProcess::catch_up`] for exact,
+    /// [`NoiseProcess::catch_up_aggregate`] for aggregate.
+    pub fn fidelity(&self) -> NoiseFidelity {
+        self.fidelity
+    }
+
+    /// The configured first-touch semantics.
+    pub fn initial_sync(&self) -> InitialSync {
+        self.initial_sync
+    }
+
     /// Copies `source`'s state into `self` in place, reusing the
     /// synchronisation vector's allocation (hot path of machine restores).
     /// The event scratch buffer is per-machine transient state and keeps
     /// `self`'s allocation.
     pub fn restore_from(&mut self, source: &NoiseProcess) {
         self.model.clone_from(&source.model);
+        self.fidelity = source.fidelity;
+        self.initial_sync = source.initial_sync;
         self.last_sync.clone_from(&source.last_sync);
         self.sets_per_slice = source.sets_per_slice;
         self.max_burst = source.max_burst;
@@ -188,16 +361,13 @@ impl NoiseProcess {
     /// insertions are observable.
     pub fn catch_up(&mut self, loc: SetLocation, now: u64, rng: &mut impl Rng) -> &[NoiseEvent] {
         self.scratch.clear();
-        let slot = self.sync_slot(loc);
-        let last = if *slot == NEVER_SYNCED { now } else { *slot };
-        *slot = now;
-        if self.model.is_silent() || now <= last {
+        let (last, gap) = self.advance_window(loc, now);
+        if self.model.is_silent() || gap == 0 {
             return &self.scratch;
         }
-        let dt = (now - last) as f64;
-        let lambda = dt * self.model.accesses_per_cycle_per_set;
+        let lambda = gap as f64 * self.model.accesses_per_cycle_per_set;
         let count = sample_poisson(lambda, rng).min(self.max_burst as u64);
-        let span = (now - last).max(1);
+        let span = gap.max(1);
         let shared_fraction = self.model.shared_fraction;
         self.scratch.extend((0..count).map(|_| NoiseEvent {
             at: last + rng.gen_range(0..span),
@@ -218,10 +388,83 @@ impl NoiseProcess {
         &self.scratch
     }
 
+    /// Resolves the catch-up window for `loc` ending at `now` and marks the
+    /// set synchronised: returns `(effective last sync, gap)`. First
+    /// observations resolve through [`InitialSync`]; this helper is the
+    /// single place that does so, which is what keeps first-touch semantics
+    /// identical across the two fidelities.
+    #[inline]
+    fn advance_window(&mut self, loc: SetLocation, now: u64) -> (u64, u64) {
+        let initial_sync = self.initial_sync;
+        let slot = self.sync_slot(loc);
+        let last = if *slot == NEVER_SYNCED {
+            match initial_sync {
+                InitialSync::TreatAsSynced => now,
+                InitialSync::Warmup(gap) => now.saturating_sub(gap),
+            }
+        } else {
+            *slot
+        };
+        *slot = now;
+        (last, now.saturating_sub(last))
+    }
+
+    /// Aggregate-fidelity catch-up: draws the number of LLC and SF insertions
+    /// that hit `loc` between the last synchronisation and `now`, without
+    /// materialising per-event timestamps, and marks the set synchronised.
+    ///
+    /// The joint distribution of the two counts is Poisson thinning of the
+    /// exact path's rate: independent `Poisson(λ·p)` and `Poisson(λ·(1−p))`
+    /// (where `p` is the shared fraction), identical to drawing `Poisson(λ)`
+    /// events and splitting each with a Bernoulli(`p`) coin. The sampling
+    /// strategy switches on `λ` so the common case stays as cheap as the
+    /// exact path's own count draw:
+    ///
+    /// * **Short windows** (`λ < 30`, every in-traversal sync): one total
+    ///   `Poisson(λ)` draw — usually resolved by a single uniform sample
+    ///   returning 0 — followed by a Bernoulli split only when events
+    ///   actually occurred.
+    /// * **Long windows**: two independent draws at the thinned rates, each
+    ///   taking `sample_poisson`'s constant-cost branch.
+    ///
+    /// The counts are *not* capped at the exact path's `max_burst`: the bulk
+    /// applier does `O(min(count, ways))` work regardless, so saturating
+    /// gaps stay cheap without biasing the count distribution.
+    ///
+    /// Silent models and zero-length gaps return [`NoiseAdvance::NONE`]
+    /// without consuming any randomness.
+    pub fn catch_up_aggregate(
+        &mut self,
+        loc: SetLocation,
+        now: u64,
+        rng: &mut impl Rng,
+    ) -> NoiseAdvance {
+        let (_, gap) = self.advance_window(loc, now);
+        if self.model.is_silent() || gap == 0 {
+            return NoiseAdvance::NONE;
+        }
+        let lambda = gap as f64 * self.model.accesses_per_cycle_per_set;
+        let p = self.model.shared_fraction;
+        if lambda < 30.0 {
+            let total = sample_poisson(lambda, rng);
+            if total == 0 {
+                return NoiseAdvance::NONE;
+            }
+            let llc = (0..total).filter(|_| rng.gen_bool(p)).count() as u64;
+            NoiseAdvance { llc, sf: total - llc }
+        } else {
+            NoiseAdvance {
+                llc: sample_poisson(lambda * p, rng),
+                sf: sample_poisson(lambda * (1.0 - p), rng),
+            }
+        }
+    }
+
     /// Marks a set as synchronised at `now` without generating events.
     ///
     /// Used when a set is first observed so that an arbitrarily long
-    /// pre-history does not produce a burst on first touch.
+    /// pre-history does not produce a burst on first touch (under the
+    /// default [`InitialSync::TreatAsSynced`] this happens automatically).
     pub fn mark_synced(&mut self, loc: SetLocation, now: u64) {
         *self.sync_slot(loc) = now;
     }
@@ -312,7 +555,9 @@ mod tests {
     fn first_touch_does_not_burst() {
         let mut p = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
         let mut rng = SmallRng::seed_from_u64(3);
-        // Never marked synced: first catch_up treats `now` as the sync point.
+        // Never marked synced: under the default InitialSync::TreatAsSynced
+        // the first catch_up treats `now` as the sync point (opt into
+        // pre-history replay with InitialSync::Warmup).
         let events = p.catch_up(SetLocation::new(0, 3), 10_000_000_000, &mut rng);
         assert!(events.is_empty());
     }
@@ -389,6 +634,147 @@ mod tests {
         // The sweep must have exercised both shrinking and growing bursts,
         // otherwise stale-scratch bugs could hide.
         assert!(lens.windows(2).any(|w| w[1] < w[0]) && lens.windows(2).any(|w| w[1] > w[0]));
+    }
+
+    /// Regression pin for the former first-sync blind spot: the first-touch
+    /// semantics are now an explicit [`InitialSync`] knob resolved in one
+    /// shared helper, so they are identical across fidelities by
+    /// construction — and pinned here. `TreatAsSynced` (the default) sees no
+    /// pre-history in either mode; `Warmup(gap)` replays exactly `gap`
+    /// cycles of pre-history in either mode.
+    #[test]
+    fn initial_sync_semantics_are_identical_across_fidelities() {
+        let loc = SetLocation::new(0, 3);
+        // TreatAsSynced: no burst on first touch, both fidelities.
+        let mut exact = NoiseProcess::new(NoiseModel::cloud_run(), 2048, 8);
+        let mut agg = NoiseProcess::with_config(
+            NoiseConfig::aggregate(NoiseModel::cloud_run()),
+            2048,
+            8,
+        );
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(exact.catch_up(loc, 10_000_000_000, &mut rng).is_empty());
+        assert!(agg.catch_up_aggregate(loc, 10_000_000_000, &mut rng).is_empty());
+
+        // Warmup(gap): the first catch-up covers exactly `gap` cycles. A
+        // 2 ms warm-up at Cloud Run rate means ~23 expected insertions —
+        // far beyond zero in both modes.
+        let warm = InitialSync::Warmup(4_000_000);
+        let mut exact = NoiseProcess::with_config(
+            NoiseConfig::exact(NoiseModel::cloud_run()).with_initial_sync(warm),
+            2048,
+            8,
+        );
+        let mut agg = NoiseProcess::with_config(
+            NoiseConfig::aggregate(NoiseModel::cloud_run()).with_initial_sync(warm),
+            2048,
+            8,
+        );
+        let now = 10_000_000_000;
+        let events = exact.catch_up(loc, now, &mut rng).to_vec();
+        assert!(!events.is_empty(), "warm-up must replay pre-history noise");
+        for e in &events {
+            assert!(e.at >= now - 4_000_000 && e.at < now, "events confined to the warm-up gap");
+        }
+        let adv = agg.catch_up_aggregate(loc, now, &mut rng);
+        assert!(adv.total() > 0, "warm-up must replay pre-history in aggregate mode too");
+        // Both are now synced: an immediate re-observation is a no-op.
+        assert!(exact.catch_up(loc, now, &mut rng).is_empty());
+        assert!(agg.catch_up_aggregate(loc, now, &mut rng).is_empty());
+    }
+
+    /// Warm-up near cycle 0 must saturate instead of underflowing.
+    #[test]
+    fn warmup_saturates_at_time_zero() {
+        let warm = InitialSync::Warmup(u64::MAX);
+        let mut p = NoiseProcess::with_config(
+            NoiseConfig::exact(NoiseModel::cloud_run()).with_initial_sync(warm),
+            64,
+            2,
+        );
+        let mut rng = SmallRng::seed_from_u64(9);
+        let events = p.catch_up(SetLocation::new(0, 0), 1_000, &mut rng).to_vec();
+        for e in &events {
+            assert!(e.at < 1_000);
+        }
+    }
+
+    /// Zero-gap and silent aggregate syncs must not consume randomness, so
+    /// interleaving them into a trial leaves the RNG stream untouched.
+    #[test]
+    fn aggregate_noop_syncs_consume_no_randomness() {
+        let loc = SetLocation::new(1, 1);
+        let mut silent = NoiseProcess::with_config(
+            NoiseConfig::aggregate(NoiseModel::silent()),
+            2048,
+            8,
+        );
+        let mut p = NoiseProcess::with_config(
+            NoiseConfig::aggregate(NoiseModel::cloud_run()),
+            2048,
+            8,
+        );
+        let mut rng = SmallRng::seed_from_u64(21);
+        let mut probe = SmallRng::seed_from_u64(21);
+        assert!(silent.catch_up_aggregate(loc, 5_000_000, &mut rng).is_empty());
+        p.mark_synced(loc, 7_000);
+        assert!(p.catch_up_aggregate(loc, 7_000, &mut rng).is_empty(), "zero gap");
+        assert!(p.catch_up_aggregate(loc, 6_000, &mut rng).is_empty(), "backwards gap");
+        use rand::RngCore;
+        assert_eq!(rng.next_u64(), probe.next_u64(), "no-op syncs must not advance the RNG");
+    }
+
+    /// The thinned per-structure counts must preserve the total rate and the
+    /// shared split: E[llc] = λp·dt, E[sf] = λ(1−p)·dt.
+    #[test]
+    fn aggregate_counts_match_rate_and_split() {
+        let mut p = NoiseProcess::with_config(
+            NoiseConfig::aggregate(NoiseModel::cloud_run()),
+            2048,
+            8,
+        );
+        let mut rng = SmallRng::seed_from_u64(31);
+        let loc = SetLocation::new(1, 5);
+        p.mark_synced(loc, 0);
+        let (mut llc, mut sf) = (0u64, 0u64);
+        let windows = 400;
+        let mut now = 0u64;
+        for _ in 0..windows {
+            now += 2_000_000; // 1 ms at 2 GHz -> ~11.5 insertions expected
+            let adv = p.catch_up_aggregate(loc, now, &mut rng);
+            llc += adv.llc;
+            sf += adv.sf;
+        }
+        let mean = (llc + sf) as f64 / windows as f64;
+        assert!((mean - 11.5).abs() < 1.0, "total mean {mean} too far from 11.5");
+        let shared = llc as f64 / (llc + sf) as f64;
+        assert!((shared - 0.5).abs() < 0.05, "shared split {shared} too far from 0.5");
+    }
+
+    #[test]
+    fn fidelity_parse_round_trips() {
+        for f in [NoiseFidelity::Exact, NoiseFidelity::Aggregate] {
+            assert_eq!(NoiseFidelity::parse(f.label()), Some(f));
+        }
+        assert_eq!(NoiseFidelity::parse("AGGREGATE"), Some(NoiseFidelity::Aggregate));
+        assert_eq!(NoiseFidelity::parse("bogus"), None);
+    }
+
+    /// Config round-trip through clone + restore_from: the new fields are
+    /// machine-snapshot state and must survive both paths.
+    #[test]
+    fn clone_and_restore_carry_fidelity_and_initial_sync() {
+        let cfg = NoiseConfig::aggregate(NoiseModel::cloud_run())
+            .with_initial_sync(InitialSync::Warmup(1234));
+        let p = NoiseProcess::with_config(cfg, 64, 2);
+        let c = p.clone();
+        assert_eq!(c.fidelity(), NoiseFidelity::Aggregate);
+        assert_eq!(c.initial_sync(), InitialSync::Warmup(1234));
+        let mut q = NoiseProcess::new(NoiseModel::silent(), 64, 2);
+        q.restore_from(&p);
+        assert_eq!(q.fidelity(), NoiseFidelity::Aggregate);
+        assert_eq!(q.initial_sync(), InitialSync::Warmup(1234));
+        assert_eq!(q.model(), p.model());
     }
 
     #[test]
