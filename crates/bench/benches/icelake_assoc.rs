@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llc_bench::experiments::{measure_single_set, Environment};
 use llc_fleet::Fleet;
 use llc_core::Algorithm;
-use llc_cache_model::{CacheSpec, SlicedGeometry};
+use llc_cache_model::{CacheSpec, HierarchyOptions, SlicedGeometry};
 use llc_machine::NoiseFidelity;
 
 fn scaled_ice_lake(slices: usize) -> CacheSpec {
@@ -32,6 +32,7 @@ fn bench_associativity(c: &mut Criterion) {
                             spec,
                             Environment::QuiescentLocal,
                             NoiseFidelity::Exact,
+                            HierarchyOptions::default(),
                             algo,
                             true,
                             1,

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use llc_bench::experiments::{measure_single_set, Environment};
 use llc_fleet::Fleet;
 use llc_core::Algorithm;
-use llc_cache_model::CacheSpec;
+use llc_cache_model::{CacheSpec, HierarchyOptions};
 use llc_machine::NoiseFidelity;
 
 fn bench_filtered_construction(c: &mut Criterion) {
@@ -25,6 +25,7 @@ fn bench_filtered_construction(c: &mut Criterion) {
                             &spec,
                             env,
                             NoiseFidelity::Exact,
+                            HierarchyOptions::default(),
                             algo,
                             true,
                             1,

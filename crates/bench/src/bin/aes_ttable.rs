@@ -1,0 +1,17 @@
+//! AES T-table first-round leak: the second victim service (data-dependent
+//! leakage) monitored over the paper's LLC/SF channel under Cloud Run noise.
+//!
+//! The attacker primes the SF set of `T0`'s first cache line and records, per
+//! victim request, whether the line was touched; conditioning detections on
+//! the known plaintext nibble recovers the upper nibble of every key byte
+//! that indexes `T0` (bytes 0, 4, 8, 12). Trials shard across the
+//! `llc-fleet` workers (`--threads`/`LLC_THREADS`); `--smoke` runs the
+//! pinned configuration the golden tests diff. The report is generated
+//! in-process by `llc_bench::reports::aes_ttable_report`.
+
+use llc_bench::{reports, RunOpts};
+
+fn main() {
+    let opts = RunOpts::parse();
+    print!("{}", reports::aes_ttable_report(&opts));
+}

@@ -41,6 +41,7 @@ fn main() {
                 spec,
                 Environment::QuiescentLocal,
                 opts.fidelity,
+                opts.hierarchy_options(),
                 algo,
                 true,
                 trials,

@@ -22,7 +22,8 @@ use llc_probe::{
 };
 use llc_recovery::{attempt_signature, CampaignConfig, SearchConfig, SignatureObservation};
 use llc_sigproc::{welch_psd, BinnedTrace, PowerSpectrum, WelchConfig};
-use llc_cache_model::{CacheSpec, VirtAddr};
+use llc_cache_model::{CacheSpec, HierarchyOptions, VirtAddr};
+use llc_machine::{AesTTableConfig, AesTTableVictim};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -180,6 +181,7 @@ pub fn measure_single_set(
     spec: &CacheSpec,
     environment: Environment,
     fidelity: NoiseFidelity,
+    hierarchy: HierarchyOptions,
     algorithm: Algorithm,
     filtering: bool,
     trials: usize,
@@ -190,6 +192,7 @@ pub fn measure_single_set(
     let base = Machine::builder(spec.clone())
         .noise(environment.noise())
         .noise_fidelity(fidelity)
+        .hierarchy_options(hierarchy)
         .seed(stream_seed(seed, trial_streams::MACHINE))
         .build();
 
@@ -946,6 +949,7 @@ pub fn measure_key_recovery(
     spec: &CacheSpec,
     environment: Environment,
     fidelity: NoiseFidelity,
+    hierarchy: HierarchyOptions,
     nonce_bits: usize,
     max_signatures: usize,
     search: SearchConfig,
@@ -974,6 +978,7 @@ pub fn measure_key_recovery(
     let mut base = Machine::builder(spec.clone())
         .noise(environment.noise())
         .noise_fidelity(fidelity)
+        .hierarchy_options(hierarchy)
         .seed(stream_seed(seed, trial_streams::MACHINE))
         .build();
     let mut rng = StdRng::seed_from_u64(stream_seed(seed, trial_streams::ALLOC));
@@ -1092,6 +1097,187 @@ pub fn measure_key_recovery(
     outcome
 }
 
+// ---------------------------------------------------------------------------
+// AES T-table first-round leak
+// ---------------------------------------------------------------------------
+
+/// Recovery evidence for one monitored key byte of the AES victim.
+#[derive(Debug, Clone, Copy)]
+pub struct AesByteRecovery {
+    /// Index of the key byte (0, 4, 8 or 12 — the state bytes that index
+    /// the monitored table `T0`).
+    pub byte_index: usize,
+    /// Upper nibble recovered by the correlation (argmax over guesses).
+    pub recovered_nibble: u8,
+    /// Ground-truth upper nibble of the key byte.
+    pub true_nibble: u8,
+    /// Detection rate over requests whose plaintext nibble matches the
+    /// recovered guess.
+    pub hit_rate_best: f64,
+    /// Mean detection rate over the other fifteen guesses.
+    pub hit_rate_rest: f64,
+}
+
+/// Outcome of the AES T-table first-round attack.
+#[derive(Debug, Clone)]
+pub struct AesLeakOutcome {
+    /// Complete victim requests observed across all trials.
+    pub requests: usize,
+    /// Fraction of observed requests with a detection inside the lookup
+    /// window.
+    pub detection_rate: f64,
+    /// One row per monitored key byte, in byte order.
+    pub per_byte: Vec<AesByteRecovery>,
+    /// Rows whose recovered nibble matches ground truth.
+    pub correct: usize,
+}
+
+/// The AES T-table first-round attack as a fleet workload: the attacker
+/// monitors the SF set of `T0`'s first cache line with Parallel Probing and
+/// correlates per-request detections against the known plaintexts. Byte `i`
+/// of the first round touches line `(p[i] ^ k[i]) >> 4` of `T[i mod 4]`, so
+/// for every byte indexing `T0` the detection rate, conditioned on the
+/// plaintext nibble `p[i] >> 4` equalling a guess `g`, peaks at
+/// `g = k[i] >> 4` — recovering the upper nibble of `k[0]`, `k[4]`, `k[8]`
+/// and `k[12]` from one monitored set. Each fleet trial captures an
+/// independent batch of requests (fresh plaintext and noise streams); the
+/// correlation is a counting aggregate, so the outcome is bit-identical for
+/// every thread count.
+#[allow(clippy::too_many_arguments)] // one knob per experiment axis; callers name each cell
+pub fn measure_aes_ttable(
+    spec: &CacheSpec,
+    environment: Environment,
+    fidelity: NoiseFidelity,
+    hierarchy: HierarchyOptions,
+    requests: usize,
+    trials: usize,
+    seed: u64,
+    fleet: &Fleet,
+) -> AesLeakOutcome {
+    const REQUEST_GAP: u64 = 20_000;
+    /// The state bytes whose first-round lookup indexes `T0`.
+    const MONITORED_BYTES: [usize; 4] = [0, 4, 8, 12];
+    let template = AesTTableConfig::default();
+    let key = template.key;
+    let request_cycles = template.request_cycles();
+    let requests_per_trial = requests.div_ceil(trials.max(1)).max(1);
+    // Dispatch delay + inter-request gap per run, plus one spare run so the
+    // last batch entry always completes inside the trace.
+    let window = (requests_per_trial as u64 + 1) * (request_cycles + REQUEST_GAP + 2_000);
+
+    // Shared base machine; the candidate pool targets page offset 0 (the
+    // first line of T0, known from the public binary's .rodata layout) and
+    // is allocated before the snapshot so it survives per-trial rewinds.
+    let mut base = Machine::builder(spec.clone())
+        .noise(environment.noise())
+        .noise_fidelity(fidelity)
+        .hierarchy_options(hierarchy)
+        .seed(stream_seed(seed, trial_streams::MACHINE))
+        .build();
+    let mut rng = StdRng::seed_from_u64(stream_seed(seed, trial_streams::ALLOC));
+    let pool =
+        CandidateSet::allocate(&mut base, 0x0, spec.sf.uncertainty() * spec.sf.ways() * 3, &mut rng);
+    let snapshot = base.snapshot();
+
+    // Installing right after the snapshot pins the victim's address-space
+    // lottery; per-trial installs after `reset_to` replay the same draw, so
+    // the eviction set stays aimed at the monitored set in every trial.
+    let install = |machine: &mut Machine, victim_seed: u64| {
+        let cfg = AesTTableConfig { seed: victim_seed, ..template.clone() };
+        let (victim, handle) = AesTTableVictim::new(cfg);
+        machine.install_victim(Box::new(victim), true, REQUEST_GAP);
+        handle
+    };
+    let handle = install(&mut base, stream_seed(seed, trial_streams::VICTIM));
+    let layout = handle.lock().expect("AES victim log").layout.expect("layout");
+    let monitored = layout.table_line(0, 0);
+    let target_loc = base.oracle_victim_location(monitored);
+    let groups = oracle::group_by_location(&base, pool.addresses());
+    let ways = spec.sf.ways();
+    let members = groups
+        .iter()
+        .find(|(loc, m)| **loc == target_loc && m.len() > ways)
+        .map(|(_, m)| m.clone())
+        .expect("candidate pool covers the monitored set");
+    let evset = EvictionSet::new(members[..ways].to_vec(), TargetCache::Sf);
+
+    // One fleet trial = one independent batch of requests.
+    let batches: Vec<Vec<([u8; 16], bool)>> = fleet.run_with(
+        trials,
+        seed,
+        |_worker| snapshot.to_machine(),
+        |machine, ctx| {
+            machine.reset_to(&snapshot);
+            let handle = install(machine, ctx.stream(trial_streams::VICTIM));
+            machine.reseed(ctx.stream(trial_streams::NOISE));
+            let mut monitor = Monitor::new(Strategy::Parallel, evset.clone());
+            let trace = monitor.collect(machine, window);
+            let starts = machine.victim_run_starts().to_vec();
+            let log = handle.lock().expect("AES victim log");
+            // Pair each complete run with its plaintext; detection counts
+            // only inside the lookup phase (plus one probe period of slack)
+            // so parsing/serialisation phases cannot alias in.
+            starts
+                .iter()
+                .zip(&log.plaintexts)
+                .filter(|(&start, _)| {
+                    start >= trace.start && start + request_cycles <= trace.end
+                })
+                .take(requests_per_trial)
+                .map(|(&start, p)| {
+                    let lo = start + template.lookup_start();
+                    let hi = start + template.lookup_end() + 4_000;
+                    let detected = trace.timestamps.iter().any(|&t| t >= lo && t < hi);
+                    (*p, detected)
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+
+    // Counting aggregate over all observed requests (order-independent).
+    let rows: Vec<([u8; 16], bool)> = batches.into_iter().flatten().collect();
+    let detections = rows.iter().filter(|(_, d)| *d).count();
+    let per_byte: Vec<AesByteRecovery> = MONITORED_BYTES
+        .iter()
+        .map(|&i| {
+            let mut hits = [0usize; 16];
+            let mut totals = [0usize; 16];
+            for (p, detected) in &rows {
+                let g = (p[i] >> 4) as usize;
+                totals[g] += 1;
+                if *detected {
+                    hits[g] += 1;
+                }
+            }
+            let rate = |g: usize| {
+                if totals[g] == 0 { 0.0 } else { hits[g] as f64 / totals[g] as f64 }
+            };
+            let recovered =
+                (0..16).max_by(|&a, &b| rate(a).partial_cmp(&rate(b)).expect("finite")).unwrap_or(0);
+            let rest: Vec<f64> =
+                (0..16).filter(|&g| g != recovered && totals[g] > 0).map(rate).collect();
+            AesByteRecovery {
+                byte_index: i,
+                recovered_nibble: recovered as u8,
+                true_nibble: key[i] >> 4,
+                hit_rate_best: rate(recovered),
+                hit_rate_rest: if rest.is_empty() {
+                    0.0
+                } else {
+                    rest.iter().sum::<f64>() / rest.len() as f64
+                },
+            }
+        })
+        .collect();
+    let correct = per_byte.iter().filter(|r| r.recovered_nibble == r.true_nibble).count();
+    AesLeakOutcome {
+        requests: rows.len(),
+        detection_rate: if rows.is_empty() { 0.0 } else { detections as f64 / rows.len() as f64 },
+        per_byte,
+        correct,
+    }
+}
+
 /// Runs the full end-to-end attack *including Step 4* on the pinned tiny
 /// host (the [`AttackConfig::fast_key_recovery`] configuration, with the
 /// campaign budgets overridable for scaling experiments).
@@ -1149,6 +1335,7 @@ mod tests {
             &tiny(),
             Environment::QuiescentLocal,
             NoiseFidelity::Exact,
+            HierarchyOptions::default(),
             Algorithm::BinS,
             true,
             3,
@@ -1172,6 +1359,7 @@ mod tests {
             &spec,
             Environment::CloudRun,
             NoiseFidelity::Exact,
+            HierarchyOptions::default(),
             Algorithm::BinS,
             false,
             1,
@@ -1222,6 +1410,7 @@ mod tests {
                 &tiny(),
                 Environment::CloudRun,
                 NoiseFidelity::Exact,
+                HierarchyOptions::default(),
                 Algorithm::BinS,
                 true,
                 6,
@@ -1284,6 +1473,7 @@ mod tests {
                 &tiny(),
                 Environment::QuiescentLocal,
                 NoiseFidelity::Exact,
+                HierarchyOptions::default(),
                 32,
                 3,
                 SearchConfig { max_candidates: 150, max_flips: 2 },

@@ -41,7 +41,16 @@
 //!   fidelity of the single-set and key-recovery harnesses (default `exact`,
 //!   the per-event reference; `aggregate` collapses each catch-up window
 //!   into one bulk state transition — statistically equivalent, much faster
-//!   under Cloud Run noise).
+//!   under Cloud Run noise);
+//! * `--inclusion non-inclusive|inclusive|exclusive` / `LLC_INCLUSION`,
+//!   `--slice-hash xor-fold|modulo` / `LLC_SLICE_HASH`,
+//!   `--replacement lru|tree-plru|qlru|srrip|random` / `LLC_REPLACEMENT` —
+//!   the hierarchy-composition scenario (inclusion policy, slice hash,
+//!   every-level replacement override). Non-default choices are appended to
+//!   the machine name in report headers;
+//! * `LLC_REUSE_P` — reuse-predictor insertion probability (0.0–1.0).
+//!   Non-zero values force per-event noise dispatch; aggregate-mode report
+//!   headers then show the *effective* fidelity.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -49,9 +58,11 @@
 pub mod experiments;
 pub mod reports;
 
-use llc_cache_model::CacheSpec;
+use llc_cache_model::{
+    CacheSpec, HierarchyOptions, InclusionPolicy, ReplacementKind, SliceHashSelect,
+};
 use llc_fleet::{Fleet, Summary};
-use llc_machine::NoiseFidelity;
+use llc_machine::{Machine, NoiseFidelity};
 
 /// Reads a positive integer from the environment, with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -99,8 +110,20 @@ pub struct RunOpts {
     /// Run the pinned smoke configuration.
     pub smoke: bool,
     /// Noise-model fidelity for the harnesses that honour it (tables 3/4
-    /// single-set cells and the Step 4 campaign).
+    /// single-set cells, the Step 4 campaign and the AES leak).
     pub fidelity: NoiseFidelity,
+    /// Inclusion policy of the simulated hierarchy (`--inclusion`,
+    /// `LLC_INCLUSION`; default non-inclusive, the paper's protocol).
+    pub inclusion: InclusionPolicy,
+    /// Slice-hash selection (`--slice-hash`, `LLC_SLICE_HASH`).
+    pub slice_hash: SliceHashSelect,
+    /// Replacement-policy override for every cache level (`--replacement`,
+    /// `LLC_REPLACEMENT`; `None` keeps each preset's own policies).
+    pub replacement: Option<ReplacementKind>,
+    /// Reuse-predictor insertion probability (`LLC_REUSE_P`). Non-zero
+    /// values force per-event noise dispatch; report headers show the
+    /// effective fidelity.
+    pub reuse_insert_probability: f64,
 }
 
 impl Default for RunOpts {
@@ -109,7 +132,30 @@ impl Default for RunOpts {
             .ok()
             .and_then(|v| NoiseFidelity::parse(&v))
             .unwrap_or_default();
-        Self { threads: llc_fleet::default_threads(), smoke: false, fidelity }
+        let inclusion = std::env::var("LLC_INCLUSION")
+            .ok()
+            .and_then(|v| InclusionPolicy::parse(&v))
+            .unwrap_or_default();
+        let slice_hash = std::env::var("LLC_SLICE_HASH")
+            .ok()
+            .and_then(|v| SliceHashSelect::parse(&v))
+            .unwrap_or_default();
+        let replacement =
+            std::env::var("LLC_REPLACEMENT").ok().and_then(|v| ReplacementKind::parse(&v));
+        let reuse_insert_probability = std::env::var("LLC_REUSE_P")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|p| (0.0..=1.0).contains(p))
+            .unwrap_or(0.0);
+        Self {
+            threads: llc_fleet::default_threads(),
+            smoke: false,
+            fidelity,
+            inclusion,
+            slice_hash,
+            replacement,
+            reuse_insert_probability,
+        }
     }
 }
 
@@ -121,7 +167,10 @@ impl RunOpts {
             Err(msg) => {
                 eprintln!("{msg}");
                 eprintln!(
-                    "usage: <experiment> [--threads N] [--noise-fidelity exact|aggregate] [--smoke]"
+                    "usage: <experiment> [--threads N] [--noise-fidelity exact|aggregate] \
+                     [--inclusion non-inclusive|inclusive|exclusive] \
+                     [--slice-hash xor-fold|modulo] \
+                     [--replacement lru|tree-plru|qlru|srrip|random] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -151,6 +200,21 @@ impl RunOpts {
                 opts.fidelity = parse_fidelity(v.as_ref())?;
             } else if let Some(v) = arg.strip_prefix("--noise-fidelity=") {
                 opts.fidelity = parse_fidelity(v)?;
+            } else if arg == "--inclusion" {
+                let v = iter.next().ok_or("--inclusion requires a value")?;
+                opts.inclusion = parse_inclusion(v.as_ref())?;
+            } else if let Some(v) = arg.strip_prefix("--inclusion=") {
+                opts.inclusion = parse_inclusion(v)?;
+            } else if arg == "--slice-hash" {
+                let v = iter.next().ok_or("--slice-hash requires a value")?;
+                opts.slice_hash = parse_slice_hash(v.as_ref())?;
+            } else if let Some(v) = arg.strip_prefix("--slice-hash=") {
+                opts.slice_hash = parse_slice_hash(v)?;
+            } else if arg == "--replacement" {
+                let v = iter.next().ok_or("--replacement requires a value")?;
+                opts.replacement = Some(parse_replacement(v.as_ref())?);
+            } else if let Some(v) = arg.strip_prefix("--replacement=") {
+                opts.replacement = Some(parse_replacement(v)?);
             } else {
                 return Err(format!("unknown argument: {arg}"));
             }
@@ -159,11 +223,20 @@ impl RunOpts {
     }
 
     /// A smoke-mode options value (used by the golden tests). Pins `exact`
-    /// fidelity regardless of `LLC_NOISE_FIDELITY`, so the exact golden
-    /// files stay environment-independent; combine with
-    /// [`RunOpts::with_fidelity`] for the aggregate goldens.
+    /// fidelity and the default hierarchy composition regardless of the
+    /// `LLC_*` environment, so the exact golden files stay
+    /// environment-independent; combine with [`RunOpts::with_fidelity`] for
+    /// the aggregate goldens.
     pub fn smoke_with_threads(threads: usize) -> Self {
-        Self { threads, smoke: true, fidelity: NoiseFidelity::Exact }
+        Self {
+            threads,
+            smoke: true,
+            fidelity: NoiseFidelity::Exact,
+            inclusion: InclusionPolicy::default(),
+            slice_hash: SliceHashSelect::default(),
+            replacement: None,
+            reuse_insert_probability: 0.0,
+        }
     }
 
     /// Returns these options with the given noise fidelity.
@@ -188,13 +261,48 @@ impl RunOpts {
     }
 
     /// The host specification: the pinned 4-slice host in smoke mode,
-    /// otherwise the `LLC_SLICES`-scaled host.
+    /// otherwise the `LLC_SLICES`-scaled host — with the hierarchy
+    /// composition knobs applied either way.
     pub fn spec(&self) -> CacheSpec {
-        if self.smoke {
-            smoke_skylake()
-        } else {
-            scaled_skylake()
+        let base = if self.smoke { smoke_skylake() } else { scaled_skylake() };
+        self.configure(base)
+    }
+
+    /// Applies the hierarchy-composition knobs to a host spec. Non-default
+    /// choices are appended to the spec name so report headers identify the
+    /// scenario; the default composition leaves the spec (and therefore
+    /// every golden header) untouched.
+    pub fn configure(&self, mut spec: CacheSpec) -> CacheSpec {
+        if self.inclusion != InclusionPolicy::default() {
+            spec = spec.with_inclusion(self.inclusion);
+            spec.name = format!("{} [{}]", spec.name, self.inclusion.label());
         }
+        if self.slice_hash != SliceHashSelect::default() {
+            let label = self.slice_hash.label();
+            spec = spec.with_slice_hash_select(self.slice_hash.clone());
+            spec.name = format!("{} [slice hash: {label}]", spec.name);
+        }
+        if let Some(kind) = self.replacement {
+            spec = spec.with_replacement(kind);
+            spec.name = format!("{} [replacement: {}]", spec.name, kind.label());
+        }
+        spec
+    }
+
+    /// Machine-level hierarchy options these options select.
+    pub fn hierarchy_options(&self) -> HierarchyOptions {
+        HierarchyOptions { reuse_insert_probability: self.reuse_insert_probability }
+    }
+
+    /// The *effective* noise fidelity of machines built with these options,
+    /// answered by the machine layer itself (a hierarchy with an active
+    /// reuse predictor dispatches noise per-event even in aggregate mode).
+    pub fn effective_fidelity(&self) -> NoiseFidelity {
+        Machine::builder(CacheSpec::tiny_test())
+            .noise_fidelity(self.fidelity)
+            .hierarchy_options(self.hierarchy_options())
+            .build()
+            .effective_noise_fidelity()
     }
 }
 
@@ -208,6 +316,23 @@ fn parse_threads(v: &str) -> Result<usize, String> {
 fn parse_fidelity(v: &str) -> Result<NoiseFidelity, String> {
     NoiseFidelity::parse(v)
         .ok_or_else(|| format!("--noise-fidelity expects 'exact' or 'aggregate', got {v:?}"))
+}
+
+fn parse_inclusion(v: &str) -> Result<InclusionPolicy, String> {
+    InclusionPolicy::parse(v).ok_or_else(|| {
+        format!("--inclusion expects 'non-inclusive', 'inclusive' or 'exclusive', got {v:?}")
+    })
+}
+
+fn parse_slice_hash(v: &str) -> Result<SliceHashSelect, String> {
+    SliceHashSelect::parse(v)
+        .ok_or_else(|| format!("--slice-hash expects 'xor-fold' or 'modulo', got {v:?}"))
+}
+
+fn parse_replacement(v: &str) -> Result<ReplacementKind, String> {
+    ReplacementKind::parse(v).ok_or_else(|| {
+        format!("--replacement expects 'lru', 'tree-plru', 'qlru', 'srrip' or 'random', got {v:?}")
+    })
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -305,11 +430,56 @@ mod tests {
     }
 
     #[test]
+    fn run_opts_parse_hierarchy_forms() {
+        let o = RunOpts::from_args(["--inclusion", "inclusive", "--slice-hash=modulo"]).unwrap();
+        assert_eq!(o.inclusion, InclusionPolicy::Inclusive);
+        assert_eq!(o.slice_hash, SliceHashSelect::Modulo);
+        let o = RunOpts::from_args(["--inclusion=x", "--replacement", "srrip"]).unwrap();
+        assert_eq!(o.inclusion, InclusionPolicy::Exclusive);
+        assert_eq!(o.replacement, Some(ReplacementKind::Srrip));
+        assert!(RunOpts::from_args(["--inclusion", "sideways"]).is_err());
+        assert!(RunOpts::from_args(["--slice-hash", "crc"]).is_err());
+        assert!(RunOpts::from_args(["--replacement=fifo"]).is_err());
+    }
+
+    #[test]
+    fn configure_tags_non_default_scenarios_only() {
+        let default = RunOpts::smoke_with_threads(1);
+        assert_eq!(default.spec().name, smoke_skylake().name);
+        assert_eq!(default.spec(), smoke_skylake());
+
+        let scenario = RunOpts {
+            inclusion: InclusionPolicy::Inclusive,
+            slice_hash: SliceHashSelect::Modulo,
+            replacement: Some(ReplacementKind::Srrip),
+            ..RunOpts::smoke_with_threads(1)
+        };
+        let spec = scenario.spec();
+        assert_eq!(spec.hierarchy.inclusion, InclusionPolicy::Inclusive);
+        assert_eq!(spec.hierarchy.slice_hash, SliceHashSelect::Modulo);
+        assert_eq!(spec.private_replacement, ReplacementKind::Srrip);
+        assert_eq!(spec.shared_replacement, ReplacementKind::Srrip);
+        assert!(spec.name.contains("[inclusive]"), "name: {}", spec.name);
+        assert!(spec.name.contains("[slice hash: modulo]"), "name: {}", spec.name);
+        assert!(spec.name.contains("[replacement: srrip]"), "name: {}", spec.name);
+    }
+
+    #[test]
+    fn effective_fidelity_reflects_the_reuse_predictor() {
+        let clean =
+            RunOpts::smoke_with_threads(1).with_fidelity(NoiseFidelity::Aggregate);
+        assert_eq!(clean.effective_fidelity(), NoiseFidelity::Aggregate);
+        let degraded = RunOpts { reuse_insert_probability: 0.5, ..clean };
+        assert_eq!(degraded.effective_fidelity(), NoiseFidelity::Exact);
+        assert_eq!(degraded.hierarchy_options().reuse_insert_probability, 0.5);
+    }
+
+    #[test]
     fn smoke_spec_is_env_independent() {
         let o = RunOpts::smoke_with_threads(1);
         assert_eq!(o.spec().sf.num_slices(), 4);
         assert_eq!(o.trials(2, 100), 2);
-        let loud = RunOpts { smoke: false, threads: 1, fidelity: NoiseFidelity::Exact };
+        let loud = RunOpts { smoke: false, ..RunOpts::smoke_with_threads(1) };
         assert_eq!(loud.trials(2, 100), trials(100));
     }
 

@@ -29,6 +29,7 @@ const TABLE4_GOLDEN: &str = include_str!("golden/table4_smoke.txt");
 const TABLE5_GOLDEN: &str = include_str!("golden/table5_smoke.txt");
 const TABLE6_GOLDEN: &str = include_str!("golden/table6_smoke.txt");
 const E2E_KEY_GOLDEN: &str = include_str!("golden/e2e_key_smoke.txt");
+const AES_TTABLE_GOLDEN: &str = include_str!("golden/aes_ttable_smoke.txt");
 
 /// Diffs `actual` against `expected` with a readable first-mismatch report.
 fn assert_matches_golden(name: &str, actual: &str, expected: &str) {
@@ -124,6 +125,38 @@ fn e2e_key_smoke_is_thread_count_invariant() {
     let eight = reports::e2e_key_report(&RunOpts::smoke_with_threads(8));
     assert_eq!(one, eight, "e2e_key --smoke must be byte-identical at 1 and 8 threads");
     assert_matches_golden("e2e_key --smoke --threads 1", &one, E2E_KEY_GOLDEN);
+}
+
+#[test]
+fn aes_ttable_smoke_matches_golden() {
+    let report = reports::aes_ttable_report(&RunOpts::smoke_with_threads(2));
+    assert_matches_golden("aes_ttable --smoke", &report, AES_TTABLE_GOLDEN);
+    // The golden must record a *working* data-dependent leak: all four
+    // monitored upper nibbles recovered from key-dependent set usage.
+    assert!(AES_TTABLE_GOLDEN.contains("recovered 4/4 monitored key nibbles"));
+}
+
+#[test]
+fn aes_ttable_smoke_is_thread_count_invariant() {
+    let one = reports::aes_ttable_report(&RunOpts::smoke_with_threads(1));
+    let eight = reports::aes_ttable_report(&RunOpts::smoke_with_threads(8));
+    assert_eq!(one, eight, "aes_ttable --smoke must be byte-identical at 1 and 8 threads");
+    assert_matches_golden("aes_ttable --smoke --threads 1", &one, AES_TTABLE_GOLDEN);
+}
+
+#[test]
+fn effective_fidelity_is_surfaced_in_report_headers() {
+    // Aggregate + an active reuse predictor silently degrades the noise
+    // engine to per-event replay; the report header must say so.
+    let opts = RunOpts {
+        reuse_insert_probability: 0.5,
+        ..RunOpts::smoke_with_threads(1).with_fidelity(NoiseFidelity::Aggregate)
+    };
+    let report = reports::aes_ttable_report(&opts);
+    assert!(
+        report.contains("noise fidelity: aggregate (effective: exact — reuse predictor active)"),
+        "header must surface the aggregate→exact degradation: {report}"
+    );
 }
 
 #[test]

@@ -1,0 +1,308 @@
+//! Config-driven hierarchy composition.
+//!
+//! The paper demonstrates its attack on one microarchitectural point — a
+//! sliced *non-inclusive* LLC with a snoop-filter directory — but the
+//! feasibility question is parametric in the hierarchy. [`HierarchyConfig`]
+//! makes that composition data instead of code: the inclusion policy, the
+//! slice hash, the per-level replacement policy and the SF/directory
+//! geometry are all fields of the [`CacheSpec`], so a "new scenario" is a
+//! config struct, not a fork of the simulator (see DESIGN.md, "Hierarchy
+//! composition").
+//!
+//! The default configuration reproduces the paper's Skylake-SP protocol
+//! bit-identically — every golden experiment output pins this.
+
+use std::sync::Arc;
+
+use crate::geometry::SlicedGeometry;
+use crate::presets::CacheSpec;
+use crate::replacement::ReplacementKind;
+use crate::slice::{ModuloSliceHash, SliceHash, XorFoldSliceHash};
+
+/// Which inclusion property the shared LLC maintains with respect to the
+/// private L1/L2 caches.
+///
+/// The policy decides where a line's *backing store* lives and which
+/// structure's evictions reach into the private caches — exactly the
+/// properties the paper's Step 1–3 algorithms depend on (Section 2.3):
+///
+/// * [`NonInclusive`](Self::NonInclusive) — private lines live only in
+///   L1/L2 and are tracked by a snoop-filter entry; Shared lines move into
+///   the LLC. SF evictions back-invalidate; this directory contention is
+///   the paper's attack surface.
+/// * [`Inclusive`](Self::Inclusive) — the LLC is a superset of every
+///   private cache. An LLC eviction back-invalidates L1/L2 everywhere (the
+///   classic Prime+Probe surface) and no snoop filter is needed.
+/// * [`Exclusive`](Self::Exclusive) — the LLC is a victim cache: it only
+///   receives a clean fill when a private cache evicts a line, and an LLC
+///   hit migrates the line back out. The SF acts as the directory for all
+///   private copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum InclusionPolicy {
+    /// Skylake-SP-style non-inclusive LLC plus snoop filter (the paper's
+    /// target and this crate's default; bit-identical to the pre-config
+    /// behaviour).
+    #[default]
+    NonInclusive,
+    /// LLC holds a superset of all private caches; evictions
+    /// back-invalidate.
+    Inclusive,
+    /// LLC as victim cache: filled only by private-cache evictions.
+    Exclusive,
+}
+
+impl InclusionPolicy {
+    /// Parses a CLI/env spelling (`non-inclusive`, `inclusive`,
+    /// `exclusive`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "non-inclusive" | "noninclusive" | "ni" => Some(Self::NonInclusive),
+            "inclusive" | "i" => Some(Self::Inclusive),
+            "exclusive" | "x" => Some(Self::Exclusive),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling, accepted by [`Self::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::NonInclusive => "non-inclusive",
+            Self::Inclusive => "inclusive",
+            Self::Exclusive => "exclusive",
+        }
+    }
+}
+
+/// Which slice-hash function routes physical lines to LLC/SF slices.
+///
+/// The two named variants cover the realistic case (an opaque
+/// complex-addressing hash, [`XorFoldSliceHash`]) and the fully predictable
+/// case used to study what an attacker gains from knowing the hash
+/// ([`ModuloSliceHash`]); `Custom` accepts any user-provided
+/// [`SliceHash`] implementation.
+#[derive(Debug, Clone, Default)]
+pub enum SliceHashSelect {
+    /// The default XOR-fold + multiply-shift hash ([`XorFoldSliceHash`]).
+    #[default]
+    XorFold,
+    /// Low-bits modulo hash ([`ModuloSliceHash`]): trivially predictable.
+    Modulo,
+    /// A caller-supplied hash; its `num_slices()` must match the spec's
+    /// LLC slice count.
+    Custom(Arc<dyn SliceHash>),
+}
+
+impl PartialEq for SliceHashSelect {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::XorFold, Self::XorFold) | (Self::Modulo, Self::Modulo) => true,
+            (Self::Custom(a), Self::Custom(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
+
+impl SliceHashSelect {
+    /// Parses a CLI/env spelling (`xor-fold`, `modulo`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "xor-fold" | "xorfold" => Some(Self::XorFold),
+            "modulo" | "mod" => Some(Self::Modulo),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling of the selection (custom hashes report their
+    /// `Debug` type on the machine spec instead).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::XorFold => "xor-fold",
+            Self::Modulo => "modulo",
+            Self::Custom(_) => "custom",
+        }
+    }
+
+    /// Instantiates the selected hash for `num_slices` slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Custom` hash disagrees with `num_slices` — a mismatch
+    /// would silently route lines to out-of-range slices.
+    pub fn build(&self, num_slices: usize) -> Arc<dyn SliceHash> {
+        match self {
+            Self::XorFold => Arc::new(XorFoldSliceHash::new(num_slices)),
+            Self::Modulo => Arc::new(ModuloSliceHash::new(num_slices)),
+            Self::Custom(hash) => {
+                assert_eq!(
+                    hash.num_slices(),
+                    num_slices,
+                    "custom slice hash must cover the spec's slice count"
+                );
+                Arc::clone(hash)
+            }
+        }
+    }
+}
+
+/// Per-level replacement-policy overrides.
+///
+/// `None` inherits the spec-wide default ([`CacheSpec::private_replacement`]
+/// for L1/L2, [`CacheSpec::shared_replacement`] for LLC/SF), so a default
+/// `LevelReplacement` changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LevelReplacement {
+    /// Replacement policy of every core's L1.
+    pub l1: Option<ReplacementKind>,
+    /// Replacement policy of every core's L2.
+    pub l2: Option<ReplacementKind>,
+    /// Replacement policy of the LLC slices.
+    pub llc: Option<ReplacementKind>,
+    /// Replacement policy of the SF slices.
+    pub sf: Option<ReplacementKind>,
+}
+
+/// Composition of the simulated hierarchy: inclusion policy, slice hash,
+/// per-level replacement and directory geometry.
+///
+/// Carried by [`CacheSpec::hierarchy`]; the default value reproduces the
+/// paper's machine bit-identically.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HierarchyConfig {
+    /// LLC inclusion policy.
+    pub inclusion: InclusionPolicy,
+    /// Slice-hash selection for the LLC and SF.
+    pub slice_hash: SliceHashSelect,
+    /// Per-level replacement overrides.
+    pub replacement: LevelReplacement,
+    /// Overrides the spec's SF/directory geometry (e.g. to study directory
+    /// size). Must keep the LLC's slice and per-slice set counts — the
+    /// shared-location fast path depends on the two structures being
+    /// parallel arrays.
+    pub sf_geometry: Option<SlicedGeometry>,
+}
+
+impl CacheSpec {
+    /// Returns the spec with the given inclusion policy.
+    pub fn with_inclusion(mut self, policy: InclusionPolicy) -> Self {
+        self.hierarchy.inclusion = policy;
+        self
+    }
+
+    /// Returns the spec with the given slice-hash selection.
+    pub fn with_slice_hash_select(mut self, select: SliceHashSelect) -> Self {
+        self.hierarchy.slice_hash = select;
+        self
+    }
+
+    /// Returns the spec with every level using `kind` for replacement.
+    pub fn with_replacement(mut self, kind: ReplacementKind) -> Self {
+        self.private_replacement = kind;
+        self.shared_replacement = kind;
+        self.hierarchy.replacement = LevelReplacement::default();
+        self
+    }
+
+    /// Returns the spec with per-level replacement overrides.
+    pub fn with_level_replacement(mut self, levels: LevelReplacement) -> Self {
+        self.hierarchy.replacement = levels;
+        self
+    }
+
+    /// Returns the spec with an overridden SF/directory geometry.
+    pub fn with_sf_geometry(mut self, geometry: SlicedGeometry) -> Self {
+        self.sf = geometry;
+        self.hierarchy.sf_geometry = Some(geometry);
+        self
+    }
+
+    /// Returns the spec with a complete hierarchy composition.
+    pub fn with_hierarchy(mut self, config: HierarchyConfig) -> Self {
+        if let Some(geometry) = config.sf_geometry {
+            self.sf = geometry;
+        }
+        self.hierarchy = config;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::CacheGeometry;
+
+    #[test]
+    fn default_config_is_non_inclusive_xor_fold() {
+        let config = HierarchyConfig::default();
+        assert_eq!(config.inclusion, InclusionPolicy::NonInclusive);
+        assert_eq!(config.slice_hash, SliceHashSelect::XorFold);
+        assert_eq!(config.replacement, LevelReplacement::default());
+        assert!(config.sf_geometry.is_none());
+    }
+
+    #[test]
+    fn inclusion_parse_round_trips() {
+        for policy in
+            [InclusionPolicy::NonInclusive, InclusionPolicy::Inclusive, InclusionPolicy::Exclusive]
+        {
+            assert_eq!(InclusionPolicy::parse(policy.label()), Some(policy));
+        }
+        assert_eq!(InclusionPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn slice_hash_parse_round_trips() {
+        for select in [SliceHashSelect::XorFold, SliceHashSelect::Modulo] {
+            assert_eq!(SliceHashSelect::parse(select.label()), Some(select.clone()));
+        }
+        assert_eq!(SliceHashSelect::parse("custom"), None);
+    }
+
+    #[test]
+    fn custom_slice_hash_compares_by_identity() {
+        let a: Arc<dyn SliceHash> = Arc::new(ModuloSliceHash::new(4));
+        let same = SliceHashSelect::Custom(Arc::clone(&a));
+        let other = SliceHashSelect::Custom(Arc::new(ModuloSliceHash::new(4)));
+        assert_eq!(SliceHashSelect::Custom(a.clone()), same);
+        assert_ne!(SliceHashSelect::Custom(a), other);
+    }
+
+    #[test]
+    fn build_respects_selection() {
+        assert_eq!(SliceHashSelect::XorFold.build(28).num_slices(), 28);
+        assert_eq!(SliceHashSelect::Modulo.build(26).num_slices(), 26);
+        let custom: Arc<dyn SliceHash> = Arc::new(ModuloSliceHash::new(8));
+        assert_eq!(SliceHashSelect::Custom(custom).build(8).num_slices(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "custom slice hash")]
+    fn build_rejects_mismatched_custom_hash() {
+        let custom: Arc<dyn SliceHash> = Arc::new(ModuloSliceHash::new(8));
+        let _ = SliceHashSelect::Custom(custom).build(9);
+    }
+
+    #[test]
+    fn spec_builders_compose() {
+        let sf = SlicedGeometry::new(CacheGeometry::new(32, 7), 2);
+        let spec = CacheSpec::tiny_test()
+            .with_inclusion(InclusionPolicy::Inclusive)
+            .with_slice_hash_select(SliceHashSelect::Modulo)
+            .with_level_replacement(LevelReplacement {
+                llc: Some(ReplacementKind::Qlru),
+                ..LevelReplacement::default()
+            })
+            .with_sf_geometry(sf);
+        assert_eq!(spec.hierarchy.inclusion, InclusionPolicy::Inclusive);
+        assert_eq!(spec.hierarchy.slice_hash, SliceHashSelect::Modulo);
+        assert_eq!(spec.hierarchy.replacement.llc, Some(ReplacementKind::Qlru));
+        assert_eq!(spec.sf, sf);
+        assert_eq!(spec.hierarchy.sf_geometry, Some(sf));
+    }
+
+    #[test]
+    fn with_replacement_sets_every_level() {
+        let spec = CacheSpec::tiny_test().with_replacement(ReplacementKind::TreePlru);
+        assert_eq!(spec.private_replacement, ReplacementKind::TreePlru);
+        assert_eq!(spec.shared_replacement, ReplacementKind::TreePlru);
+    }
+}

@@ -1,7 +1,8 @@
-//! The non-inclusive Skylake-SP-style cache hierarchy: per-core L1/L2, a
-//! sliced shared LLC, and a sliced snoop filter (SF).
+//! The shared cache hierarchy: per-core L1/L2, a sliced shared LLC, and a
+//! sliced snoop filter (SF), composed according to
+//! [`InclusionPolicy`](crate::InclusionPolicy).
 //!
-//! The protocol follows Section 2.3 of the paper:
+//! The default (non-inclusive) protocol follows Section 2.3 of the paper:
 //!
 //! * Lines held in Exclusive/Modified state by one core live only in that
 //!   core's private caches and are tracked by an SF entry.
@@ -13,13 +14,19 @@
 //! * A request that hits another core's private line (an SF hit) transitions
 //!   the line to Shared and moves it into the LLC.
 //!
+//! The `Inclusive` and `Exclusive` policies replace only the *shared stage*
+//! of the access path (which structure backs a line and whose evictions
+//! back-invalidate); the private L1/L2 stage is common to all three. See
+//! DESIGN.md, "Hierarchy composition", for the per-policy state machines.
+//!
 //! The hierarchy is purely functional state: it knows nothing about time.
 //! Latencies, noise and agents are layered on top by the `llc-machine` crate.
 
 use crate::addr::LineAddr;
 use crate::cache::{Cache, SetLocation, SlicedCache};
+use crate::config::InclusionPolicy;
 use crate::presets::CacheSpec;
-use crate::slice::{SliceHash, XorFoldSliceHash};
+use crate::slice::SliceHash;
 use std::sync::Arc;
 
 /// Coherence state of a line in a private cache.
@@ -55,8 +62,11 @@ pub struct LlcLine;
 /// Payload stored in snoop-filter ways: which cores own a private copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SfEntry {
-    /// Bitmask of cores holding the line in E/M state. Zero for synthetic
-    /// background-noise lines that belong to other tenants.
+    /// Bitmask of cores holding a private copy. Under the non-inclusive
+    /// policy this tracks E/M owners only (Shared lines are LLC-backed);
+    /// under the exclusive policy the SF is the directory for *all* private
+    /// copies, including Shared ones. Zero for synthetic background-noise
+    /// lines that belong to other tenants.
     pub owners: u64,
 }
 
@@ -134,6 +144,7 @@ impl Default for HierarchyOptions {
 pub struct Hierarchy {
     spec: CacheSpec,
     options: HierarchyOptions,
+    policy: InclusionPolicy,
     slice_hash: Arc<dyn SliceHash>,
     l1: Vec<Cache<PrivLine>>,
     l2: Vec<Cache<PrivLine>>,
@@ -164,14 +175,20 @@ fn core_mask(cores: usize) -> u64 {
 }
 
 impl Hierarchy {
-    /// Creates an empty hierarchy for `spec` with the default slice hash.
+    /// Creates an empty hierarchy for `spec`, composed according to
+    /// `spec.hierarchy` (inclusion policy, slice-hash selection, per-level
+    /// replacement overrides and SF geometry).
     pub fn new(spec: CacheSpec, seed: u64) -> Self {
-        let hash: Arc<dyn SliceHash> = Arc::new(XorFoldSliceHash::new(spec.llc.num_slices()));
+        let hash = spec.hierarchy.slice_hash.build(spec.llc.num_slices());
         Self::with_slice_hash(spec, hash, seed)
     }
 
-    /// Creates an empty hierarchy with a caller-supplied slice hash.
-    pub fn with_slice_hash(spec: CacheSpec, hash: Arc<dyn SliceHash>, seed: u64) -> Self {
+    /// Creates an empty hierarchy with a caller-supplied slice hash
+    /// (overriding `spec.hierarchy.slice_hash`).
+    pub fn with_slice_hash(mut spec: CacheSpec, hash: Arc<dyn SliceHash>, seed: u64) -> Self {
+        if let Some(geometry) = spec.hierarchy.sf_geometry {
+            spec.sf = geometry;
+        }
         // The access path computes one shared (slice, set) location and uses
         // it for both the LLC and the SF, which is only sound while the two
         // structures share slice count and per-slice set count (true of
@@ -186,17 +203,24 @@ impl Hierarchy {
             spec.sf.slice_geometry().sets(),
             "LLC and SF must have the same per-slice set count"
         );
+        let levels = spec.hierarchy.replacement;
+        let l1_repl = levels.l1.unwrap_or(spec.private_replacement);
+        let l2_repl = levels.l2.unwrap_or(spec.private_replacement);
+        let llc_repl = levels.llc.unwrap_or(spec.shared_replacement);
+        let sf_repl = levels.sf.unwrap_or(spec.shared_replacement);
         let l1 = (0..spec.cores)
-            .map(|c| Cache::new(spec.l1, spec.private_replacement, seed ^ (c as u64) << 8))
+            .map(|c| Cache::new(spec.l1, l1_repl, seed ^ (c as u64) << 8))
             .collect();
         let l2 = (0..spec.cores)
-            .map(|c| Cache::new(spec.l2, spec.private_replacement, seed ^ (c as u64) << 16))
+            .map(|c| Cache::new(spec.l2, l2_repl, seed ^ (c as u64) << 16))
             .collect();
-        let llc = SlicedCache::new(spec.llc, Arc::clone(&hash), spec.shared_replacement, seed ^ 0xaa);
-        let sf = SlicedCache::new(spec.sf, Arc::clone(&hash), spec.shared_replacement, seed ^ 0x55);
+        let llc = SlicedCache::new(spec.llc, Arc::clone(&hash), llc_repl, seed ^ 0xaa);
+        let sf = SlicedCache::new(spec.sf, Arc::clone(&hash), sf_repl, seed ^ 0x55);
+        let policy = spec.hierarchy.inclusion;
         Self {
             spec,
             options: HierarchyOptions::default(),
+            policy,
             slice_hash: hash,
             l1,
             l2,
@@ -223,6 +247,7 @@ impl Hierarchy {
     pub fn restore_from(&mut self, source: &Hierarchy) {
         debug_assert_eq!(self.spec, source.spec, "snapshot specification mismatch");
         self.options = source.options;
+        self.policy = source.policy;
         for (dst, src) in self.l1.iter_mut().zip(&source.l1) {
             dst.restore_from(src);
         }
@@ -243,6 +268,11 @@ impl Hierarchy {
     /// The slice hash shared by the LLC and SF.
     pub fn slice_hash(&self) -> &Arc<dyn SliceHash> {
         &self.slice_hash
+    }
+
+    /// The inclusion policy this hierarchy was composed with.
+    pub fn inclusion(&self) -> InclusionPolicy {
+        self.policy
     }
 
     /// Number of cores.
@@ -290,16 +320,22 @@ impl Hierarchy {
     ) -> AccessOutcome {
         assert!(core < self.spec.cores, "core {core} out of range");
         debug_assert_eq!(loc, self.llc.location(line), "location does not match the line");
-        let state_on_fill = match kind {
-            AccessKind::Read => CoherenceState::Exclusive,
-            AccessKind::Write => CoherenceState::Modified,
-        };
 
-        // 1. Private L1.
+        // 1. Private L1. The private stage is common to every inclusion
+        //    policy; only the backing-recency refresh and the Shared→Modified
+        //    write upgrade dispatch on it.
         if let Some(entry) = self.l1[core].lookup(line) {
             let state = entry.state;
+            if kind == AccessKind::Write && state == CoherenceState::Shared {
+                return self.write_upgrade_private(core, line, loc, HitLevel::L1);
+            }
             if kind == AccessKind::Write {
                 entry.state = CoherenceState::Modified;
+                if let Some(l2) = self.l2[core].lookup(line) {
+                    l2.state = CoherenceState::Modified;
+                }
+                self.refresh_backing_recency_at(loc, line, state);
+                return AccessOutcome { level: HitLevel::L1, displaced_sf_entry: false };
             }
             self.refresh_backing_recency_at(loc, line, state);
             let _ = self.l2[core].lookup(line); // keep the L2 copy warm as well
@@ -309,16 +345,53 @@ impl Hierarchy {
         // 2. Private L2.
         if let Some(entry) = self.l2[core].lookup(line) {
             let state = entry.state;
+            if kind == AccessKind::Write && state == CoherenceState::Shared {
+                return self.write_upgrade_private(core, line, loc, HitLevel::L2);
+            }
             if kind == AccessKind::Write {
                 self.l2[core].lookup(line).expect("just hit").state = CoherenceState::Modified;
+                self.fill_l1(core, line, CoherenceState::Modified);
+                self.refresh_backing_recency_at(loc, line, state);
+                return AccessOutcome { level: HitLevel::L2, displaced_sf_entry: false };
             }
             self.fill_l1(core, line, state);
             self.refresh_backing_recency_at(loc, line, state);
             return AccessOutcome { level: HitLevel::L2, displaced_sf_entry: false };
         }
 
+        // Shared stage: which structure backs the line, and how it moves
+        // into the private caches, is the inclusion policy.
+        match self.policy {
+            InclusionPolicy::NonInclusive => self.shared_stage_non_inclusive(core, line, loc, kind),
+            InclusionPolicy::Inclusive => self.shared_stage_inclusive(core, line, loc, kind),
+            InclusionPolicy::Exclusive => self.shared_stage_exclusive(core, line, loc, kind),
+        }
+    }
+
+    /// Steps 3–5 of the paper's non-inclusive protocol (Section 2.3).
+    fn shared_stage_non_inclusive(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        loc: SetLocation,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let state_on_fill = match kind {
+            AccessKind::Read => CoherenceState::Exclusive,
+            AccessKind::Write => CoherenceState::Modified,
+        };
+
         // 3. Shared LLC: the line is Shared somewhere in the package.
         if self.llc.lookup_at(loc, line).is_some() {
+            if kind == AccessKind::Write {
+                // Read-for-ownership: every other copy is invalidated and
+                // the writer takes the line private in Modified state.
+                self.invalidate_other_private(core, line);
+                self.llc.invalidate_at(loc, line);
+                self.fill_private(core, line, CoherenceState::Modified);
+                let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
+                return AccessOutcome { level: HitLevel::Llc, displaced_sf_entry: displaced };
+            }
             // Section 2.3: when an LLC-resident line needs to transition to a
             // private state (no other core still holds a copy), it is removed
             // from the LLC and an SF entry is allocated to track it. This is
@@ -335,9 +408,21 @@ impl Hierarchy {
         }
 
         // 4. Snoop filter: the line is private to another core (or the same
-        //    core's copy was silently dropped). Transition it to Shared.
+        //    core's copy was silently dropped). Reads transition it to
+        //    Shared; writes snoop-invalidate the owners and take ownership.
         if let Some(entry) = self.sf.peek_at(loc, line).copied() {
             self.sf.invalidate_at(loc, line);
+            if kind == AccessKind::Write {
+                for owner in entry.iter_owners() {
+                    if owner < self.spec.cores {
+                        self.l1[owner].invalidate(line);
+                        self.l2[owner].invalidate(line);
+                    }
+                }
+                self.fill_private(core, line, CoherenceState::Modified);
+                let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
+                return AccessOutcome { level: HitLevel::SfSnoop, displaced_sf_entry: displaced };
+            }
             for owner in entry.iter_owners() {
                 if owner < self.spec.cores {
                     self.downgrade_to_shared(owner, line);
@@ -353,6 +438,148 @@ impl Hierarchy {
         self.fill_private(core, line, state_on_fill);
         let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
         AccessOutcome { level: HitLevel::Memory, displaced_sf_entry: displaced }
+    }
+
+    /// Shared stage of the inclusive policy: the LLC is a superset of every
+    /// private cache, so a hit never removes the LLC entry and a miss fills
+    /// the LLC *first* (its eviction back-invalidates the displaced line
+    /// everywhere, which is what enforces inclusion). The SF is never used.
+    fn shared_stage_inclusive(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        loc: SetLocation,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let state_on_fill = match kind {
+            AccessKind::Read => CoherenceState::Exclusive,
+            AccessKind::Write => CoherenceState::Modified,
+        };
+        if self.llc.lookup_at(loc, line).is_some() {
+            let state = if kind == AccessKind::Write {
+                self.invalidate_other_private(core, line);
+                CoherenceState::Modified
+            } else if self.other_core_has_private_copy(core, line) {
+                CoherenceState::Shared
+            } else {
+                state_on_fill
+            };
+            self.fill_private(core, line, state);
+            return AccessOutcome { level: HitLevel::Llc, displaced_sf_entry: false };
+        }
+        self.insert_llc_at(loc, line);
+        self.fill_private(core, line, state_on_fill);
+        AccessOutcome { level: HitLevel::Memory, displaced_sf_entry: false }
+    }
+
+    /// Shared stage of the exclusive policy: the LLC is a victim cache (an
+    /// LLC hit migrates the line back into the requester's private caches)
+    /// and the SF is the directory for *all* private copies.
+    fn shared_stage_exclusive(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        loc: SetLocation,
+        kind: AccessKind,
+    ) -> AccessOutcome {
+        let state_on_fill = match kind {
+            AccessKind::Read => CoherenceState::Exclusive,
+            AccessKind::Write => CoherenceState::Modified,
+        };
+        if self.llc.lookup_at(loc, line).is_some() {
+            // Victim-cache hit: the line leaves the LLC and becomes private
+            // again, tracked by a fresh directory entry.
+            self.llc.invalidate_at(loc, line);
+            self.fill_private(core, line, state_on_fill);
+            let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
+            return AccessOutcome { level: HitLevel::Llc, displaced_sf_entry: displaced };
+        }
+        if let Some(entry) = self.sf.peek_at(loc, line).copied() {
+            if kind == AccessKind::Write {
+                for owner in entry.iter_owners() {
+                    if owner < self.spec.cores {
+                        self.l1[owner].invalidate(line);
+                        self.l2[owner].invalidate(line);
+                    }
+                }
+                if let Some(e) = self.sf.lookup_at(loc, line) {
+                    e.owners = 1 << core;
+                }
+                self.fill_private(core, line, CoherenceState::Modified);
+            } else {
+                for owner in entry.iter_owners() {
+                    if owner < self.spec.cores {
+                        self.downgrade_to_shared(owner, line);
+                    }
+                }
+                // The line stays out of the LLC (exclusivity); the directory
+                // entry simply gains the new sharer.
+                if let Some(e) = self.sf.lookup_at(loc, line) {
+                    e.owners |= 1 << core;
+                }
+                self.fill_private(core, line, CoherenceState::Shared);
+            }
+            return AccessOutcome { level: HitLevel::SfSnoop, displaced_sf_entry: false };
+        }
+        self.fill_private(core, line, state_on_fill);
+        let displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
+        AccessOutcome { level: HitLevel::Memory, displaced_sf_entry: displaced }
+    }
+
+    /// Upgrades a Shared private hit to Modified (read-for-ownership): every
+    /// other copy is invalidated and the backing structure is updated
+    /// according to the inclusion policy. Fixes the latent bug where a write
+    /// to a Shared line flipped the L1 state word without any coherence
+    /// action, leaving a Modified line that the LLC still served to other
+    /// cores and that no SF entry tracked.
+    fn write_upgrade_private(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        loc: SetLocation,
+        level: HitLevel,
+    ) -> AccessOutcome {
+        let mut displaced = false;
+        match self.policy {
+            InclusionPolicy::NonInclusive => {
+                // The Shared line leaves the LLC and becomes a tracked
+                // private Modified line.
+                self.invalidate_other_private(core, line);
+                self.llc.invalidate_at(loc, line);
+                displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
+            }
+            InclusionPolicy::Inclusive => {
+                // The LLC copy stays (inclusion); only the other private
+                // copies are invalidated.
+                self.invalidate_other_private(core, line);
+                let _ = self.llc.lookup_at(loc, line);
+            }
+            InclusionPolicy::Exclusive => {
+                // Invalidate the other sharers and collapse the directory
+                // entry to a single owner.
+                let owners = self.sf.peek_at(loc, line).map(|e| e.owners).unwrap_or(0);
+                for owner in (SfEntry { owners }).iter_owners() {
+                    if owner != core && owner < self.spec.cores {
+                        self.l1[owner].invalidate(line);
+                        self.l2[owner].invalidate(line);
+                    }
+                }
+                if let Some(e) = self.sf.lookup_at(loc, line) {
+                    e.owners = 1 << core;
+                } else {
+                    displaced = self.allocate_sf_entry_at(loc, line, SfEntry::owner(core));
+                }
+            }
+        }
+        if let Some(p) = self.l1[core].lookup(line) {
+            p.state = CoherenceState::Modified;
+        } else {
+            self.fill_l1(core, line, CoherenceState::Modified);
+        }
+        if let Some(p) = self.l2[core].lookup(line) {
+            p.state = CoherenceState::Modified;
+        }
+        AccessOutcome { level, displaced_sf_entry: displaced }
     }
 
     /// Flushes `line` from the entire hierarchy (like `clflush` issued by a
@@ -375,12 +602,36 @@ impl Hierarchy {
     pub fn noise_access(&mut self, loc: SetLocation, shared: bool) {
         self.noise_counter += 1;
         let synthetic = LineAddr::from_line_number(NOISE_LINE_BASE + self.noise_counter);
-        if shared {
-            if let Some(evicted) = self.llc.insert_at(loc, synthetic, LlcLine) {
-                self.invalidate_private_everywhere(evicted.line);
+        match self.policy {
+            InclusionPolicy::NonInclusive => {
+                if shared {
+                    if let Some(evicted) = self.llc.insert_at(loc, synthetic, LlcLine) {
+                        self.invalidate_private_everywhere(evicted.line);
+                    }
+                } else if let Some(evicted) = self.sf.insert_at(loc, synthetic, SfEntry::default())
+                {
+                    self.handle_sf_eviction(evicted.line, evicted.payload);
+                }
             }
-        } else if let Some(evicted) = self.sf.insert_at(loc, synthetic, SfEntry::default()) {
-            self.handle_sf_eviction(evicted.line, evicted.payload);
+            InclusionPolicy::Inclusive => {
+                // There is no SF: all background traffic, shared or private,
+                // contends in the (inclusive) LLC, and its evictions
+                // back-invalidate — the classic cross-core Prime+Probe
+                // interference.
+                if let Some(evicted) = self.llc.insert_at(loc, synthetic, LlcLine) {
+                    self.invalidate_private_everywhere(evicted.line);
+                }
+            }
+            InclusionPolicy::Exclusive => {
+                if shared {
+                    // Victim-cache fill by another tenant; the displaced line
+                    // has no private copies (exclusivity), so it just drops.
+                    let _ = self.llc.insert_at(loc, synthetic, LlcLine);
+                } else if let Some(evicted) = self.sf.insert_at(loc, synthetic, SfEntry::default())
+                {
+                    self.handle_sf_eviction(evicted.line, evicted.payload);
+                }
+            }
         }
     }
 
@@ -410,7 +661,13 @@ impl Hierarchy {
         // Empty bursts are the common case on a quiescent machine; skip the
         // view setup entirely.
         let Some(first) = events.next() else { return };
-        if self.options.reuse_insert_probability > 0.0 {
+        // Per-event dispatch for the non-default inclusion policies (their
+        // noise paths are not hot in any golden workload) and for the reuse
+        // predictor, whose SF→LLC re-insertions genuinely interleave the
+        // structures mid-burst.
+        if self.policy != InclusionPolicy::NonInclusive
+            || self.options.reuse_insert_probability > 0.0
+        {
             self.noise_access(loc, first);
             for s in events {
                 self.noise_access(loc, s);
@@ -499,6 +756,16 @@ impl Hierarchy {
         let mut pending = std::mem::take(&mut self.noise_evictions);
         pending.clear();
         let all_cores = core_mask(self.spec.cores);
+        // How many fills reach each structure is the inclusion policy's
+        // noise model (mirroring `noise_access`): inclusive hierarchies have
+        // no SF so every event contends in the LLC; exclusive hierarchies
+        // drop LLC victims without back-invalidation (an LLC-resident line
+        // has no private copies).
+        let (llc_fills, sf_fills) = match self.policy {
+            InclusionPolicy::NonInclusive | InclusionPolicy::Exclusive => (llc_fills, sf_fills),
+            InclusionPolicy::Inclusive => (llc_fills + sf_fills, 0),
+        };
+        let llc_backinvalidates = self.policy != InclusionPolicy::Exclusive;
         {
             let counter = &mut self.noise_counter;
             let mut llc_view = self.llc.set_view_mut(loc);
@@ -509,7 +776,7 @@ impl Hierarchy {
                     LineAddr::from_line_number(NOISE_LINE_BASE + *counter)
                 },
                 |evicted| {
-                    if evicted.line.line_number() < NOISE_LINE_BASE {
+                    if llc_backinvalidates && evicted.line.line_number() < NOISE_LINE_BASE {
                         pending.push((evicted.line, all_cores));
                     }
                 },
@@ -564,6 +831,18 @@ impl Hierarchy {
     /// True if `core`'s L2 holds `line`.
     pub fn in_l2(&self, core: CoreId, line: LineAddr) -> bool {
         self.l2[core].contains(line)
+    }
+
+    /// Coherence state of `core`'s L1 copy of `line`, if present (oracle /
+    /// property-test use; does not touch replacement state).
+    pub fn l1_state(&self, core: CoreId, line: LineAddr) -> Option<CoherenceState> {
+        self.l1[core].peek(line).map(|p| p.state)
+    }
+
+    /// Coherence state of `core`'s L2 copy of `line`, if present (oracle /
+    /// property-test use; does not touch replacement state).
+    pub fn l2_state(&self, core: CoreId, line: LineAddr) -> Option<CoherenceState> {
+        self.l2[core].peek(line).map(|p| p.state)
     }
 
     /// True if the LLC holds `line`.
@@ -624,18 +903,50 @@ impl Hierarchy {
     }
 
     fn handle_l2_eviction(&mut self, core: CoreId, line: LineAddr, payload: PrivLine) {
-        match payload.state {
-            CoherenceState::Shared => {
-                // The LLC still holds the line; nothing to do. A stale copy
-                // may remain in L1, which is harmless (non-inclusive L1).
+        match self.policy {
+            InclusionPolicy::NonInclusive => match payload.state {
+                CoherenceState::Shared => {
+                    // The LLC still holds the line; nothing to do. A stale
+                    // copy may remain in L1, which is harmless (non-inclusive
+                    // L1): the LLC entry outlives it, and every way the LLC
+                    // entry can die back-invalidates the L1 copy too. The
+                    // `stale_l1_copies_stay_backed` proptest in
+                    // `tests/coherence_props.rs` pins this invariant.
+                    // See also `refresh_backing_recency_at`.
+                }
+                CoherenceState::Exclusive | CoherenceState::Modified => {
+                    // The line leaves the private caches: drop the L1 copy,
+                    // free the SF entry and optionally write back into the
+                    // LLC.
+                    self.l1[core].invalidate(line);
+                    self.sf.invalidate(line);
+                    if self.reuse_predictor_fires() {
+                        self.insert_llc(line);
+                    }
+                }
+            },
+            InclusionPolicy::Inclusive => {
+                // The LLC holds the line by the inclusion property; a stale
+                // L1 copy is likewise covered by the LLC entry's eventual
+                // back-invalidation, so the eviction needs no action.
             }
-            CoherenceState::Exclusive | CoherenceState::Modified => {
-                // The line leaves the private caches: drop the L1 copy, free
-                // the SF entry and optionally write back into the LLC.
+            InclusionPolicy::Exclusive => {
+                // Drop the stale L1 copy, then update the directory. When the
+                // last private copy leaves, the line makes the exclusive
+                // LLC's *only* kind of fill: a clean victim-cache insertion.
                 self.l1[core].invalidate(line);
-                self.sf.invalidate(line);
-                if self.reuse_predictor_fires() {
-                    self.insert_llc(line);
+                let loc = self.llc.location(line);
+                let owners = self.sf.peek_at(loc, line).map(|e| e.owners).unwrap_or(0);
+                let remaining = owners & !(1u64 << core);
+                if remaining == 0 {
+                    self.sf.invalidate_at(loc, line);
+                    // Evictions displaced by this fill are dropped without
+                    // back-invalidation: exclusivity guarantees an
+                    // LLC-resident victim has no private copies (pinned by
+                    // the inclusion proptest suite).
+                    let _ = self.llc.insert_at(loc, line, LlcLine);
+                } else if let Some(e) = self.sf.lookup_at(loc, line) {
+                    e.owners = remaining;
                 }
             }
         }
@@ -661,7 +972,11 @@ impl Hierarchy {
                 self.l2[owner].invalidate(line);
             }
         }
-        if self.reuse_predictor_fires() {
+        // Exclusive: a directory eviction forces the line out of the package
+        // entirely (write back to memory), never into the LLC — an exclusive
+        // LLC only fills on private-cache evictions. The reuse predictor is a
+        // non-inclusive-specific behaviour (Section 2.3).
+        if self.policy == InclusionPolicy::NonInclusive && self.reuse_predictor_fires() {
             self.insert_llc(line);
         }
     }
@@ -704,11 +1019,23 @@ impl Hierarchy {
     /// which no real non-inclusive hierarchy exhibits for actively-used lines
     /// and which would make every `TestEviction`-based algorithm misbehave.
     fn refresh_backing_recency_at(&mut self, loc: SetLocation, line: LineAddr, state: CoherenceState) {
-        match state {
-            CoherenceState::Shared => {
+        match self.policy {
+            InclusionPolicy::NonInclusive => match state {
+                CoherenceState::Shared => {
+                    let _ = self.llc.lookup_at(loc, line);
+                }
+                CoherenceState::Exclusive | CoherenceState::Modified => {
+                    let _ = self.sf.lookup_at(loc, line);
+                }
+            },
+            // Inclusive: every private-resident line is backed by its LLC
+            // entry regardless of coherence state.
+            InclusionPolicy::Inclusive => {
                 let _ = self.llc.lookup_at(loc, line);
             }
-            CoherenceState::Exclusive | CoherenceState::Modified => {
+            // Exclusive: every private-resident line is tracked by the
+            // directory regardless of coherence state.
+            InclusionPolicy::Exclusive => {
                 let _ = self.sf.lookup_at(loc, line);
             }
         }
@@ -724,6 +1051,17 @@ impl Hierarchy {
         for c in 0..self.spec.cores {
             self.l1[c].invalidate(line);
             self.l2[c].invalidate(line);
+        }
+    }
+
+    /// Invalidates every private copy of `line` except `core`'s own (the
+    /// snoop-invalidate half of a read-for-ownership).
+    fn invalidate_other_private(&mut self, core: CoreId, line: LineAddr) {
+        for c in 0..self.spec.cores {
+            if c != core {
+                self.l1[c].invalidate(line);
+                self.l2[c].invalidate(line);
+            }
         }
     }
 

@@ -36,6 +36,7 @@
 
 mod addr;
 mod cache;
+mod config;
 mod geometry;
 mod hierarchy;
 mod paging;
@@ -48,6 +49,7 @@ pub use addr::{
     LineAddr, PhysAddr, VirtAddr, LINES_PER_PAGE, LINE_BITS, LINE_SIZE, PAGE_BITS, PAGE_SIZE,
 };
 pub use cache::{Cache, SetLocation, SlicedCache};
+pub use config::{HierarchyConfig, InclusionPolicy, LevelReplacement, SliceHashSelect};
 pub use geometry::{CacheGeometry, SlicedGeometry};
 pub use hierarchy::{
     AccessKind, AccessOutcome, CoherenceState, CoreId, Hierarchy, HierarchyOptions, HitLevel,

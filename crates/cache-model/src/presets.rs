@@ -12,6 +12,7 @@
 //! The table uses plain code spans rather than intra-doc links so
 //! `--no-default-features` docs stay warning-free.
 
+use crate::config::HierarchyConfig;
 use crate::geometry::{CacheGeometry, SlicedGeometry};
 use crate::replacement::ReplacementKind;
 
@@ -36,6 +37,11 @@ pub struct CacheSpec {
     pub shared_replacement: ReplacementKind,
     /// Nominal core frequency in GHz, used to convert cycles to seconds.
     pub freq_ghz: f64,
+    /// Hierarchy composition: inclusion policy, slice hash, per-level
+    /// replacement overrides and directory geometry. The default reproduces
+    /// the paper's non-inclusive protocol bit-identically; see the
+    /// [`HierarchyConfig`] builder methods.
+    pub hierarchy: HierarchyConfig,
 }
 
 impl CacheSpec {
@@ -61,6 +67,7 @@ impl CacheSpec {
             private_replacement: ReplacementKind::Lru,
             shared_replacement: ReplacementKind::Lru,
             freq_ghz: 2.0,
+            hierarchy: HierarchyConfig::default(),
         }
     }
 
@@ -78,23 +85,33 @@ impl CacheSpec {
         Self::skylake_sp(22, 4)
     }
 
+    /// Ice Lake-SP with a configurable number of LLC/SF slices and cores.
+    ///
+    /// Parameters follow Table 2: L1 48 kB/12-way, L2 1.25 MB/20-way/1,024
+    /// sets, LLC slice 1.5 MB/12-way/2,048 sets, SF slice 16-way/2,048 sets.
+    #[cfg(feature = "icelake")]
+    pub fn ice_lake_sp_with(num_slices: usize, cores: usize) -> Self {
+        let llc_slice = CacheGeometry::new(2048, 12);
+        let sf_slice = CacheGeometry::new(2048, 16);
+        Self {
+            name: format!("Ice Lake-SP ({num_slices} slices)"),
+            cores,
+            l1: CacheGeometry::new(64, 12),
+            l2: CacheGeometry::new(1024, 20),
+            llc: SlicedGeometry::new(llc_slice, num_slices),
+            sf: SlicedGeometry::new(sf_slice, num_slices),
+            private_replacement: ReplacementKind::Lru,
+            shared_replacement: ReplacementKind::Lru,
+            freq_ghz: 2.2,
+            hierarchy: HierarchyConfig::default(),
+        }
+    }
+
     /// Ice Lake-SP (Xeon Gold 5320, 26 slices): 16-way SF and 20-way L2,
     /// used in Section 5.3.2 to study associativity sensitivity.
     #[cfg(feature = "icelake")]
     pub fn ice_lake_sp() -> Self {
-        let llc_slice = CacheGeometry::new(2048, 12);
-        let sf_slice = CacheGeometry::new(2048, 16);
-        Self {
-            name: "Ice Lake-SP (26 slices)".to_string(),
-            cores: 4,
-            l1: CacheGeometry::new(64, 12),
-            l2: CacheGeometry::new(1024, 20),
-            llc: SlicedGeometry::new(llc_slice, 26),
-            sf: SlicedGeometry::new(sf_slice, 26),
-            private_replacement: ReplacementKind::Lru,
-            shared_replacement: ReplacementKind::Lru,
-            freq_ghz: 2.2,
-        }
+        Self::ice_lake_sp_with(26, 4)
     }
 
     /// A deliberately small hierarchy for fast unit tests: 2 slices, 16-set
@@ -110,6 +127,7 @@ impl CacheSpec {
             private_replacement: ReplacementKind::Lru,
             shared_replacement: ReplacementKind::Lru,
             freq_ghz: 2.0,
+            hierarchy: HierarchyConfig::default(),
         }
     }
 
@@ -155,6 +173,37 @@ mod tests {
         let spec = CacheSpec::skylake_sp_local();
         assert_eq!(spec.page_offset_sets(), 704);
         assert_eq!(spec.whole_system_sets(), 45_056);
+    }
+
+    #[test]
+    #[cfg(feature = "icelake")]
+    fn ice_lake_matches_paper_counts() {
+        let spec = CacheSpec::ice_lake_sp();
+        assert_eq!(spec.cores, 4);
+        assert_eq!(spec.llc.num_slices(), 26);
+        // 2^5 uncontrolled index bits per 2,048-set slice x 26 slices.
+        assert_eq!(spec.page_offset_sets(), 832);
+        assert_eq!(spec.whole_system_sets(), 53_248);
+        assert_eq!(spec.l2.uncertainty(), 16);
+        assert_eq!(spec.sf.ways(), 16);
+        assert_eq!(spec.llc.ways(), 12);
+        assert_eq!(spec.l2.ways(), 20);
+    }
+
+    #[test]
+    #[cfg(feature = "icelake")]
+    fn ice_lake_parameterised_constructor_scales() {
+        let spec = CacheSpec::ice_lake_sp_with(13, 8);
+        assert_eq!(spec.cores, 8);
+        assert_eq!(spec.llc.num_slices(), 13);
+        assert_eq!(spec.sf.num_slices(), 13);
+        assert_eq!(spec.page_offset_sets(), 416);
+        assert_eq!(spec.name, "Ice Lake-SP (13 slices)");
+        // The named preset is exactly the (26, 4) instantiation.
+        assert_eq!(
+            CacheSpec::ice_lake_sp_with(26, 4).name,
+            CacheSpec::ice_lake_sp().name
+        );
     }
 
     #[test]

@@ -104,6 +104,30 @@ fn nibble_lt_mask(x: u64, val: u64) -> u64 {
 }
 
 impl ReplacementKind {
+    /// Parses a CLI/env spelling (`lru`, `tree-plru`, `qlru`, `srrip`,
+    /// `random`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "lru" => Some(Self::Lru),
+            "tree-plru" | "treeplru" | "plru" => Some(Self::TreePlru),
+            "qlru" => Some(Self::Qlru),
+            "srrip" => Some(Self::Srrip),
+            "random" | "rand" => Some(Self::Random),
+            _ => None,
+        }
+    }
+
+    /// Canonical spelling, accepted by [`Self::parse`].
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Lru => "lru",
+            Self::TreePlru => "tree-plru",
+            Self::Qlru => "qlru",
+            Self::Srrip => "srrip",
+            Self::Random => "random",
+        }
+    }
+
     /// Whether this policy draws from a per-set RNG stream ([`Self::Random`]).
     ///
     /// Cache structures only allocate their per-set `SmallRng` arena when

@@ -1,0 +1,113 @@
+//! Inclusion-property suites for the configurable hierarchy: the inclusive
+//! policy's superset invariant and the exclusive policy's disjointness
+//! invariant, fuzzed over the same adversarial op streams as the
+//! non-inclusive coherence suite (reads, writes, flushes, background noise,
+//! replacement-state priming).
+//!
+//! The non-inclusive default needs no suite here: its behaviour is pinned
+//! bit-exactly by the golden smoke reports in `llc-bench` plus
+//! `tests/coherence_props.rs`.
+
+use llc_cache_model::{
+    AccessKind, CacheSpec, Hierarchy, InclusionPolicy, LineAddr,
+};
+use proptest::prelude::*;
+
+/// Same congruence-heavy pool as the coherence suite: 64 shared sets and 8
+/// L1 sets under 256 lines.
+const LINES: u64 = 256;
+
+fn hierarchy(policy: InclusionPolicy, seed: u64) -> Hierarchy {
+    Hierarchy::new(CacheSpec::tiny_test().with_inclusion(policy), seed)
+}
+
+fn apply(h: &mut Hierarchy, op: usize, core: usize, n: u64) {
+    let line = LineAddr::from_line_number(n);
+    match op {
+        0..=2 => {
+            h.access(core, line, AccessKind::Read);
+        }
+        3..=5 => {
+            h.access(core, line, AccessKind::Write);
+        }
+        6 => h.clflush(line),
+        7 => {
+            let loc = h.shared_location(line);
+            h.noise_access(loc, true);
+        }
+        8 => {
+            let loc = h.shared_location(line);
+            h.noise_access(loc, false);
+        }
+        _ => h.prime_as_victim(line),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inclusive: the LLC is a superset of every private cache — any line
+    /// resident in some L1 or L2 must also be LLC-resident — and the snoop
+    /// filter is never used (the LLC's own back-invalidation is the
+    /// directory).
+    #[test]
+    fn inclusive_llc_is_a_superset(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0usize..10, 0usize..3, 0u64..LINES), 0..160),
+    ) {
+        let mut h = hierarchy(InclusionPolicy::Inclusive, seed);
+        for &(op, core, n) in &ops {
+            apply(&mut h, op, core, n);
+        }
+        for n in 0..LINES {
+            let line = LineAddr::from_line_number(n);
+            prop_assert!(!h.in_sf(line), "inclusive hierarchy allocated an SF entry for line {}", n);
+            for core in 0..h.cores() {
+                if h.in_l1(core, line) || h.in_l2(core, line) {
+                    prop_assert!(
+                        h.in_llc(line),
+                        "line {} is private on core {} but not LLC-resident (inclusion violated)",
+                        n, core
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exclusive: the LLC is a victim cache — no line is ever in a private
+    /// cache and the LLC at the same time — every private copy is tracked
+    /// by the directory (SF), and the shared structures stay disjoint.
+    #[test]
+    fn exclusive_llc_and_private_are_disjoint(
+        seed in any::<u64>(),
+        ops in prop::collection::vec((0usize..10, 0usize..3, 0u64..LINES), 0..160),
+    ) {
+        let mut h = hierarchy(InclusionPolicy::Exclusive, seed);
+        for &(op, core, n) in &ops {
+            apply(&mut h, op, core, n);
+        }
+        for n in 0..LINES {
+            let line = LineAddr::from_line_number(n);
+            prop_assert!(
+                !(h.in_llc(line) && h.in_sf(line)),
+                "line {} is in both the LLC and the directory", n
+            );
+            for core in 0..h.cores() {
+                let private = h.in_l1(core, line) || h.in_l2(core, line);
+                if private {
+                    prop_assert!(
+                        !h.in_llc(line),
+                        "line {} is private on core {} and LLC-resident (exclusivity violated)",
+                        n, core
+                    );
+                }
+                if h.in_l2(core, line) {
+                    prop_assert!(
+                        h.in_sf(line),
+                        "L2-resident line {} on core {} is not directory-tracked", n, core
+                    );
+                }
+            }
+        }
+    }
+}

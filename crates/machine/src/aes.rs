@@ -1,0 +1,271 @@
+//! An AES T-table victim: the second victim service beyond ECDSA, with
+//! *data*-dependent rather than code-dependent leakage.
+//!
+//! The service encrypts one random 16-byte plaintext per request with a
+//! classic T-table AES implementation. Only the first round is modelled,
+//! which is all a first-round Prime+Probe attack uses: state byte `i` indexes
+//! table `T[i mod 4]` with `p[i] ^ k[i]`, so the *cache line* of the lookup —
+//! entry `(p[i] ^ k[i]) >> 4` with 16 four-byte entries per 64-byte line —
+//! depends on the upper nibble of the key byte. An attacker monitoring the
+//! set of one table line learns, per request, whether that line was touched;
+//! correlating detections against the known plaintexts recovers the upper
+//! nibble of every key byte that indexes the monitored table.
+//!
+//! The schedule is the victim's memory footprint only (the attack never sees
+//! plaintext-dependent *timing* of the victim itself): per request, a
+//! request-parsing phase, the sixteen first-round lookups at a fixed cadence,
+//! and a serialisation phase.
+
+use crate::schedule::{ScheduledAccess, VictimProgram, VictimSchedule};
+use llc_cache_model::{AddressSpace, VirtAddr, LINE_SIZE};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex};
+
+/// Bytes per T-table (256 four-byte entries).
+pub const TABLE_BYTES: u64 = 1024;
+/// T-table entries per cache line (64 / 4).
+pub const ENTRIES_PER_LINE: u8 = 16;
+/// Cache lines per T-table.
+pub const LINES_PER_TABLE: u8 = (TABLE_BYTES / LINE_SIZE) as u8;
+
+/// Virtual-address layout of the victim's four T-tables, fixed at container
+/// start-up. All four tables share one page (their usual `.rodata` layout),
+/// so the attacker knows every table line's page offset from the public
+/// binary.
+#[derive(Debug, Clone, Copy)]
+pub struct AesLayout {
+    /// Base of the page holding `T0..T3` back-to-back.
+    pub tables: VirtAddr,
+}
+
+impl AesLayout {
+    /// The address of cache line `line` of table `table`.
+    pub fn table_line(&self, table: usize, line: u8) -> VirtAddr {
+        assert!(table < 4 && line < LINES_PER_TABLE);
+        self.tables.offset(table as u64 * TABLE_BYTES + line as u64 * LINE_SIZE)
+    }
+
+    /// The line a first-round lookup of state byte `i` touches for plaintext
+    /// byte `p` under key byte `k`.
+    pub fn lookup_line(i: usize, p: u8, k: u8) -> u8 {
+        let _ = i;
+        (p ^ k) >> 4
+    }
+}
+
+/// Ground truth shared with the experiment harness: the layout (public
+/// knowledge) and the plaintext of every served request (known-plaintext
+/// attack, as in first-round AES Prime+Probe).
+#[derive(Debug, Default)]
+pub struct AesLog {
+    /// Populated during `setup`.
+    pub layout: Option<AesLayout>,
+    /// One plaintext per served request, in order.
+    pub plaintexts: Vec<[u8; 16]>,
+}
+
+/// Handle to the shared AES victim log.
+pub type AesHandle = Arc<Mutex<AesLog>>;
+
+/// Configuration of the AES T-table victim service.
+#[derive(Debug, Clone)]
+pub struct AesTTableConfig {
+    /// The service's secret AES-128 key.
+    pub key: [u8; 16],
+    /// Cycles between consecutive first-round lookups.
+    pub access_gap: u64,
+    /// Cycles of request parsing before the lookups.
+    pub pre_cycles: u64,
+    /// Cycles of response serialisation after the lookups.
+    pub post_cycles: u64,
+    /// RNG seed for the plaintext stream.
+    pub seed: u64,
+}
+
+impl Default for AesTTableConfig {
+    fn default() -> Self {
+        Self {
+            // The FIPS-197 appendix key; any fixed key works, this one makes
+            // the goldens self-describing.
+            key: [
+                0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09,
+                0xcf, 0x4f, 0x3c,
+            ],
+            access_gap: 1_500,
+            pre_cycles: 40_000,
+            post_cycles: 20_000,
+            seed: 0xAE5,
+        }
+    }
+}
+
+impl AesTTableConfig {
+    /// Total duration of one request in cycles.
+    pub fn request_cycles(&self) -> u64 {
+        self.pre_cycles + 16 * self.access_gap + self.post_cycles
+    }
+
+    /// Start (relative to the request) of the first-round lookup phase.
+    pub fn lookup_start(&self) -> u64 {
+        self.pre_cycles
+    }
+
+    /// End (relative to the request) of the first-round lookup phase.
+    pub fn lookup_end(&self) -> u64 {
+        self.pre_cycles + 16 * self.access_gap
+    }
+}
+
+/// The AES T-table victim service.
+#[derive(Debug)]
+pub struct AesTTableVictim {
+    config: AesTTableConfig,
+    rng: StdRng,
+    layout: Option<AesLayout>,
+    frontend_lines: Vec<VirtAddr>,
+    log: AesHandle,
+}
+
+impl AesTTableVictim {
+    /// Creates the victim service and the shared log handle.
+    pub fn new(config: AesTTableConfig) -> (Self, AesHandle) {
+        let log: AesHandle = Arc::new(Mutex::new(AesLog::default()));
+        let victim = Self {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            layout: None,
+            frontend_lines: Vec::new(),
+            log: Arc::clone(&log),
+        };
+        (victim, log)
+    }
+
+    /// The victim's configuration.
+    pub fn config(&self) -> &AesTTableConfig {
+        &self.config
+    }
+}
+
+impl VictimProgram for AesTTableVictim {
+    fn setup(&mut self, aspace: &mut AddressSpace) {
+        let tables = aspace.allocate_pages(1);
+        let frontend = aspace.allocate_pages(1);
+        let layout = AesLayout { tables };
+        self.layout = Some(layout);
+        self.frontend_lines = (0..8).map(|i| frontend.offset(i * 8 * LINE_SIZE)).collect();
+        self.log.lock().expect("AES victim log poisoned").layout = Some(layout);
+    }
+
+    fn on_request(&mut self) -> VictimSchedule {
+        let layout = self.layout.expect("setup must run before requests");
+        let plaintext: [u8; 16] = self.rng.gen();
+        let key = self.config.key;
+        let mut accesses: Vec<ScheduledAccess> = Vec::with_capacity(16 + 8);
+
+        // Request parsing touches front-end lines (never the tables).
+        let mut t = 0u64;
+        while t < self.config.pre_cycles {
+            let line = self.frontend_lines[(t as usize / 769) % self.frontend_lines.len()];
+            accesses.push(ScheduledAccess { offset: t, va: line });
+            t += 10_000;
+        }
+
+        // First round: byte i looks up T[i mod 4] at index p[i] ^ k[i].
+        for (i, (&p, &k)) in plaintext.iter().zip(&key).enumerate() {
+            let line = AesLayout::lookup_line(i, p, k);
+            accesses.push(ScheduledAccess {
+                offset: self.config.lookup_start() + i as u64 * self.config.access_gap,
+                va: layout.table_line(i % 4, line),
+            });
+        }
+
+        // Response serialisation.
+        let post_start = self.config.lookup_end();
+        let mut t = post_start;
+        while t < post_start + self.config.post_cycles {
+            let line = self.frontend_lines[(t as usize / 1_031) % self.frontend_lines.len()];
+            accesses.push(ScheduledAccess { offset: t, va: line });
+            t += 10_000;
+        }
+
+        self.log.lock().expect("AES victim log poisoned").plaintexts.push(plaintext);
+        VictimSchedule::new(accesses, self.config.request_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_victim(config: AesTTableConfig) -> (AesTTableVictim, AesHandle, AesLayout) {
+        let (mut victim, log) = AesTTableVictim::new(config);
+        let mut aspace = AddressSpace::with_seed(11);
+        victim.setup(&mut aspace);
+        let layout = log.lock().unwrap().layout.expect("layout set by setup");
+        (victim, log, layout)
+    }
+
+    #[test]
+    fn tables_pack_into_one_page() {
+        let (_victim, _log, layout) = setup_victim(AesTTableConfig::default());
+        assert_eq!(layout.table_line(0, 0), layout.tables);
+        assert_eq!(layout.table_line(0, 0).page_offset(), 0);
+        assert_eq!(layout.table_line(3, 15).page_offset(), 3 * TABLE_BYTES + 15 * LINE_SIZE);
+        // 4 tables x 16 lines of 64 B exactly fill the 4 kB page.
+        assert_eq!(4 * TABLE_BYTES, 4096);
+    }
+
+    #[test]
+    fn schedule_touches_the_key_dependent_lines() {
+        let (mut victim, log, layout) = setup_victim(AesTTableConfig::default());
+        let schedule = victim.on_request();
+        let p = *log.lock().unwrap().plaintexts.last().expect("plaintext recorded");
+        let key = victim.config().key;
+        let lookup_start = victim.config().lookup_start();
+        for i in 0..16 {
+            let expected = layout.table_line(i % 4, (p[i] ^ key[i]) >> 4);
+            let at = lookup_start + i as u64 * victim.config().access_gap;
+            assert!(
+                schedule.accesses().iter().any(|a| a.offset == at && a.va == expected),
+                "byte {i} must touch its first-round line at its slot"
+            );
+        }
+        assert_eq!(schedule.duration(), victim.config().request_cycles());
+    }
+
+    #[test]
+    fn parsing_phases_never_touch_the_tables() {
+        let (mut victim, _log, layout) = setup_victim(AesTTableConfig::default());
+        let schedule = victim.on_request();
+        let (start, end) = (victim.config().lookup_start(), victim.config().lookup_end());
+        for a in schedule.accesses() {
+            let in_tables = a.va.page_base() == layout.tables.page_base();
+            if in_tables {
+                assert!((start..end).contains(&a.offset), "table access outside lookup phase");
+            } else {
+                assert!(!(start..end).contains(&a.offset), "non-table access inside lookup phase");
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_plaintext_per_request() {
+        let (mut victim, log, _layout) = setup_victim(AesTTableConfig::default());
+        let _ = victim.on_request();
+        let _ = victim.on_request();
+        let log = log.lock().unwrap();
+        assert_eq!(log.plaintexts.len(), 2);
+        assert_ne!(log.plaintexts[0], log.plaintexts[1]);
+    }
+
+    #[test]
+    fn lookup_line_depends_on_the_upper_nibble_only() {
+        assert_eq!(AesLayout::lookup_line(0, 0x2b, 0x2b), 0);
+        assert_eq!(AesLayout::lookup_line(0, 0x20, 0x2f), 0);
+        assert_eq!(AesLayout::lookup_line(0, 0x00, 0xf0), 15);
+        for low in 0..16u8 {
+            assert_eq!(AesLayout::lookup_line(0, 0x50 | low, 0x00), 5);
+        }
+    }
+}

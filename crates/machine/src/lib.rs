@@ -40,11 +40,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod aes;
 mod latency;
 mod machine;
 mod noise;
 mod schedule;
 
+pub use aes::{
+    AesHandle, AesLayout, AesLog, AesTTableConfig, AesTTableVictim, ENTRIES_PER_LINE,
+    LINES_PER_TABLE, TABLE_BYTES,
+};
 pub use latency::LatencyModel;
 pub use machine::{Machine, MachineBuilder, MachineSnapshot, MachineStats, TraversalPlan};
 pub use noise::{

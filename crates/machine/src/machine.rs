@@ -112,10 +112,15 @@ impl MachineBuilder {
         let num_slices = self.spec.llc.num_slices();
         let mut hierarchy = Hierarchy::new(self.spec.clone(), self.seed);
         hierarchy.set_options(self.hierarchy_options);
+        let mut noise = NoiseProcess::with_config(self.noise, sets_per_slice, num_slices);
+        // The reuse predictor forces `Hierarchy::noise_advance_bulk` onto
+        // per-event dispatch, so an Aggregate configuration effectively runs
+        // Exact; record that so reports can label the run truthfully.
+        noise.set_per_event_fallback(self.hierarchy_options.reuse_insert_probability > 0.0);
         Machine {
             hierarchy,
             latency: self.latency,
-            noise: NoiseProcess::with_config(self.noise, sets_per_slice, num_slices),
+            noise,
             clock: 0,
             rng: StdRng::seed_from_u64(self.seed ^ 0x6d61_6368),
             attacker_aspace: AddressSpace::with_seed(self.seed ^ 0xa77a),
@@ -346,6 +351,14 @@ impl Machine {
     /// The noise fidelity in force (see [`NoiseFidelity`]).
     pub fn noise_fidelity(&self) -> NoiseFidelity {
         self.noise.fidelity()
+    }
+
+    /// The noise fidelity the simulation *actually runs at*: an `Aggregate`
+    /// configuration degrades to exact per-event dispatch when the
+    /// hierarchy's reuse predictor is active (see
+    /// [`NoiseProcess::effective_fidelity`]). Report headers print this.
+    pub fn effective_noise_fidelity(&self) -> NoiseFidelity {
+        self.noise.effective_fidelity()
     }
 
     /// Simulation work counters.
@@ -888,6 +901,34 @@ mod tests {
             .noise(NoiseModel::silent())
             .seed(3)
             .build()
+    }
+
+    /// Aggregate fidelity + an active reuse predictor runs per-event in the
+    /// hierarchy, and the machine must report that as an effectively exact
+    /// run (the bench layer prints this in report headers).
+    #[test]
+    fn reuse_predictor_degrades_effective_fidelity() {
+        let aggregate = |reuse: f64| {
+            Machine::builder(CacheSpec::tiny_test())
+                .noise(NoiseModel::cloud_run())
+                .noise_fidelity(NoiseFidelity::Aggregate)
+                .hierarchy_options(HierarchyOptions { reuse_insert_probability: reuse })
+                .seed(3)
+                .build()
+        };
+        let clean = aggregate(0.0);
+        assert_eq!(clean.noise_fidelity(), NoiseFidelity::Aggregate);
+        assert_eq!(clean.effective_noise_fidelity(), NoiseFidelity::Aggregate);
+
+        let degraded = aggregate(0.3);
+        assert_eq!(degraded.noise_fidelity(), NoiseFidelity::Aggregate);
+        assert_eq!(degraded.effective_noise_fidelity(), NoiseFidelity::Exact);
+
+        // The flag survives the snapshot/rewind cycle every fleet trial uses.
+        let snapshot = degraded.snapshot();
+        let mut rewound = snapshot.to_machine();
+        rewound.reset_to(&snapshot);
+        assert_eq!(rewound.effective_noise_fidelity(), NoiseFidelity::Exact);
     }
 
     #[test]

@@ -245,6 +245,12 @@ pub struct NoiseProcess {
     /// insertions are fully masked by newer ones, so this only needs to cover
     /// a few times the associativity.
     max_burst: u32,
+    /// True when the hierarchy this process feeds dispatches aggregate
+    /// advances per event anyway (the reuse-predictor fallback of
+    /// `Hierarchy::noise_advance_bulk`), in which case the *effective*
+    /// fidelity of an `Aggregate` configuration is `Exact`. Set by the
+    /// machine layer at build time; see [`NoiseProcess::effective_fidelity`].
+    per_event_fallback: bool,
     /// Reusable event buffer filled by [`NoiseProcess::catch_up`]. Its
     /// contents are dead between calls; it exists only so the hot path does
     /// not allocate. Capacity converges to `max_burst` and stays there.
@@ -263,6 +269,7 @@ impl Clone for NoiseProcess {
             last_sync: self.last_sync.clone(),
             sets_per_slice: self.sets_per_slice,
             max_burst: self.max_burst,
+            per_event_fallback: self.per_event_fallback,
             scratch: Vec::new(),
         }
     }
@@ -302,6 +309,7 @@ impl NoiseProcess {
             last_sync: vec![NEVER_SYNCED; sets_per_slice * num_slices],
             sets_per_slice,
             max_burst: 96,
+            per_event_fallback: false,
             scratch: Vec::new(),
         }
     }
@@ -323,6 +331,30 @@ impl NoiseProcess {
         self.initial_sync
     }
 
+    /// Records whether the consuming hierarchy degrades aggregate advances
+    /// to per-event dispatch (e.g. its reuse predictor is active, which
+    /// forces `Hierarchy::noise_advance_bulk` onto the exact per-event
+    /// path).
+    pub fn set_per_event_fallback(&mut self, fallback: bool) {
+        self.per_event_fallback = fallback;
+    }
+
+    /// The fidelity the simulation *actually runs at*.
+    ///
+    /// `NoiseFidelity::Aggregate` silently degrades to per-event dispatch
+    /// when the hierarchy's reuse predictor is enabled — the bulk
+    /// evict-and-fill transition cannot reproduce the predictor's mid-burst
+    /// SF→LLC re-insertions, so `Hierarchy::noise_advance_bulk` replays
+    /// events one by one. Report headers must print this value rather than
+    /// [`NoiseProcess::fidelity`], otherwise such runs are mislabelled as
+    /// aggregate.
+    pub fn effective_fidelity(&self) -> NoiseFidelity {
+        match self.fidelity {
+            NoiseFidelity::Aggregate if self.per_event_fallback => NoiseFidelity::Exact,
+            configured => configured,
+        }
+    }
+
     /// Copies `source`'s state into `self` in place, reusing the
     /// synchronisation vector's allocation (hot path of machine restores).
     /// The event scratch buffer is per-machine transient state and keeps
@@ -334,6 +366,7 @@ impl NoiseProcess {
         self.last_sync.clone_from(&source.last_sync);
         self.sets_per_slice = source.sets_per_slice;
         self.max_burst = source.max_burst;
+        self.per_event_fallback = source.per_event_fallback;
     }
 
     /// Flat `last_sync` index of `loc`. The vector covers the whole slice
@@ -775,6 +808,30 @@ mod tests {
         assert_eq!(q.fidelity(), NoiseFidelity::Aggregate);
         assert_eq!(q.initial_sync(), InitialSync::Warmup(1234));
         assert_eq!(q.model(), p.model());
+    }
+
+    /// The per-event fallback downgrades the *effective* fidelity of an
+    /// aggregate configuration (never of an exact one), and the flag
+    /// survives clone + restore_from so snapshot rewinds keep reporting
+    /// truthfully.
+    #[test]
+    fn effective_fidelity_reports_per_event_fallback() {
+        let cfg = NoiseConfig::aggregate(NoiseModel::cloud_run());
+        let mut p = NoiseProcess::with_config(cfg, 64, 2);
+        assert_eq!(p.effective_fidelity(), NoiseFidelity::Aggregate);
+        p.set_per_event_fallback(true);
+        assert_eq!(p.fidelity(), NoiseFidelity::Aggregate, "configured fidelity is unchanged");
+        assert_eq!(p.effective_fidelity(), NoiseFidelity::Exact);
+
+        let c = p.clone();
+        assert_eq!(c.effective_fidelity(), NoiseFidelity::Exact);
+        let mut q = NoiseProcess::new(NoiseModel::silent(), 64, 2);
+        q.restore_from(&p);
+        assert_eq!(q.effective_fidelity(), NoiseFidelity::Exact);
+
+        let mut exact = NoiseProcess::new(NoiseModel::cloud_run(), 64, 2);
+        exact.set_per_event_fallback(true);
+        assert_eq!(exact.effective_fidelity(), NoiseFidelity::Exact);
     }
 
     #[test]
