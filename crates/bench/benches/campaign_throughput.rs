@@ -1,0 +1,153 @@
+//! Criterion bench behind the campaign layer's headline claim: streaming a
+//! multi-cell sweep through one machine pool sustains ≥1.5× the trial
+//! throughput of the naive per-cell loop.
+//!
+//! Both arms run the identical trial body (snapshot rewind + reseed + a
+//! short probe burst) over the same 12-cell × 4-trial grid on the 2-slice
+//! Skylake-SP host. The naive arm is what every experiment binary did
+//! before the pool existed: build one machine per cell, then rewind it per
+//! trial — paying the ~2.3–2.7× build-vs-reset premium (see
+//! `fleet_snapshot`) once per cell. The campaign arm streams the same
+//! trials through `llc-campaign` with a pooled source, so the whole grid
+//! shares one built machine — and it *additionally* pays for checkpointing
+//! (chunk records, JSONL appends, fsyncless flushes) and still comes out
+//! ahead. `<ratio of the two medians>` is the pinned speed-up.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use llc_bench::experiments::trial_streams;
+use llc_campaign::{
+    Campaign, CampaignSpec, CellSpec, Fleet, RunOptions, TrialCtx, TrialOutcome, TrialSource,
+};
+use llc_cache_model::{CacheSpec, VirtAddr};
+use llc_fleet::stream_seed;
+use llc_machine::{Machine, MachinePool, NoiseModel, PooledMachine};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const CELLS: usize = 12;
+const TRIALS_PER_CELL: u64 = 4;
+const MASTER_SEED: u64 = 0xbe9c_0008;
+
+fn host() -> CacheSpec {
+    CacheSpec::skylake_sp(2, 4)
+}
+
+fn build_machine(spec: &CacheSpec, build_seed: u64) -> Machine {
+    Machine::builder(spec.clone())
+        .noise(NoiseModel::quiescent_local())
+        .seed(build_seed)
+        .build()
+}
+
+/// The shared trial body: rewound machine, per-trial streams, short probe
+/// burst. Identical in both arms so only machine acquisition differs.
+fn probe_burst(machine: &mut Machine, ctx: &TrialCtx) -> TrialOutcome {
+    machine.reseed(ctx.stream(trial_streams::NOISE));
+    let base = machine.alloc_attacker_pages(1);
+    let sum: u64 =
+        (0..16).map(|i| machine.timed_access(VirtAddr::new(base.raw() + i * 64)).0).sum();
+    TrialOutcome { success: true, metrics: vec![sum] }
+}
+
+/// Campaign arm: every cell shares one machine configuration, so the pool
+/// builds exactly once per worker.
+struct PooledBurst {
+    spec: CacheSpec,
+    build_seed: u64,
+    pool: Arc<MachinePool>,
+    key: u64,
+}
+
+impl TrialSource for PooledBurst {
+    type Worker = Option<PooledMachine>;
+    type Item = TrialOutcome;
+
+    fn init(&self, _worker: usize) -> Option<PooledMachine> {
+        None
+    }
+
+    fn run_trial(&self, held: &mut Option<PooledMachine>, _cell: usize, ctx: TrialCtx) -> TrialOutcome {
+        if held.is_none() {
+            *held = Some(self.pool.acquire(self.key, || build_machine(&self.spec, self.build_seed)));
+        }
+        let machine = held.as_mut().expect("machine just acquired");
+        machine.reset();
+        probe_burst(machine, &ctx)
+    }
+}
+
+fn campaign_spec() -> CampaignSpec {
+    CampaignSpec {
+        name: "campaign-throughput".into(),
+        master_seed: MASTER_SEED,
+        chunk_trials: 8,
+        metrics: vec!["latency_sum".into()],
+        cells: (0..CELLS)
+            .map(|i| CellSpec { id: format!("cell{i}"), trials: TRIALS_PER_CELL })
+            .collect(),
+    }
+}
+
+fn fresh_dir() -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "llc-campaign-bench-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let spec = host();
+    let build_seed = stream_seed(MASTER_SEED, trial_streams::MACHINE);
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+
+    // Naive per-cell loop: one fresh build + snapshot per cell, rewind per
+    // trial — the pre-campaign experiment-loop shape.
+    group.bench_function("naive_per_cell_48_trials", |b| {
+        b.iter(|| {
+            let camp = campaign_spec();
+            let mut total = 0u64;
+            for (cell, spec_cell) in camp.cells.iter().enumerate() {
+                let snapshot = build_machine(&spec, build_seed).snapshot();
+                let mut machine = snapshot.to_machine();
+                for t in 0..spec_cell.trials {
+                    machine.reset_to(&snapshot);
+                    let ctx = TrialCtx::derive(
+                        camp.cell_master(cell),
+                        t as usize,
+                        spec_cell.trials as usize,
+                    );
+                    total += probe_burst(&mut machine, &ctx).metrics[0];
+                }
+            }
+            total
+        });
+    });
+
+    // Campaign arm: same grid, same trial body, streamed through the
+    // checkpointing engine with one pooled machine — checkpoint I/O and all.
+    group.bench_function("campaign_pooled_48_trials", |b| {
+        b.iter(|| {
+            let source = PooledBurst {
+                spec: spec.clone(),
+                build_seed,
+                pool: MachinePool::new(),
+                key: 1,
+            };
+            let dir = fresh_dir();
+            let report = Campaign::new(campaign_spec(), &dir)
+                .run(&Fleet::single(), &source, &RunOptions::default())
+                .expect("bench campaign runs");
+            let _ = std::fs::remove_dir_all(&dir);
+            assert!(report.complete);
+            report.aggregates.iter().map(|a| a.metrics[0].sum).sum::<u128>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

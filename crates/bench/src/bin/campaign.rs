@@ -1,0 +1,129 @@
+//! The resumable sweep driver: runs a named campaign preset through the
+//! `llc-campaign` streaming engine.
+//!
+//! ```text
+//! campaign --preset table3-sweep [--dir DIR] [--threads N] [--smoke]
+//!          [--max-chunks K] [<shared RunOpts flags>]
+//! ```
+//!
+//! Progress goes to stderr; the consolidated report goes to stdout **only
+//! when the campaign is complete**, and is a pure function of the campaign
+//! identity and its final aggregates. Killing a campaign (or bounding it
+//! with `--max-chunks`) and re-running the same command resumes from the
+//! checkpoint directory and prints the byte-identical report — CI diffs
+//! exactly that against the golden file.
+
+use llc_bench::sweeps::{build_preset, render_report, PRESETS};
+use llc_bench::RunOpts;
+use llc_campaign::{Campaign, RunOptions};
+use std::path::PathBuf;
+
+struct Args {
+    preset: String,
+    dir: Option<PathBuf>,
+    max_chunks: Option<u64>,
+    opts: RunOpts,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign --preset {} [--dir DIR] [--max-chunks K] \
+         [--threads N] [--smoke] [--noise-fidelity exact|aggregate]",
+        PRESETS.join("|")
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut preset = None;
+    let mut dir = None;
+    let mut max_chunks = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        let mut take = |flag: &str| -> Option<String> {
+            if let Some(v) = arg.strip_prefix(&format!("{flag}=")) {
+                Some(v.to_string())
+            } else if arg == flag {
+                Some(iter.next().unwrap_or_else(|| usage()))
+            } else {
+                None
+            }
+        };
+        if let Some(v) = take("--preset") {
+            preset = Some(v);
+        } else if let Some(v) = take("--dir") {
+            dir = Some(PathBuf::from(v));
+        } else if let Some(v) = take("--max-chunks") {
+            match v.parse::<u64>() {
+                Ok(k) => max_chunks = Some(k),
+                Err(_) => {
+                    eprintln!("--max-chunks expects a non-negative integer, got {v:?}");
+                    usage();
+                }
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    let opts = match RunOpts::from_args(&rest) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            eprintln!("{msg}");
+            usage();
+        }
+    };
+    let Some(preset) = preset else {
+        eprintln!("--preset is required");
+        usage();
+    };
+    Args { preset, dir, max_chunks, opts }
+}
+
+fn main() {
+    let args = parse_args();
+    let Some(preset) = build_preset(&args.preset, &args.opts) else {
+        eprintln!("unknown preset {:?}; available: {}", args.preset, PRESETS.join(", "));
+        std::process::exit(2);
+    };
+    let dir = args
+        .dir
+        .unwrap_or_else(|| PathBuf::from("target/campaigns").join(&preset.spec.name));
+    let fleet = args.opts.fleet();
+    let campaign = Campaign::new(preset.spec.clone(), &dir);
+
+    eprintln!(
+        "campaign '{}': {} cells, {} trials, checkpoints in {}",
+        preset.spec.name,
+        preset.spec.cells.len(),
+        preset.spec.grid().total(),
+        dir.display()
+    );
+    let report =
+        match campaign.run(&fleet, &preset.source, &RunOptions { max_chunks: args.max_chunks }) {
+            Ok(report) => report,
+            Err(err) => {
+                eprintln!("error: {err}");
+                eprintln!("(hint: a mismatched or damaged checkpoint directory is never merged; \
+                           point --dir elsewhere or delete it)");
+                std::process::exit(1);
+            }
+        };
+
+    let stats = preset.source.pool().stats();
+    eprintln!(
+        "chunks: {}/{} recorded ({} resumed, {} run now{}); machines: {} built, {} checkouts",
+        report.chunks_resumed + report.chunks_run,
+        report.chunks_total,
+        report.chunks_resumed,
+        report.chunks_run,
+        if report.recovered_tail { ", torn tail re-run" } else { "" },
+        stats.builds,
+        stats.acquisitions,
+    );
+    if report.complete {
+        print!("{}", render_report(&preset.spec, preset.source.cells(), &report.aggregates));
+    } else {
+        eprintln!("campaign incomplete; re-run the same command to resume");
+    }
+}

@@ -5,7 +5,7 @@
 //! Construction trials run through the `llc-fleet` executor
 //! (`--threads`/`LLC_THREADS`); `--smoke` pins slices and trial counts.
 
-use llc_bench::experiments::{measure_single_set, Environment};
+use llc_bench::experiments::{measure_single_set, measure_single_set_pooled, Environment};
 use llc_bench::{pct, RunOpts};
 use llc_cache_model::CacheSpec;
 use llc_core::Algorithm;
@@ -27,6 +27,9 @@ fn main() {
     ];
     let algorithms = [Algorithm::Gt, Algorithm::GtOp, Algorithm::BinS];
     let fleet = opts.fleet();
+    // Multi-threaded runs share machines across the three algorithms of
+    // each row through the pool; output stays byte-identical.
+    let pool = (opts.threads > 1).then(llc_machine::MachinePool::new);
 
     println!("Section 5.3.2 — associativity sensitivity (quiescent local, {trials} trials)");
     println!(
@@ -37,17 +40,31 @@ fn main() {
     let mut gtop_time = [0.0f64; 2];
     for (idx, (name, spec)) in machines.iter().enumerate() {
         for algo in algorithms {
-            let s = measure_single_set(
-                spec,
-                Environment::QuiescentLocal,
-                opts.fidelity,
-                opts.hierarchy_options(),
-                algo,
-                true,
-                trials,
-                0x1ce,
-                &fleet,
-            );
+            let s = match &pool {
+                Some(pool) => measure_single_set_pooled(
+                    spec,
+                    Environment::QuiescentLocal,
+                    opts.fidelity,
+                    opts.hierarchy_options(),
+                    algo,
+                    true,
+                    trials,
+                    0x1ce,
+                    &fleet,
+                    pool,
+                ),
+                None => measure_single_set(
+                    spec,
+                    Environment::QuiescentLocal,
+                    opts.fidelity,
+                    opts.hierarchy_options(),
+                    algo,
+                    true,
+                    trials,
+                    0x1ce,
+                    &fleet,
+                ),
+            };
             println!(
                 "{:<14} {:>8} {:>8} {:<8} {:>10} {:>12.2}",
                 name,

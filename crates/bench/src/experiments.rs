@@ -188,13 +188,98 @@ pub fn measure_single_set(
     seed: u64,
     fleet: &Fleet,
 ) -> PruningStats {
+    measure_single_set_impl(
+        spec,
+        environment,
+        fidelity,
+        hierarchy,
+        algorithm,
+        filtering,
+        trials,
+        seed,
+        fleet,
+        None,
+    )
+}
+
+/// [`measure_single_set`] with machine acquisition routed through a shared
+/// [`MachinePool`](llc_machine::MachinePool): instead of building one base machine per cell and
+/// materialising one copy per worker, workers check machines out of `pool`
+/// keyed by the full machine configuration *including the build seed* — so
+/// the pooled run rewinds to the byte-identical snapshot the unpooled run
+/// would have built, and cells that share a machine configuration (every
+/// algorithm of a table row, for instance) share built machines instead of
+/// rebuilding per cell. Output is byte-identical to [`measure_single_set`]
+/// (pinned by the golden smoke tests, which run the multi-threaded reports
+/// through the pool, and by an explicit equality test).
+#[allow(clippy::too_many_arguments)] // same knobs, plus the pool
+pub fn measure_single_set_pooled(
+    spec: &CacheSpec,
+    environment: Environment,
+    fidelity: NoiseFidelity,
+    hierarchy: HierarchyOptions,
+    algorithm: Algorithm,
+    filtering: bool,
+    trials: usize,
+    seed: u64,
+    fleet: &Fleet,
+    pool: &std::sync::Arc<llc_machine::MachinePool>,
+) -> PruningStats {
+    measure_single_set_impl(
+        spec,
+        environment,
+        fidelity,
+        hierarchy,
+        algorithm,
+        filtering,
+        trials,
+        seed,
+        fleet,
+        Some(pool),
+    )
+}
+
+/// Pool key of a single-set measurement's machine configuration. The build
+/// seed participates so a pooled machine's pristine snapshot is *exactly*
+/// the snapshot the unpooled path would capture — byte-identity holds even
+/// for stochastic replacement policies whose per-set RNGs are seeded at
+/// build time.
+pub fn single_set_pool_key(
+    spec: &CacheSpec,
+    environment: Environment,
+    fidelity: NoiseFidelity,
+    hierarchy: &HierarchyOptions,
+    build_seed: u64,
+) -> u64 {
+    llc_machine::config_key(
+        format!("single_set|{spec:?}|{environment:?}|{fidelity:?}|{hierarchy:?}|{build_seed:x}")
+            .as_bytes(),
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn measure_single_set_impl(
+    spec: &CacheSpec,
+    environment: Environment,
+    fidelity: NoiseFidelity,
+    hierarchy: HierarchyOptions,
+    algorithm: Algorithm,
+    filtering: bool,
+    trials: usize,
+    seed: u64,
+    fleet: &Fleet,
+    pool: Option<&std::sync::Arc<llc_machine::MachinePool>>,
+) -> PruningStats {
     let config = if filtering { EvsetConfig::filtered() } else { EvsetConfig::unfiltered() };
-    let base = Machine::builder(spec.clone())
-        .noise(environment.noise())
-        .noise_fidelity(fidelity)
-        .hierarchy_options(hierarchy)
-        .seed(stream_seed(seed, trial_streams::MACHINE))
-        .build();
+    let build_seed = stream_seed(seed, trial_streams::MACHINE);
+    let build_base = || {
+        Machine::builder(spec.clone())
+            .noise(environment.noise())
+            .noise_fidelity(fidelity)
+            .hierarchy_options(hierarchy)
+            .seed(build_seed)
+            .build()
+    };
 
     let run_trial = |machine: &mut Machine, ctx: &llc_fleet::TrialCtx| -> SingleSetTrial {
         machine.reseed(ctx.stream(trial_streams::NOISE));
@@ -229,23 +314,52 @@ pub fn measure_single_set(
         }
     };
 
-    let agg: SingleSetAgg = if trials == 1 {
-        let mut machine = base;
-        let ctx = llc_fleet::TrialCtx::derive(seed, 0, 1);
-        let mut agg = SingleSetAgg::empty();
-        agg.record(0, run_trial(&mut machine, &ctx));
-        agg
-    } else {
-        let snapshot = base.snapshot();
-        fleet.run_fold_with(
-            trials,
-            seed,
-            |_worker| snapshot.to_machine(),
-            |machine, ctx| {
-                machine.reset_to(&snapshot);
-                run_trial(machine, &ctx)
-            },
-        )
+    let agg: SingleSetAgg = match pool {
+        // Pooled: check out (possibly previously built) machines keyed by
+        // the full configuration + build seed; `reset()` rewinds to the
+        // byte-identical pristine snapshot the unpooled path snapshots.
+        Some(pool) if trials == 1 => {
+            let mut machine = pool.acquire(
+                single_set_pool_key(spec, environment, fidelity, &hierarchy, build_seed),
+                build_base,
+            );
+            machine.reset();
+            let ctx = llc_fleet::TrialCtx::derive(seed, 0, 1);
+            let mut agg = SingleSetAgg::empty();
+            agg.record(0, run_trial(&mut machine, &ctx));
+            agg
+        }
+        Some(pool) => {
+            let key = single_set_pool_key(spec, environment, fidelity, &hierarchy, build_seed);
+            fleet.run_fold_with(
+                trials,
+                seed,
+                |_worker| pool.acquire(key, build_base),
+                |machine, ctx| {
+                    machine.reset();
+                    run_trial(machine, &ctx)
+                },
+            )
+        }
+        None if trials == 1 => {
+            let mut machine = build_base();
+            let ctx = llc_fleet::TrialCtx::derive(seed, 0, 1);
+            let mut agg = SingleSetAgg::empty();
+            agg.record(0, run_trial(&mut machine, &ctx));
+            agg
+        }
+        None => {
+            let snapshot = build_base().snapshot();
+            fleet.run_fold_with(
+                trials,
+                seed,
+                |_worker| snapshot.to_machine(),
+                |machine, ctx| {
+                    machine.reset_to(&snapshot);
+                    run_trial(machine, &ctx)
+                },
+            )
+        }
     };
 
     let filter = agg.filter_share.summary();

@@ -57,6 +57,7 @@
 
 pub mod experiments;
 pub mod reports;
+pub mod sweeps;
 
 use llc_cache_model::{
     CacheSpec, HierarchyOptions, InclusionPolicy, ReplacementKind, SliceHashSelect,

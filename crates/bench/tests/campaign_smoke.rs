@@ -1,0 +1,123 @@
+//! In-process campaign-layer smoke tests over the *real* sweep source.
+//!
+//! `llc-campaign`'s own suites prove the engine's resume contract with a
+//! synthetic source; these tests close the loop with [`PruningSweep`] — the
+//! production source whose workers hold pooled machines across cell
+//! boundaries — and pin three properties:
+//!
+//! 1. a campaign killed at a chunk boundary and resumed (at a different
+//!    thread count) renders the byte-identical consolidated report;
+//! 2. machine construction is bounded by O(workers × distinct machine
+//!    configurations), and a resume over complete records builds nothing;
+//! 3. the rendered report is thread-count invariant.
+//!
+//! The cells are a trimmed slice of the `table3-sweep` preset (the cheap
+//! scenarios only) so the suite stays inside the tier-1 budget; the full
+//! 36-cell golden (`tests/golden/campaign_smoke.txt`) is diffed by the CI
+//! smoke job against the release binary, including a kill-and-resume pass.
+
+use llc_bench::sweeps::{build_preset, render_report, PruningSweep, SweepPreset};
+use llc_bench::RunOpts;
+use llc_campaign::{Campaign, CampaignSpec, Fleet, RunOptions, RunReport};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn fresh_dir() -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "llc-campaign-smoke-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The `table3-sweep` smoke preset trimmed to its cheap cells (modulo slice
+/// hash, per-preset replacement): same machinery, tier-1-sized simulation.
+/// Rebuilt per call because a [`PruningSweep`] owns its machine pool.
+fn trimmed() -> (CampaignSpec, PruningSweep) {
+    let SweepPreset { spec, source } =
+        build_preset("table3-sweep", &RunOpts::smoke_with_threads(1)).expect("known preset");
+    let keep: Vec<usize> = (0..spec.cells.len())
+        .filter(|&i| {
+            let id = spec.cells[i].id.as_str();
+            id.contains("|modulo|") && id.ends_with("|preset") && !id.contains("|exclusive|")
+        })
+        .collect();
+    let cells = keep.iter().map(|&i| source.cells()[i].clone()).collect();
+    let spec = CampaignSpec {
+        name: "table3-sweep-trimmed".into(),
+        chunk_trials: 2,
+        cells: keep.iter().map(|&i| spec.cells[i].clone()).collect(),
+        ..spec
+    };
+    let opts = RunOpts::smoke_with_threads(1);
+    (spec.clone(), PruningSweep::new(cells, opts.fidelity, opts.hierarchy_options(), spec.master_seed))
+}
+
+fn run(threads: usize, dir: &PathBuf, max_chunks: Option<u64>) -> (RunReport, u64, u64) {
+    let (spec, source) = trimmed();
+    let report = Campaign::new(spec, dir)
+        .run(&Fleet::new(threads), &source, &RunOptions { max_chunks })
+        .expect("campaign runs");
+    let stats = source.pool().stats();
+    (report, stats.builds, stats.keys)
+}
+
+fn render(report: &RunReport) -> String {
+    let (spec, source) = trimmed();
+    render_report(&spec, source.cells(), &report.aggregates)
+}
+
+#[test]
+fn killed_campaign_resumes_to_the_identical_report() {
+    // Uninterrupted reference at 2 threads.
+    let ref_dir = fresh_dir();
+    let (reference, ref_builds, ref_keys) = run(2, &ref_dir, None);
+    assert!(reference.complete);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Machine-construction bound: builds ≤ workers × distinct configurations
+    // (2 workers may each materialise a sibling of every key's snapshot).
+    assert_eq!(ref_keys, 2, "trimmed grid spans two machine configurations");
+    assert!(
+        ref_builds <= 2 * ref_keys,
+        "{ref_builds} builds exceeds workers × {ref_keys} machine configurations"
+    );
+
+    // Kill at a chunk boundary, then resume at a different thread count.
+    let dir = fresh_dir();
+    let (partial, _, _) = run(2, &dir, Some(1));
+    assert!(!partial.complete);
+    assert_eq!(partial.chunks_run, 1);
+    let (resumed, resumed_builds, _) = run(1, &dir, None);
+    assert!(resumed.complete);
+    assert_eq!(resumed.chunks_resumed, 1);
+    assert_eq!(resumed.aggregates, reference.aggregates, "resume must be bit-identical");
+    assert_eq!(render(&resumed), render(&reference), "rendered reports must match byte-for-byte");
+
+    // A second run over the complete records is pure replay: no trials, no
+    // machine construction.
+    let (replayed, replay_builds, _) = run(2, &dir, None);
+    assert_eq!(replay_builds, 0, "replaying complete records must build no machines");
+    assert_eq!(replayed.chunks_run, 0);
+    assert_eq!(replayed.aggregates, reference.aggregates);
+    assert!(resumed_builds > 0, "the resume leg itself did run trials");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn campaign_report_is_thread_count_invariant() {
+    let mut rendered = Vec::new();
+    for threads in [1usize, 2] {
+        let dir = fresh_dir();
+        let (report, _, _) = run(threads, &dir, None);
+        assert!(report.complete);
+        rendered.push(render(&report));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(rendered[0], rendered[1]);
+    // Spot-check shape: one row per cell plus the two header lines.
+    assert_eq!(rendered[0].lines().count(), 2 + 6, "{}", rendered[0]);
+}

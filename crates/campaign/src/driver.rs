@@ -1,0 +1,454 @@
+//! The campaign driver: flatten, stream, checkpoint, resume.
+//!
+//! [`Campaign::run`] turns a [`CampaignSpec`] (cells × trials, metric
+//! declaration, master seed, chunk size) plus a
+//! [`TrialSource`] into final per-cell
+//! [`CellAggregate`]s, persisting progress to a directory as it goes:
+//!
+//! 1. The *chunk grid* divides the flattened global trial stream into
+//!    fixed `[k·chunk, (k+1)·chunk)` ranges. Chunks — not trials, not cells
+//!    — are the unit of scheduling, checkpointing and resume.
+//! 2. Pending chunks are handed to the fleet's task engine
+//!    (`run_tasks_with`); a worker runs a chunk's trials in global order,
+//!    folding outcomes into per-cell segment aggregates, then appends one
+//!    checksummed JSONL merge record and flushes. One line of buffered
+//!    state per in-flight chunk is all that ever lives in memory — resident
+//!    usage is O(cells + workers·chunk), independent of total trials.
+//! 3. Every trial's seed is derived `stream_seed(stream_seed(master,
+//!    CELL_STREAM), cell) → trial_seed(·, trial_within_cell)` — a pure
+//!    function of the campaign identity and the trial's grid coordinates.
+//!    Scheduling, thread count, chunk size and kill points cannot touch it.
+//!
+//! **Resume proof sketch.** Final aggregates are the merge of per-chunk
+//! segment aggregates over the fixed chunk grid. (a) Each chunk's record is
+//! a pure function of `(spec, source)` — per-trial seeds come from grid
+//! coordinates alone, and worker state is rewound per trial. (b) The merge
+//! is exact integer addition/min/max, associative and commutative, so *any*
+//! partition of the chunk set into {loaded from disk} ∪ {re-executed},
+//! merged in any order, yields the same bits. (c) A kill can only lose or
+//! truncate the **final** record line (appends are single `write_all` +
+//! flush of one line); `load_records` drops the damaged tail and the chunk
+//! simply re-runs under (a). Hence an interrupted campaign, resumed at any
+//! thread count, produces aggregates bit-identical to an uninterrupted run
+//! — which the proptest suite (`tests/resume_props.rs`) enforces.
+
+use crate::grid::CellGrid;
+use crate::records::{
+    encode_record, load_records, CampaignError, ChunkRecord, LoadedRecords, Manifest,
+};
+use crate::stats::{CellAggregate, TrialOutcome};
+use llc_fleet::{stream_seed, Fleet, TrialCtx, TrialSource};
+use std::fs::OpenOptions;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Stream tag separating per-cell master seeds from any other use of the
+/// campaign master seed.
+const CELL_STREAM: u64 = u64::from_le_bytes(*b"campcell");
+
+/// One cell of the sweep grid: a stable identifier plus its trial count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellSpec {
+    /// Stable identifier, rendered in reports and hashed into the campaign
+    /// fingerprint. Encode the cell's parameters here.
+    pub id: String,
+    /// Trials this cell contributes to the global stream.
+    pub trials: u64,
+}
+
+/// The full identity of a campaign: what to run and how to shard it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignSpec {
+    /// Campaign name (directory-friendly).
+    pub name: String,
+    /// Master seed; every per-trial seed derives from it.
+    pub master_seed: u64,
+    /// Trials per checkpoint chunk.
+    pub chunk_trials: u64,
+    /// Names of the integer metrics every trial reports, in order.
+    pub metrics: Vec<String>,
+    /// The sweep cells, in grid order.
+    pub cells: Vec<CellSpec>,
+}
+
+impl CampaignSpec {
+    /// The flattened trial-stream geometry.
+    pub fn grid(&self) -> CellGrid {
+        let trials: Vec<u64> = self.cells.iter().map(|c| c.trials).collect();
+        CellGrid::new(&trials)
+    }
+
+    /// The master seed of cell `cell`'s trial sub-stream.
+    pub fn cell_master(&self, cell: usize) -> u64 {
+        stream_seed(stream_seed(self.master_seed, CELL_STREAM), cell as u64)
+    }
+
+    /// FNV-1a fingerprint over everything that defines the trial stream:
+    /// name, master seed, chunk size, metric names, cell ids and counts.
+    /// Two specs with equal fingerprints produce interchangeable on-disk
+    /// state; resume refuses anything else.
+    pub fn fingerprint(&self) -> u64 {
+        let mut canon = String::new();
+        canon.push_str(&self.name);
+        canon.push('\x1f');
+        canon.push_str(&format!("{:x}/{:x}", self.master_seed, self.chunk_trials));
+        for m in &self.metrics {
+            canon.push('\x1f');
+            canon.push_str(m);
+        }
+        for c in &self.cells {
+            canon.push('\x1e');
+            canon.push_str(&c.id);
+            canon.push('\x1f');
+            canon.push_str(&format!("{:x}", c.trials));
+        }
+        crate::records::fnv1a(canon.as_bytes())
+    }
+
+    /// The manifest this spec writes into a fresh campaign directory.
+    pub fn manifest(&self) -> Manifest {
+        Manifest {
+            name: self.name.clone(),
+            master_seed: self.master_seed,
+            chunk_trials: self.chunk_trials,
+            total_trials: self.grid().total(),
+            cells: self.cells.len() as u64,
+            fingerprint: self.fingerprint(),
+        }
+    }
+}
+
+/// Execution options for one [`Campaign::run`] call.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Stop after completing this many chunks (on top of whatever was
+    /// already on disk). `None` runs to completion. This is the
+    /// deterministic "kill": CI and tests use it to interrupt a campaign at
+    /// an exact chunk boundary and resume it.
+    pub max_chunks: Option<u64>,
+}
+
+/// What a [`Campaign::run`] call did and produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Final per-cell aggregates, in cell order. Only meaningful as final
+    /// results when `complete` — on a partial run they cover completed
+    /// chunks only.
+    pub aggregates: Vec<CellAggregate>,
+    /// Total chunks in the campaign.
+    pub chunks_total: u64,
+    /// Chunks loaded from a previous run's records.
+    pub chunks_resumed: u64,
+    /// Chunks executed by this call.
+    pub chunks_run: u64,
+    /// True when every chunk is now recorded.
+    pub complete: bool,
+    /// True when a partial/corrupt final record line was dropped and re-run.
+    pub recovered_tail: bool,
+}
+
+/// A campaign bound to its checkpoint directory.
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    dir: PathBuf,
+}
+
+impl Campaign {
+    /// Binds `spec` to checkpoint directory `dir` (created on first run).
+    pub fn new(spec: CampaignSpec, dir: impl Into<PathBuf>) -> Self {
+        Self { spec, dir: dir.into() }
+    }
+
+    /// The campaign's spec.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Path of the manifest file.
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    /// Path of the merge-records file.
+    pub fn records_path(&self) -> PathBuf {
+        self.dir.join("records.jsonl")
+    }
+
+    /// Runs (or resumes) the campaign on `fleet`, pulling trials from
+    /// `source`. See the module docs for the full lifecycle; the short
+    /// version: validate or create the manifest, load valid chunk records,
+    /// execute the missing chunks (appending a record per chunk), and merge
+    /// everything into final aggregates.
+    pub fn run<S>(
+        &self,
+        fleet: &Fleet,
+        source: &S,
+        options: &RunOptions,
+    ) -> Result<RunReport, CampaignError>
+    where
+        S: TrialSource<Item = TrialOutcome>,
+    {
+        let io = |e: std::io::Error| CampaignError::Io(e.to_string());
+        std::fs::create_dir_all(&self.dir).map_err(io)?;
+        self.check_or_write_manifest()?;
+
+        let grid = self.spec.grid();
+        let chunk = self.spec.chunk_trials;
+        let arity = self.spec.metrics.len();
+        let chunks_total = grid.chunk_count(chunk);
+
+        let loaded = self.load_existing(&grid)?;
+        let mut done: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        for r in &loaded.records {
+            if !done.insert(r.chunk) {
+                // Merging a chunk twice would silently double its trials —
+                // the one corruption mode the checksum cannot see.
+                return Err(CampaignError::RecordsCorrupt(format!(
+                    "chunk {} recorded twice",
+                    r.chunk
+                )));
+            }
+        }
+        let mut pending: Vec<u64> = (0..chunks_total).filter(|k| !done.contains(k)).collect();
+        if let Some(max) = options.max_chunks {
+            pending.truncate(max as usize);
+        }
+
+        let new_records = if pending.is_empty() {
+            Vec::new()
+        } else {
+            // Truncate any recovered tail, then append one checksummed line
+            // per completed chunk, in completion order. The Mutex serialises
+            // appends; flushing per line bounds what a kill can lose to the
+            // final line.
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(self.records_path())
+                .map_err(io)?;
+            file.set_len(loaded.valid_len).map_err(io)?;
+            let writer = Mutex::new(file);
+            let pending = &pending;
+            let grid_ref = &grid;
+            let results: Vec<Result<ChunkRecord, CampaignError>> = fleet.run_tasks_with(
+                pending.len(),
+                |worker| source.init(worker),
+                |state, i| {
+                    let record = self.run_chunk(grid_ref, pending[i], state, source, arity);
+                    let line = encode_record(&record);
+                    let mut file = writer.lock().expect("records writer poisoned");
+                    file.write_all(line.as_bytes())
+                        .and_then(|_| file.write_all(b"\n"))
+                        .and_then(|_| file.flush())
+                        .map_err(io)?;
+                    Ok(record)
+                },
+            );
+            results.into_iter().collect::<Result<Vec<_>, _>>()?
+        };
+
+        let chunks_run = new_records.len() as u64;
+        let chunks_resumed = loaded.records.len() as u64;
+        let mut aggregates: Vec<CellAggregate> =
+            (0..self.spec.cells.len()).map(|_| CellAggregate::empty(arity)).collect();
+        for record in loaded.records.iter().chain(&new_records) {
+            for (cell, segment) in &record.segments {
+                aggregates[*cell].merge(segment);
+            }
+        }
+
+        Ok(RunReport {
+            aggregates,
+            chunks_total,
+            chunks_resumed,
+            chunks_run,
+            complete: chunks_resumed + chunks_run == chunks_total,
+            recovered_tail: loaded.recovered_tail,
+        })
+    }
+
+    /// Executes one chunk of the global stream, folding per-cell segments.
+    fn run_chunk<S>(
+        &self,
+        grid: &CellGrid,
+        chunk_index: u64,
+        state: &mut S::Worker,
+        source: &S,
+        arity: usize,
+    ) -> ChunkRecord
+    where
+        S: TrialSource<Item = TrialOutcome>,
+    {
+        let (start, end) = grid.chunk_range(self.spec.chunk_trials, chunk_index);
+        let mut segments: Vec<(usize, CellAggregate)> = Vec::new();
+        for global in start..end {
+            let (cell, within) = grid.locate(global);
+            let ctx =
+                TrialCtx::derive(self.spec.cell_master(cell), within as usize, grid
+                    .cell_trials(cell) as usize);
+            let outcome = source.run_trial(state, cell, ctx);
+            match segments.last_mut() {
+                Some((c, agg)) if *c == cell => agg.record(&outcome),
+                _ => {
+                    let mut agg = CellAggregate::empty(arity);
+                    agg.record(&outcome);
+                    segments.push((cell, agg));
+                }
+            }
+        }
+        ChunkRecord { chunk: chunk_index, start, end, segments }
+    }
+
+    fn check_or_write_manifest(&self) -> Result<(), CampaignError> {
+        let io = |e: std::io::Error| CampaignError::Io(e.to_string());
+        let path = self.manifest_path();
+        let want = self.spec.manifest();
+        if path.exists() {
+            let bytes = std::fs::read(&path).map_err(io)?;
+            // Lossy: invalid UTF-8 fails JSON parsing and classifies as a
+            // corrupt manifest, not an I/O failure.
+            let text = String::from_utf8_lossy(&bytes);
+            let found = Manifest::decode(&text)?;
+            if found != want {
+                return Err(CampaignError::ManifestMismatch(format!(
+                    "directory belongs to campaign '{}' (fingerprint {:016x}), \
+                     spec is '{}' (fingerprint {:016x})",
+                    found.name, found.fingerprint, want.name, want.fingerprint
+                )));
+            }
+            Ok(())
+        } else {
+            // Write-then-rename so a kill mid-write cannot leave a torn
+            // manifest behind.
+            let tmp = self.dir.join("manifest.json.tmp");
+            std::fs::write(&tmp, format!("{}\n", want.encode())).map_err(io)?;
+            std::fs::rename(&tmp, &path).map_err(io)?;
+            Ok(())
+        }
+    }
+
+    fn load_existing(&self, grid: &CellGrid) -> Result<LoadedRecords, CampaignError> {
+        let path = self.records_path();
+        if !path.exists() {
+            return Ok(LoadedRecords { records: Vec::new(), valid_len: 0, recovered_tail: false });
+        }
+        let bytes = std::fs::read(&path).map_err(|e| CampaignError::Io(e.to_string()))?;
+        // Lossy conversion: invalid UTF-8 becomes replacement characters,
+        // which fail the line checksum and are then classified by position —
+        // recoverable kill artifact if final, corruption otherwise. (The
+        // replacement may change byte lengths, but only *after* the valid
+        // prefix, so `valid_len` stays an exact file offset.)
+        let contents = String::from_utf8_lossy(&bytes);
+        load_records(&contents, grid, self.spec.chunk_trials, self.spec.metrics.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic synthetic source: outcome is a hash of (cell, seed).
+    pub(crate) struct Synthetic;
+
+    impl TrialSource for Synthetic {
+        type Worker = ();
+        type Item = TrialOutcome;
+        fn init(&self, _worker: usize) {}
+        fn run_trial(&self, _w: &mut (), cell: usize, ctx: TrialCtx) -> TrialOutcome {
+            let v = llc_fleet::mix64(ctx.seed ^ (cell as u64) << 32);
+            TrialOutcome { success: v % 3 == 0, metrics: vec![v >> 32, v & 0xffff] }
+        }
+    }
+
+    fn spec(name: &str, cells: &[u64], chunk: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            master_seed: 0xc0ffee,
+            chunk_trials: chunk,
+            metrics: vec!["alpha".into(), "beta".into()],
+            cells: cells
+                .iter()
+                .enumerate()
+                .map(|(i, &t)| CellSpec { id: format!("cell{i}"), trials: t })
+                .collect(),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("llc-campaign-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn full_run_is_thread_invariant_and_complete() {
+        let spec = spec("threads", &[5, 3, 9], 4);
+        let mut reports = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let dir = tmp_dir(&format!("threads{threads}"));
+            let campaign = Campaign::new(spec.clone(), &dir);
+            let report = campaign
+                .run(&Fleet::new(threads), &Synthetic, &RunOptions::default())
+                .unwrap();
+            assert!(report.complete);
+            assert_eq!(report.chunks_run, report.chunks_total);
+            reports.push(report.aggregates);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+        assert_eq!(reports[0].iter().map(|a| a.trials).sum::<u64>(), 17);
+    }
+
+    #[test]
+    fn max_chunks_then_resume_matches_uninterrupted() {
+        let spec = spec("resume", &[7, 7, 2], 3);
+        let dir_a = tmp_dir("resume-a");
+        let uninterrupted = Campaign::new(spec.clone(), &dir_a)
+            .run(&Fleet::new(2), &Synthetic, &RunOptions::default())
+            .unwrap();
+
+        let dir_b = tmp_dir("resume-b");
+        let campaign = Campaign::new(spec, &dir_b);
+        let first = campaign
+            .run(&Fleet::new(2), &Synthetic, &RunOptions { max_chunks: Some(2) })
+            .unwrap();
+        assert!(!first.complete);
+        assert_eq!(first.chunks_run, 2);
+        let second = campaign.run(&Fleet::new(8), &Synthetic, &RunOptions::default()).unwrap();
+        assert!(second.complete);
+        assert_eq!(second.chunks_resumed, 2);
+        assert_eq!(second.aggregates, uninterrupted.aggregates);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn mismatched_spec_is_refused() {
+        let dir = tmp_dir("mismatch");
+        Campaign::new(spec("one", &[4], 2), &dir)
+            .run(&Fleet::single(), &Synthetic, &RunOptions::default())
+            .unwrap();
+        let err = Campaign::new(spec("two", &[4], 2), &dir)
+            .run(&Fleet::single(), &Synthetic, &RunOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::ManifestMismatch(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_clean_error() {
+        let dir = tmp_dir("corrupt-manifest");
+        let campaign = Campaign::new(spec("corrupt", &[4], 2), &dir);
+        campaign.run(&Fleet::single(), &Synthetic, &RunOptions::default()).unwrap();
+        std::fs::write(campaign.manifest_path(), "{definitely not json").unwrap();
+        let err = campaign
+            .run(&Fleet::single(), &Synthetic, &RunOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CampaignError::ManifestCorrupt(_)), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

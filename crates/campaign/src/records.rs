@@ -1,0 +1,465 @@
+//! On-disk campaign state: the manifest and the JSONL merge records.
+//!
+//! A campaign directory holds two files:
+//!
+//! * **`manifest.json`** — one JSON object identifying the campaign: name,
+//!   master seed, chunk size, total trials, metric names, and a
+//!   *fingerprint* (FNV-1a over the full cell layout). Resume refuses to
+//!   touch a directory whose manifest does not match the spec byte-for-byte
+//!   — the same trial stream, or nothing.
+//! * **`records.jsonl`** — one line per *completed chunk* of the global
+//!   trial stream. Each line carries the chunk's `[start, end)` range and
+//!   the per-cell [`CellAggregate`] segments it produced, and ends with an
+//!   FNV-1a checksum of the line's preceding bytes. Lines are appended in
+//!   completion order, which under a multi-threaded fleet is **not** chunk
+//!   order — merging is order-independent (integer aggregates), so it does
+//!   not matter.
+//!
+//! Crash-recovery rules, enforced by [`load_records`]:
+//!
+//! * A **final** line that is incomplete or fails its checksum is the
+//!   expected artifact of a kill mid-append: it is dropped and its chunk
+//!   re-run. Statistics cannot be wrong, only re-computed.
+//! * A **non-final** corrupt line means the file was damaged by something
+//!   other than an append-in-progress kill; the load returns a clean error
+//!   rather than resuming over unknown damage.
+
+use crate::grid::CellGrid;
+use crate::json::{Json, JsonWriter};
+use crate::stats::{CellAggregate, StreamStats};
+
+/// Current on-disk format version. Bump on any layout change; resume
+/// refuses mismatched versions.
+pub const FORMAT_VERSION: u64 = 1;
+
+/// FNV-1a over a byte string — the checksum/fingerprint primitive for the
+/// campaign's on-disk formats.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Errors from loading or validating campaign state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The manifest file exists but cannot be parsed or fails validation.
+    ManifestCorrupt(String),
+    /// The manifest belongs to a different campaign (spec mismatch).
+    ManifestMismatch(String),
+    /// A non-final record line is damaged.
+    RecordsCorrupt(String),
+    /// Filesystem-level failure (message carries the underlying error).
+    Io(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::ManifestCorrupt(m) => write!(f, "manifest corrupt: {m}"),
+            CampaignError::ManifestMismatch(m) => write!(f, "manifest mismatch: {m}"),
+            CampaignError::RecordsCorrupt(m) => write!(f, "records corrupt: {m}"),
+            CampaignError::Io(m) => write!(f, "campaign io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The aggregate segments one chunk contributed, tagged by cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkRecord {
+    /// Chunk index in the fixed chunk grid.
+    pub chunk: u64,
+    /// Global trial range `[start, end)` this chunk covered.
+    pub start: u64,
+    /// Exclusive end of the range.
+    pub end: u64,
+    /// Per-cell segments, ordered by cell index (a chunk spans one or more
+    /// consecutive cells).
+    pub segments: Vec<(usize, CellAggregate)>,
+}
+
+fn write_stats(w: &mut JsonWriter, s: &StreamStats) {
+    w.obj()
+        .key("count")
+        .num(s.count)
+        .key("sum")
+        .big(s.sum)
+        .key("min")
+        .num(s.min)
+        .key("max")
+        .num(s.max)
+        .end_obj();
+}
+
+fn read_stats(v: &Json) -> Result<StreamStats, String> {
+    Ok(StreamStats {
+        count: v.get("count").and_then(Json::as_u64).ok_or("stats missing count")?,
+        sum: v.get("sum").and_then(Json::as_u128).ok_or("stats missing sum")?,
+        min: v.get("min").and_then(Json::as_u64).ok_or("stats missing min")?,
+        max: v.get("max").and_then(Json::as_u64).ok_or("stats missing max")?,
+    })
+}
+
+/// Serialises one chunk record as a single JSONL line (no trailing
+/// newline), ending with a checksum field over the preceding bytes.
+pub fn encode_record(record: &ChunkRecord) -> String {
+    let mut w = JsonWriter::new();
+    w.obj()
+        .key("chunk")
+        .num(record.chunk)
+        .key("start")
+        .num(record.start)
+        .key("end")
+        .num(record.end)
+        .key("cells")
+        .arr();
+    for (cell, agg) in &record.segments {
+        w.obj()
+            .key("cell")
+            .num(*cell as u64)
+            .key("trials")
+            .num(agg.trials)
+            .key("successes")
+            .num(agg.successes)
+            .key("metrics")
+            .arr();
+        for s in &agg.metrics {
+            write_stats(&mut w, s);
+        }
+        w.end_arr().end_obj();
+    }
+    w.end_arr().end_obj();
+    let body = w.finish();
+    // `{...,"crc":"<16 hex>"}`: checksum covers everything before the crc
+    // field, i.e. the body minus its closing brace.
+    let prefix = &body[..body.len() - 1];
+    format!("{prefix},\"crc\":\"{:016x}\"}}", fnv1a(prefix.as_bytes()))
+}
+
+/// Decodes one record line, verifying its checksum. Returns a plain `Err`
+/// string; the caller decides whether the failing line is final (normal
+/// kill artifact) or not (real corruption).
+pub fn decode_record(line: &str) -> Result<ChunkRecord, String> {
+    const CRC_KEY: &str = ",\"crc\":\"";
+    let crc_at = line.rfind(CRC_KEY).ok_or("missing crc field")?;
+    let want = u64::from_str_radix(
+        line[crc_at + CRC_KEY.len()..].strip_suffix("\"}").ok_or("malformed crc suffix")?,
+        16,
+    )
+    .map_err(|_| "malformed crc value".to_string())?;
+    let got = fnv1a(&line.as_bytes()[..crc_at]);
+    if got != want {
+        return Err(format!("checksum mismatch: {got:016x} != {want:016x}"));
+    }
+    let v = Json::parse(line)?;
+    let mut segments = Vec::new();
+    for seg in v.get("cells").and_then(Json::as_arr).ok_or("record missing cells")? {
+        let cell = seg.get("cell").and_then(Json::as_u64).ok_or("segment missing cell")? as usize;
+        let metrics = seg
+            .get("metrics")
+            .and_then(Json::as_arr)
+            .ok_or("segment missing metrics")?
+            .iter()
+            .map(read_stats)
+            .collect::<Result<Vec<_>, _>>()?;
+        segments.push((
+            cell,
+            CellAggregate {
+                trials: seg.get("trials").and_then(Json::as_u64).ok_or("segment missing trials")?,
+                successes: seg
+                    .get("successes")
+                    .and_then(Json::as_u64)
+                    .ok_or("segment missing successes")?,
+                metrics,
+            },
+        ));
+    }
+    Ok(ChunkRecord {
+        chunk: v.get("chunk").and_then(Json::as_u64).ok_or("record missing chunk")?,
+        start: v.get("start").and_then(Json::as_u64).ok_or("record missing start")?,
+        end: v.get("end").and_then(Json::as_u64).ok_or("record missing end")?,
+        segments,
+    })
+}
+
+/// The identity block of `manifest.json`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Campaign name (informational; the fingerprint is authoritative).
+    pub name: String,
+    /// Master seed of the whole campaign.
+    pub master_seed: u64,
+    /// Chunk size in trials. Fixed at campaign creation — resume keeps the
+    /// original chunk grid even if the resuming process asked for another.
+    pub chunk_trials: u64,
+    /// Total trials in the flattened stream.
+    pub total_trials: u64,
+    /// Number of cells.
+    pub cells: u64,
+    /// FNV-1a fingerprint over the full layout (cell ids, trial counts,
+    /// metric names, master seed, chunk size).
+    pub fingerprint: u64,
+}
+
+impl Manifest {
+    /// Serialises the manifest as one JSON line.
+    pub fn encode(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.obj()
+            .key("version")
+            .num(FORMAT_VERSION)
+            .key("name")
+            .str(&self.name)
+            .key("master_seed")
+            .num(self.master_seed)
+            .key("chunk_trials")
+            .num(self.chunk_trials)
+            .key("total_trials")
+            .num(self.total_trials)
+            .key("cells")
+            .num(self.cells)
+            .key("fingerprint")
+            .str(&format!("{:016x}", self.fingerprint))
+            .end_obj();
+        w.finish()
+    }
+
+    /// Parses and version-checks a manifest document.
+    pub fn decode(text: &str) -> Result<Manifest, CampaignError> {
+        let err = |m: &str| CampaignError::ManifestCorrupt(m.to_string());
+        let v = Json::parse(text.trim()).map_err(CampaignError::ManifestCorrupt)?;
+        let version = v.get("version").and_then(Json::as_u64).ok_or_else(|| err("no version"))?;
+        if version != FORMAT_VERSION {
+            return Err(CampaignError::ManifestMismatch(format!(
+                "format version {version}, this build reads {FORMAT_VERSION}"
+            )));
+        }
+        let fingerprint = v
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| err("no fingerprint"))?;
+        Ok(Manifest {
+            name: v
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| err("no name"))?
+                .to_string(),
+            master_seed: v
+                .get("master_seed")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("no master_seed"))?,
+            chunk_trials: v
+                .get("chunk_trials")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("no chunk_trials"))?,
+            total_trials: v
+                .get("total_trials")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| err("no total_trials"))?,
+            cells: v.get("cells").and_then(Json::as_u64).ok_or_else(|| err("no cells"))?,
+            fingerprint,
+        })
+    }
+}
+
+/// Result of scanning a records file: the valid chunk records, plus whether
+/// a partial/corrupt **final** line was dropped (the caller truncates it
+/// before appending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadedRecords {
+    /// Every valid record, in file order.
+    pub records: Vec<ChunkRecord>,
+    /// Byte length of the valid prefix of the file (everything after this
+    /// offset is a dropped partial tail).
+    pub valid_len: u64,
+    /// True when a partial or corrupt final line was dropped.
+    pub recovered_tail: bool,
+}
+
+/// Parses a records file's contents, applying the crash-recovery rules and
+/// validating each record against the chunk grid (`chunk` size and the cell
+/// layout `grid`).
+pub fn load_records(
+    contents: &str,
+    grid: &CellGrid,
+    chunk: u64,
+    metric_arity: usize,
+) -> Result<LoadedRecords, CampaignError> {
+    let mut records = Vec::new();
+    let mut valid_len = 0u64;
+    let mut recovered_tail = false;
+    // split_inclusive keeps the trailing newline, so a final line without
+    // one (append killed mid-line) is distinguishable.
+    for piece in contents.split_inclusive('\n') {
+        let line = piece.strip_suffix('\n');
+        let is_final_piece = valid_len + piece.len() as u64 == contents.len() as u64;
+        let complete = line.is_some();
+        let text = line.unwrap_or(piece);
+        if text.is_empty() {
+            valid_len += piece.len() as u64;
+            continue;
+        }
+        let parsed = if complete { decode_record(text) } else { Err("partial line".to_string()) };
+        match parsed {
+            Ok(record) => {
+                validate_record(&record, grid, chunk, metric_arity)
+                    .map_err(CampaignError::RecordsCorrupt)?;
+                records.push(record);
+                valid_len += piece.len() as u64;
+            }
+            Err(reason) if is_final_piece => {
+                // Normal kill artifact: drop the tail, re-run its chunk.
+                let _ = reason;
+                recovered_tail = true;
+                break;
+            }
+            Err(reason) => {
+                return Err(CampaignError::RecordsCorrupt(format!(
+                    "non-final record line damaged ({reason})"
+                )));
+            }
+        }
+    }
+    Ok(LoadedRecords { records, valid_len, recovered_tail })
+}
+
+/// Checks a decoded record against the campaign geometry: its range must be
+/// exactly the chunk grid's range for its index, and its segments must tile
+/// that range over the right cells with the right trial counts and metric
+/// arity. A record that decodes but disagrees with the grid is corruption
+/// (or a foreign file), never something to silently merge.
+fn validate_record(
+    record: &ChunkRecord,
+    grid: &CellGrid,
+    chunk: u64,
+    metric_arity: usize,
+) -> Result<(), String> {
+    if record.chunk >= grid.chunk_count(chunk) {
+        return Err(format!("chunk {} out of range", record.chunk));
+    }
+    let (start, end) = grid.chunk_range(chunk, record.chunk);
+    if (record.start, record.end) != (start, end) {
+        return Err(format!(
+            "chunk {} claims [{}, {}), grid says [{}, {})",
+            record.chunk, record.start, record.end, start, end
+        ));
+    }
+    // Walk the range's cell decomposition and compare.
+    let mut expected: Vec<(usize, u64)> = Vec::new();
+    let mut g = start;
+    while g < end {
+        let (cell, within) = grid.locate(g);
+        let take = (grid.cell_trials(cell) - within).min(end - g);
+        expected.push((cell, take));
+        g += take;
+    }
+    if record.segments.len() != expected.len() {
+        return Err(format!("chunk {}: segment count mismatch", record.chunk));
+    }
+    for ((cell, agg), (want_cell, want_trials)) in record.segments.iter().zip(&expected) {
+        if cell != want_cell || agg.trials != *want_trials {
+            return Err(format!(
+                "chunk {}: segment cell {cell}/{} trials, expected cell {want_cell}/{want_trials}",
+                record.chunk, agg.trials
+            ));
+        }
+        if agg.successes > agg.trials {
+            return Err(format!("chunk {}: successes exceed trials", record.chunk));
+        }
+        if agg.metrics.len() != metric_arity {
+            return Err(format!("chunk {}: metric arity mismatch", record.chunk));
+        }
+        for s in &agg.metrics {
+            if s.count != agg.trials {
+                return Err(format!("chunk {}: metric count mismatch", record.chunk));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::TrialOutcome;
+
+    fn sample_record() -> (ChunkRecord, CellGrid) {
+        let grid = CellGrid::new(&[3, 3]);
+        // Chunk 1 of size 4 covers globals [4, 6) -> cell 1 trials 1..3.
+        let mut agg = CellAggregate::empty(2);
+        agg.record(&TrialOutcome { success: true, metrics: vec![10, u64::MAX] });
+        agg.record(&TrialOutcome { success: false, metrics: vec![30, 0] });
+        (ChunkRecord { chunk: 1, start: 4, end: 6, segments: vec![(1, agg)] }, grid)
+    }
+
+    #[test]
+    fn record_round_trips_with_extreme_values() {
+        let (record, _) = sample_record();
+        let line = encode_record(&record);
+        assert_eq!(decode_record(&line).unwrap(), record);
+    }
+
+    #[test]
+    fn checksum_catches_a_flipped_byte() {
+        let (record, _) = sample_record();
+        let line = encode_record(&record);
+        for at in [10, line.len() / 2, line.len() - 20] {
+            let mut bytes = line.clone().into_bytes();
+            bytes[at] = if bytes[at] == b'7' { b'8' } else { b'7' };
+            let tampered = String::from_utf8(bytes).unwrap();
+            assert!(decode_record(&tampered).is_err(), "tamper at {at} undetected");
+        }
+    }
+
+    #[test]
+    fn load_records_drops_partial_tail_and_reports_offset() {
+        let (record, grid) = sample_record();
+        let full = CellGrid::new(&[3, 3]);
+        assert_eq!(grid, full);
+        let line = encode_record(&record);
+        let contents = format!("{line}\n{}", &line[..line.len() / 2]);
+        let loaded = load_records(&contents, &grid, 4, 2).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert!(loaded.recovered_tail);
+        assert_eq!(loaded.valid_len, line.len() as u64 + 1);
+    }
+
+    #[test]
+    fn load_records_rejects_mid_file_damage() {
+        let (record, grid) = sample_record();
+        let line = encode_record(&record);
+        let contents = format!("{}\n{line}\n", &line[..line.len() - 8]);
+        let err = load_records(&contents, &grid, 4, 2).unwrap_err();
+        assert!(matches!(err, CampaignError::RecordsCorrupt(_)));
+    }
+
+    #[test]
+    fn load_records_rejects_grid_disagreement() {
+        let (record, _) = sample_record();
+        let other_grid = CellGrid::new(&[6, 6]);
+        let contents = format!("{}\n", encode_record(&record));
+        let err = load_records(&contents, &other_grid, 4, 2).unwrap_err();
+        assert!(matches!(err, CampaignError::RecordsCorrupt(_)));
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_damage() {
+        let m = Manifest {
+            name: "noise-grid".into(),
+            master_seed: 0xdead_beef,
+            chunk_trials: 32,
+            total_trials: 4096,
+            cells: 16,
+            fingerprint: 0x0123_4567_89ab_cdef,
+        };
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        assert!(Manifest::decode("{not json").is_err());
+        assert!(Manifest::decode(r#"{"version":99}"#).is_err());
+    }
+}

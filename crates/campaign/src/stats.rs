@@ -1,0 +1,188 @@
+//! Exact, order-independent streaming statistics.
+//!
+//! A campaign's resume guarantee is *byte-identical final aggregates no
+//! matter where it was killed or how many threads re-ran it*. Floating-point
+//! accumulation cannot deliver that under re-sharding (addition is not
+//! associative), so campaign statistics are integers all the way down:
+//! counts, `u128` sums, min/max. Integer addition is exactly associative and
+//! commutative, which makes [`StreamStats::merge`] order-independent in the
+//! strongest sense — any partition of the trial stream into chunks, merged
+//! in any order, produces the same bits. Derived floating-point views
+//! (means, rates) are computed once from the final integers, so they too
+//! are identical across resumes.
+
+/// Streaming summary of one `u64` metric: count, exact sum, min, max.
+///
+/// Memory is O(1) regardless of how many trials fold into it — this is what
+/// bounds a campaign's resident memory no matter the sweep size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Exact sum of recorded values (u128: 2^64 trials of 2^64-1 each
+    /// cannot overflow).
+    pub sum: u128,
+    /// Smallest recorded value (`u64::MAX` when empty).
+    pub min: u64,
+    /// Largest recorded value (`0` when empty).
+    pub max: u64,
+}
+
+impl Default for StreamStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl StreamStats {
+    /// The identity element of [`StreamStats::merge`].
+    pub const fn empty() -> Self {
+        Self { count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+
+    /// Folds one value in.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another summary in. Exact: associative, commutative, with
+    /// [`StreamStats::empty`] as identity.
+    pub fn merge(&mut self, other: &StreamStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Arithmetic mean, or `None` when empty. Derived from exact integers,
+    /// so identical across any chunking of the same trials.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// The full aggregate of one cell: trial/success counts plus one
+/// [`StreamStats`] per declared metric.
+///
+/// `Eq` is exact — the resume tests compare entire aggregate vectors with
+/// `==` to enforce bit-identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellAggregate {
+    /// Trials folded into this aggregate.
+    pub trials: u64,
+    /// Trials that reported success.
+    pub successes: u64,
+    /// Per-metric summaries, indexed like the campaign's metric declaration.
+    pub metrics: Vec<StreamStats>,
+}
+
+impl CellAggregate {
+    /// An empty aggregate with `arity` metric slots.
+    pub fn empty(arity: usize) -> Self {
+        Self { trials: 0, successes: 0, metrics: vec![StreamStats::empty(); arity] }
+    }
+
+    /// Folds one trial outcome in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome's metric arity differs from this aggregate's —
+    /// a trial source must emit exactly the metrics the campaign declared.
+    pub fn record(&mut self, outcome: &TrialOutcome) {
+        assert_eq!(
+            outcome.metrics.len(),
+            self.metrics.len(),
+            "trial emitted {} metrics, campaign declares {}",
+            outcome.metrics.len(),
+            self.metrics.len()
+        );
+        self.trials += 1;
+        self.successes += outcome.success as u64;
+        for (stat, &value) in self.metrics.iter_mut().zip(&outcome.metrics) {
+            stat.record(value);
+        }
+    }
+
+    /// Merges another aggregate of the same arity in (exact, order-independent).
+    pub fn merge(&mut self, other: &CellAggregate) {
+        assert_eq!(self.metrics.len(), other.metrics.len(), "metric arity mismatch in merge");
+        self.trials += other.trials;
+        self.successes += other.successes;
+        for (a, b) in self.metrics.iter_mut().zip(&other.metrics) {
+            a.merge(b);
+        }
+    }
+
+    /// Success rate in `[0, 1]`, or `None` when no trials folded in.
+    pub fn success_rate(&self) -> Option<f64> {
+        (self.trials > 0).then(|| self.successes as f64 / self.trials as f64)
+    }
+}
+
+/// What one trial reports back: a success flag plus the declared metrics,
+/// all integer (cycles, counts) so aggregation stays exact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialOutcome {
+    /// Did the trial achieve its cell's success criterion?
+    pub success: bool,
+    /// Metric values, 1:1 with the campaign's metric declaration.
+    pub metrics: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(success: bool, m: &[u64]) -> TrialOutcome {
+        TrialOutcome { success, metrics: m.to_vec() }
+    }
+
+    #[test]
+    fn merge_equals_serial_fold_for_any_split() {
+        let outcomes: Vec<_> =
+            (0..100u64).map(|i| outcome(i % 3 == 0, &[i * 7, 1 << (i % 30)])).collect();
+        let mut serial = CellAggregate::empty(2);
+        for o in &outcomes {
+            serial.record(o);
+        }
+        for split in [1usize, 7, 33, 50, 99] {
+            let mut left = CellAggregate::empty(2);
+            let mut right = CellAggregate::empty(2);
+            for o in &outcomes[..split] {
+                left.record(o);
+            }
+            for o in &outcomes[split..] {
+                right.record(o);
+            }
+            // Merge in both orders; both must equal the serial fold exactly.
+            let mut lr = left.clone();
+            lr.merge(&right);
+            let mut rl = right.clone();
+            rl.merge(&left);
+            assert_eq!(lr, serial);
+            assert_eq!(rl, serial);
+        }
+    }
+
+    #[test]
+    fn empty_is_identity() {
+        let mut agg = CellAggregate::empty(1);
+        agg.record(&outcome(true, &[42]));
+        let snapshot = agg.clone();
+        agg.merge(&CellAggregate::empty(1));
+        assert_eq!(agg, snapshot);
+        assert_eq!(agg.metrics[0].min, 42);
+        assert_eq!(agg.metrics[0].max, 42);
+        assert_eq!(agg.metrics[0].mean(), Some(42.0));
+        assert_eq!(agg.success_rate(), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "metrics")]
+    fn arity_mismatch_panics() {
+        CellAggregate::empty(2).record(&outcome(true, &[1]));
+    }
+}

@@ -66,6 +66,33 @@ impl TrialCtx {
     }
 }
 
+/// A cell-indexed trial stream: the generalisation of the one-closure job
+/// the executor originally ran.
+///
+/// A sweep is a grid of *cells* (parameter combinations); a trial source
+/// knows how to run one trial of any cell. The executor (and the campaign
+/// driver built on it) can then interleave trials from different cells in a
+/// single global stream — one long-lived worker fleet, no per-cell barrier —
+/// while determinism still holds because each trial's behaviour is a pure
+/// function of `(cell, ctx)` plus worker state rewound per trial.
+pub trait TrialSource: Sync {
+    /// Per-worker scratch state (e.g. a pooled machine checkout), created
+    /// once per worker thread via [`TrialSource::init`].
+    type Worker: Send;
+    /// The per-trial result.
+    type Item: Send;
+
+    /// Creates worker-local state for worker thread `worker`.
+    fn init(&self, worker: usize) -> Self::Worker;
+
+    /// Runs one trial of cell `cell` under the derived context `ctx`.
+    ///
+    /// Must be deterministic in `(cell, ctx)`: worker state may only carry
+    /// information that is rewound before use (snapshot resets, scratch
+    /// buffers), never trial-to-trial history that changes results.
+    fn run_trial(&self, worker: &mut Self::Worker, cell: usize, ctx: TrialCtx) -> Self::Item;
+}
+
 /// The trial executor: a thread count plus a work-queue chunk size.
 #[derive(Debug, Clone)]
 pub struct Fleet {
@@ -133,15 +160,35 @@ impl Fleet {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut S, TrialCtx) -> T + Sync,
     {
-        let ctx = |trial: usize| TrialCtx::derive(master_seed, trial, trials);
+        self.run_tasks_with(trials, init, move |state, t| {
+            job(state, TrialCtx::derive(master_seed, t, trials))
+        })
+    }
 
-        if self.threads == 1 || trials <= 1 {
+    /// The generalised work engine underneath [`Fleet::run_with`]: runs
+    /// `tasks` indexed units of work with per-worker state and returns the
+    /// results **in task order**. Unlike `run_with`, no seed is derived — the
+    /// task index is handed to `job` raw, so the caller decides what a task
+    /// means (a trial, a chunk of a campaign's global trial stream, a cell of
+    /// a sweep grid).
+    ///
+    /// Determinism contract: `job(state, task)`'s result must be a pure
+    /// function of `task` (worker state rewound per task), so the work
+    /// schedule cannot influence results.
+    pub fn run_tasks_with<S, T, I, F>(&self, tasks: usize, init: I, job: F) -> Vec<T>
+    where
+        S: Send,
+        T: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
+        if self.threads == 1 || tasks <= 1 {
             let mut state = init(0);
-            return (0..trials).map(|t| job(&mut state, ctx(t))).collect();
+            return (0..tasks).map(|t| job(&mut state, t)).collect();
         }
 
-        let workers = self.threads.min(trials);
-        let chunk = self.chunk_for(trials);
+        let workers = self.threads.min(tasks);
+        let chunk = self.chunk_for(tasks);
         let cursor = AtomicUsize::new(0);
 
         let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
@@ -155,11 +202,11 @@ impl Fleet {
                         let mut local: Vec<(usize, T)> = Vec::new();
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= trials {
+                            if start >= tasks {
                                 break;
                             }
-                            for t in start..(start + chunk).min(trials) {
-                                local.push((t, job(&mut state, ctx(t))));
+                            for t in start..(start + chunk).min(tasks) {
+                                local.push((t, job(&mut state, t)));
                             }
                         }
                         local
@@ -296,6 +343,40 @@ mod tests {
         );
         assert_eq!(counts.len(), 16);
         assert!(counts.iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn run_tasks_with_returns_in_task_order() {
+        let fleet = Fleet::new(4).with_chunk(3);
+        let out = fleet.run_tasks_with(37, |worker| worker, |w, t| (*w, t * 2));
+        assert_eq!(out.len(), 37);
+        assert!(out.iter().enumerate().all(|(i, &(_, v))| v == i * 2));
+    }
+
+    #[test]
+    fn trial_source_runs_cells_through_the_task_engine() {
+        struct Doubler;
+        impl TrialSource for Doubler {
+            type Worker = u64;
+            type Item = u64;
+            fn init(&self, _worker: usize) -> u64 {
+                0
+            }
+            fn run_trial(&self, scratch: &mut u64, cell: usize, ctx: TrialCtx) -> u64 {
+                *scratch = 0; // rewound per trial
+                cell as u64 * 1000 + ctx.trial as u64
+            }
+        }
+        let src = Doubler;
+        let fleet = Fleet::new(2).with_chunk(1);
+        // 3 cells x 4 trials flattened into one 12-task stream.
+        let out = fleet.run_tasks_with(
+            12,
+            |w| src.init(w),
+            |state, g| src.run_trial(state, g / 4, TrialCtx::derive(7, g % 4, 4)),
+        );
+        assert_eq!(out[5], 1001);
+        assert_eq!(out[11], 2003);
     }
 
     #[test]

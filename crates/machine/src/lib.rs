@@ -44,6 +44,7 @@ mod aes;
 mod latency;
 mod machine;
 mod noise;
+mod pool;
 mod schedule;
 
 pub use aes::{
@@ -56,6 +57,7 @@ pub use noise::{
     sample_poisson, InitialSync, NoiseAdvance, NoiseConfig, NoiseEvent, NoiseFidelity, NoiseModel,
     NoiseProcess,
 };
+pub use pool::{config_key, MachinePool, PooledMachine, PoolStats};
 pub use schedule::{PeriodicToucher, ScheduledAccess, VictimProgram, VictimSchedule};
 
 // Re-export the types attack code needs constantly, so downstream crates can
