@@ -1,0 +1,66 @@
+//! Criterion bench isolating the tenant-actor event dispatch path: an
+//! attacker idling through a monitoring window while scheduled background
+//! tenants post their bursts.
+//!
+//! Three host populations bracket the cost: `none` pins the empty-population
+//! fast path (the event queue is empty, so `idle` must cost what it cost
+//! before the tenant layer existed), `3static` measures steady-state event
+//! dispatch for two idle sidecars plus a bursty web neighbour, and `3churn`
+//! adds exponential-dwell migration (depart/arrive events and working-set
+//! redraws) on top. The statistical noise model is silent throughout so the
+//! numbers isolate the scheduled-tenant machinery from Poisson catch-up
+//! (which `noise_catchup` already covers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use llc_cache_model::CacheSpec;
+use llc_machine::{ChurnConfig, Machine, NoiseModel, TenantPopulation};
+
+const PROBES_PER_ITER: usize = 50;
+
+/// 2 ms at the model's 2 GHz per idle window: long enough that every
+/// scheduled tenant fires (bursty-web means one request per 0.2 ms-equiv),
+/// the regime campaign cells spend their wait phases in.
+const IDLE_WINDOW: u64 = 4_000_000;
+
+/// Mean neighbour dwell for the churned population: 20 ms at 2 GHz, so a
+/// typical bench iteration sees a handful of migrations.
+const CHURN_DWELL_CYCLES: f64 = 40_000_000.0;
+
+fn population(label: &str) -> TenantPopulation {
+    match label {
+        "none" => TenantPopulation::empty(),
+        "3static" => TenantPopulation::parse("2*idle,1*bursty-web").expect("spec parses"),
+        "3churn" => TenantPopulation::parse("2*idle,1*bursty-web")
+            .expect("spec parses")
+            .with_churn(ChurnConfig { mean_dwell_cycles: CHURN_DWELL_CYCLES }),
+        other => panic!("unknown population label {other:?}"),
+    }
+}
+
+fn bench_tenant_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tenant_dispatch");
+    group.sample_size(20);
+    for label in ["none", "3static", "3churn"] {
+        group.bench_with_input(BenchmarkId::new("idle_probe", label), &label, |b, &label| {
+            let mut machine = Machine::builder(CacheSpec::skylake_sp(2, 4))
+                .noise(NoiseModel::silent())
+                .tenants(population(label))
+                .seed(0x7e4a)
+                .build();
+            let va = machine.alloc_attacker_pages(1);
+            machine.access(va);
+            b.iter(|| {
+                let mut total = 0u64;
+                for _ in 0..PROBES_PER_ITER {
+                    machine.idle(IDLE_WINDOW);
+                    total += machine.timed_access(va).0;
+                }
+                total
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tenant_dispatch);
+criterion_main!(benches);

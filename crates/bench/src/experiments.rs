@@ -16,7 +16,7 @@ use llc_evsets::{
     EvsetConfig, TargetCache, TraversalOrder,
 };
 use llc_fleet::{stream_seed, Aggregate, Counts, Fleet, Samples};
-use llc_machine::{Machine, NoiseFidelity, NoiseModel};
+use llc_machine::{Machine, NoiseFidelity, NoiseModel, TenantPopulation};
 use llc_probe::{
     run_covert_channel, AccessTrace, CovertChannelConfig, Monitor, MonitorStats, Strategy,
 };
@@ -1064,6 +1064,7 @@ pub fn measure_key_recovery(
     environment: Environment,
     fidelity: NoiseFidelity,
     hierarchy: HierarchyOptions,
+    tenants: &TenantPopulation,
     nonce_bits: usize,
     max_signatures: usize,
     search: SearchConfig,
@@ -1093,6 +1094,7 @@ pub fn measure_key_recovery(
         .noise(environment.noise())
         .noise_fidelity(fidelity)
         .hierarchy_options(hierarchy)
+        .tenants(tenants.clone())
         .seed(stream_seed(seed, trial_streams::MACHINE))
         .build();
     let mut rng = StdRng::seed_from_u64(stream_seed(seed, trial_streams::ALLOC));
@@ -1588,6 +1590,7 @@ mod tests {
                 Environment::QuiescentLocal,
                 NoiseFidelity::Exact,
                 HierarchyOptions::default(),
+                &TenantPopulation::empty(),
                 32,
                 3,
                 SearchConfig { max_candidates: 150, max_flips: 2 },

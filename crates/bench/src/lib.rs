@@ -50,7 +50,18 @@
 //!   the machine name in report headers;
 //! * `LLC_REUSE_P` — reuse-predictor insertion probability (0.0–1.0).
 //!   Non-zero values force per-event noise dispatch; aggregate-mode report
-//!   headers then show the *effective* fidelity.
+//!   headers then show the *effective* fidelity;
+//! * `--tenants SPEC` / `LLC_TENANTS` — background tenant population
+//!   co-resident with the attacker/victim pair, e.g. `2*idle,1*bursty-web`
+//!   (kinds: `idle`, `bursty-web`, `batch-scan`; empty default is the
+//!   legacy single-attacker/single-victim host). Honoured by the
+//!   key-recovery path (`e2e_key`) and by campaign cells that carry a
+//!   population (the `coresidency-grid` preset); the table/figure
+//!   harnesses measure eviction-set construction against the statistical
+//!   noise floor and do not place structured tenants;
+//! * `--churn MS` / `LLC_CHURN_MS` — mean tenant dwell time in milliseconds
+//!   before a neighbour departs and is replaced by a fresh one (0 disables
+//!   churn; ignored without `--tenants`).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -63,7 +74,7 @@ use llc_cache_model::{
     CacheSpec, HierarchyOptions, InclusionPolicy, ReplacementKind, SliceHashSelect,
 };
 use llc_fleet::{Fleet, Summary};
-use llc_machine::{Machine, NoiseFidelity};
+use llc_machine::{ChurnConfig, Machine, NoiseFidelity, TenantPopulation};
 
 /// Reads a positive integer from the environment, with a default.
 pub fn env_usize(name: &str, default: usize) -> usize {
@@ -125,6 +136,13 @@ pub struct RunOpts {
     /// values force per-event noise dispatch; report headers show the
     /// effective fidelity.
     pub reuse_insert_probability: f64,
+    /// Background tenant population co-resident with the attacker/victim
+    /// pair (`--tenants`, `LLC_TENANTS`; e.g. `2*idle,1*bursty-web`).
+    /// Empty (the default) is the legacy single-attacker/single-victim host.
+    pub tenants: TenantPopulation,
+    /// Mean tenant dwell time in milliseconds for churn
+    /// (`--churn`, `LLC_CHURN_MS`; 0 disables churn, the default).
+    pub churn_dwell_ms: f64,
 }
 
 impl Default for RunOpts {
@@ -148,6 +166,15 @@ impl Default for RunOpts {
             .and_then(|v| v.parse::<f64>().ok())
             .filter(|p| (0.0..=1.0).contains(p))
             .unwrap_or(0.0);
+        let tenants = std::env::var("LLC_TENANTS")
+            .ok()
+            .and_then(|v| TenantPopulation::parse(&v))
+            .unwrap_or_default();
+        let churn_dwell_ms = std::env::var("LLC_CHURN_MS")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|ms| *ms >= 0.0)
+            .unwrap_or(0.0);
         Self {
             threads: llc_fleet::default_threads(),
             smoke: false,
@@ -156,6 +183,8 @@ impl Default for RunOpts {
             slice_hash,
             replacement,
             reuse_insert_probability,
+            tenants,
+            churn_dwell_ms,
         }
     }
 }
@@ -171,7 +200,8 @@ impl RunOpts {
                     "usage: <experiment> [--threads N] [--noise-fidelity exact|aggregate] \
                      [--inclusion non-inclusive|inclusive|exclusive] \
                      [--slice-hash xor-fold|modulo] \
-                     [--replacement lru|tree-plru|qlru|srrip|random] [--smoke]"
+                     [--replacement lru|tree-plru|qlru|srrip|random] \
+                     [--tenants SPEC] [--churn MS] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -216,6 +246,16 @@ impl RunOpts {
                 opts.replacement = Some(parse_replacement(v.as_ref())?);
             } else if let Some(v) = arg.strip_prefix("--replacement=") {
                 opts.replacement = Some(parse_replacement(v)?);
+            } else if arg == "--tenants" {
+                let v = iter.next().ok_or("--tenants requires a value")?;
+                opts.tenants = parse_tenants(v.as_ref())?;
+            } else if let Some(v) = arg.strip_prefix("--tenants=") {
+                opts.tenants = parse_tenants(v)?;
+            } else if arg == "--churn" {
+                let v = iter.next().ok_or("--churn requires a value")?;
+                opts.churn_dwell_ms = parse_churn(v.as_ref())?;
+            } else if let Some(v) = arg.strip_prefix("--churn=") {
+                opts.churn_dwell_ms = parse_churn(v)?;
             } else {
                 return Err(format!("unknown argument: {arg}"));
             }
@@ -237,7 +277,21 @@ impl RunOpts {
             slice_hash: SliceHashSelect::default(),
             replacement: None,
             reuse_insert_probability: 0.0,
+            tenants: TenantPopulation::empty(),
+            churn_dwell_ms: 0.0,
         }
+    }
+
+    /// Returns these options with the given tenant population spec (see
+    /// [`TenantPopulation::parse`]); used by the co-residency goldens.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unparseable spec.
+    pub fn with_tenants(mut self, spec: &str) -> Self {
+        self.tenants =
+            TenantPopulation::parse(spec).unwrap_or_else(|| panic!("bad tenant spec {spec:?}"));
+        self
     }
 
     /// Returns these options with the given noise fidelity.
@@ -295,6 +349,19 @@ impl RunOpts {
         HierarchyOptions { reuse_insert_probability: self.reuse_insert_probability }
     }
 
+    /// The background tenant population these options select, with the
+    /// `--churn` dwell time converted from milliseconds to cycles at the
+    /// given core frequency (pass `spec.freq_ghz`). Churn without tenants
+    /// is meaningless and is ignored.
+    pub fn tenant_population(&self, freq_ghz: f64) -> TenantPopulation {
+        let mut tenants = self.tenants.clone();
+        if self.churn_dwell_ms > 0.0 && !tenants.is_empty() {
+            tenants.churn =
+                Some(ChurnConfig { mean_dwell_cycles: self.churn_dwell_ms * freq_ghz * 1e6 });
+        }
+        tenants
+    }
+
     /// The *effective* noise fidelity of machines built with these options,
     /// answered by the machine layer itself (a hierarchy with an active
     /// reuse predictor dispatches noise per-event even in aggregate mode).
@@ -334,6 +401,22 @@ fn parse_replacement(v: &str) -> Result<ReplacementKind, String> {
     ReplacementKind::parse(v).ok_or_else(|| {
         format!("--replacement expects 'lru', 'tree-plru', 'qlru', 'srrip' or 'random', got {v:?}")
     })
+}
+
+fn parse_tenants(v: &str) -> Result<TenantPopulation, String> {
+    TenantPopulation::parse(v).ok_or_else(|| {
+        format!(
+            "--tenants expects entries like '2*idle,1*bursty-web' \
+             (kinds: idle, bursty-web, batch-scan), got {v:?}"
+        )
+    })
+}
+
+fn parse_churn(v: &str) -> Result<f64, String> {
+    v.parse::<f64>()
+        .ok()
+        .filter(|ms| *ms >= 0.0 && ms.is_finite())
+        .ok_or_else(|| format!("--churn expects a non-negative dwell time in ms, got {v:?}"))
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -463,6 +546,34 @@ mod tests {
         assert!(spec.name.contains("[inclusive]"), "name: {}", spec.name);
         assert!(spec.name.contains("[slice hash: modulo]"), "name: {}", spec.name);
         assert!(spec.name.contains("[replacement: srrip]"), "name: {}", spec.name);
+    }
+
+    #[test]
+    fn run_opts_parse_tenant_forms() {
+        let o = RunOpts::from_args(["--tenants", "2*idle,1*bursty-web", "--churn", "5"]).unwrap();
+        assert_eq!(o.tenants.label(), "2*idle+1*bursty-web");
+        assert_eq!(o.churn_dwell_ms, 5.0);
+        let o = RunOpts::from_args(["--tenants=batch-scan", "--churn=0"]).unwrap();
+        assert_eq!(o.tenants.len(), 1);
+        assert_eq!(o.churn_dwell_ms, 0.0);
+        assert!(RunOpts::from_args(["--tenants", "3*webscale"]).is_err());
+        assert!(RunOpts::from_args(["--churn", "-1"]).is_err());
+        assert!(RunOpts::from_args(["--tenants"]).is_err());
+        // Smoke pins the legacy empty population.
+        assert!(RunOpts::smoke_with_threads(2).tenants.is_empty());
+    }
+
+    #[test]
+    fn tenant_population_converts_churn_to_cycles() {
+        let o = RunOpts::from_args(["--tenants", "idle", "--churn", "2"]).unwrap();
+        let pop = o.tenant_population(2.0);
+        assert_eq!(pop.churn.map(|c| c.mean_dwell_cycles), Some(4_000_000.0));
+        // Churn without tenants is ignored.
+        let o = RunOpts::from_args(["--churn", "2"]).unwrap();
+        assert!(o.tenant_population(2.0).churn.is_none());
+        // No churn flag → static population.
+        let o = RunOpts::from_args(["--tenants", "idle"]).unwrap();
+        assert!(o.tenant_population(2.0).churn.is_none());
     }
 
     #[test]

@@ -41,6 +41,21 @@ fn fidelity_suffix(opts: &RunOpts) -> String {
     }
 }
 
+/// Header suffix naming the background tenant population and churn. Empty
+/// for the legacy empty population, so the pre-existing goldens stay
+/// byte-identical.
+fn tenant_suffix(opts: &RunOpts) -> String {
+    if opts.tenants.is_empty() {
+        return String::new();
+    }
+    let churn = if opts.churn_dwell_ms > 0.0 {
+        format!(" | churn: {} ms dwell", opts.churn_dwell_ms)
+    } else {
+        String::new()
+    };
+    format!(" | tenants: {}{churn}", opts.tenants.label())
+}
+
 /// Renders Table 3 — existing pruning algorithms without candidate
 /// filtering, quiescent local vs Cloud Run.
 pub fn table3_report(opts: &RunOpts) -> String {
@@ -371,9 +386,10 @@ pub fn e2e_key_report(opts: &RunOpts) -> String {
     let w = &mut out;
     writeln!(
         w,
-        "Step 4 — noisy-nonce key recovery ({}, Cloud Run noise{})",
+        "Step 4 — noisy-nonce key recovery ({}, Cloud Run noise{}{})",
         spec.name,
-        fidelity_suffix(opts)
+        fidelity_suffix(opts),
+        tenant_suffix(opts)
     )
     .unwrap();
     writeln!(w).unwrap();
@@ -387,6 +403,7 @@ pub fn e2e_key_report(opts: &RunOpts) -> String {
         Environment::CloudRun,
         opts.fidelity,
         opts.hierarchy_options(),
+        &opts.tenant_population(spec.freq_ghz),
         nonce_bits,
         signatures,
         search,

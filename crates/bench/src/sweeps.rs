@@ -24,7 +24,10 @@ use llc_cache_model::{
 };
 use llc_evsets::{oracle, EvsetBuilder, EvsetConfig, TargetCache};
 use llc_fleet::{stream_seed, TrialCtx};
-use llc_machine::{Machine, MachinePool, NoiseFidelity, NoiseModel, PooledMachine};
+use llc_machine::{
+    ChurnConfig, Machine, MachinePool, NoiseFidelity, NoiseModel, PooledMachine, TenantPopulation,
+    WorkloadKind,
+};
 use llc_core::Algorithm;
 use std::sync::Arc;
 
@@ -46,6 +49,9 @@ pub struct SweepCell {
     pub algorithm: Algorithm,
     /// Candidate filtering on (Table 4 protocol) or off (Table 3 protocol).
     pub filtering: bool,
+    /// Background tenant population co-resident on the cell's host (empty
+    /// for the single-attacker/single-victim cells of the pruning sweeps).
+    pub tenants: TenantPopulation,
 }
 
 /// A resumable pruning sweep: cells × trials streamed through one shared
@@ -97,8 +103,8 @@ impl PruningSweep {
     fn pool_key(&self, cell: &SweepCell) -> u64 {
         llc_machine::config_key(
             format!(
-                "sweep|{:?}|{:?}|{:?}|{:?}|{:x}",
-                cell.spec, cell.noise, self.fidelity, self.hierarchy, self.build_seed
+                "sweep|{:?}|{:?}|{:?}|{:?}|{:?}|{:x}",
+                cell.spec, cell.noise, self.fidelity, self.hierarchy, cell.tenants, self.build_seed
             )
             .as_bytes(),
         )
@@ -109,6 +115,7 @@ impl PruningSweep {
             .noise(cell.noise.clone())
             .noise_fidelity(self.fidelity)
             .hierarchy_options(self.hierarchy)
+            .tenants(cell.tenants.clone())
             .seed(self.build_seed)
             .build()
     }
@@ -171,7 +178,7 @@ pub struct SweepPreset {
 }
 
 /// The preset names [`build_preset`] understands.
-pub const PRESETS: [&str; 2] = ["table3-sweep", "noise-grid"];
+pub const PRESETS: [&str; 3] = ["table3-sweep", "noise-grid", "coresidency-grid"];
 
 /// Builds a named campaign preset under the given run options. `--smoke`
 /// pins the 4-slice host and one trial per cell (the CI golden
@@ -181,6 +188,7 @@ pub fn build_preset(name: &str, opts: &RunOpts) -> Option<SweepPreset> {
     match name {
         "table3-sweep" => Some(table3_sweep(opts)),
         "noise-grid" => Some(noise_grid(opts)),
+        "coresidency-grid" => Some(coresidency_grid(opts)),
         _ => None,
     }
 }
@@ -224,6 +232,7 @@ fn table3_sweep(opts: &RunOpts) -> SweepPreset {
                         noise: Environment::QuiescentLocal.noise(),
                         algorithm,
                         filtering: false,
+                        tenants: TenantPopulation::empty(),
                     });
                 }
             }
@@ -252,10 +261,59 @@ fn noise_grid(opts: &RunOpts) -> SweepPreset {
                 noise: noise.clone(),
                 algorithm,
                 filtering: false,
+                tenants: TenantPopulation::empty(),
             });
         }
     }
     preset_from_cells("noise-grid", 0x4015_e91d, cells, opts)
+}
+
+/// The co-residency sweep: neighbour count × dwell time × workload mix,
+/// reporting the attack success rate (GtOp eviction-set construction
+/// verified by oracle, the Table 3 protocol) per population cell. The
+/// statistical noise floor is quiescent-local so the *modelled* tenants are
+/// the dominant interference; `static` cells pin the population for the
+/// whole trial, `dwell` cells churn it with the paper's
+/// exponential-dwell migration model.
+fn coresidency_grid(opts: &RunOpts) -> SweepPreset {
+    let counts = [1usize, 3];
+    let dwell_ms = [0.0f64, 2.0];
+    // The mixed rotation starts at batch-scan so every (mix, count) pair is
+    // a distinct population (a rotation starting at idle would alias
+    // `mixed|n1` onto `idle|n1`).
+    let mixes: [(&str, &[WorkloadKind]); 3] = [
+        ("idle", &[WorkloadKind::Idle]),
+        ("bursty", &[WorkloadKind::BurstyWeb]),
+        ("mixed", &[WorkloadKind::BatchScan, WorkloadKind::Idle, WorkloadKind::BurstyWeb]),
+    ];
+    let spec = opts.spec();
+    let mut cells = Vec::new();
+    for (mix_name, kinds) in mixes {
+        for count in counts {
+            for dwell in dwell_ms {
+                let mut tenants = TenantPopulation {
+                    workloads: (0..count).map(|i| kinds[i % kinds.len()]).collect(),
+                    churn: None,
+                };
+                let dwell_label = if dwell > 0.0 {
+                    tenants.churn =
+                        Some(ChurnConfig { mean_dwell_cycles: dwell * spec.freq_ghz * 1e6 });
+                    format!("dwell{dwell:.0}ms")
+                } else {
+                    "static".to_string()
+                };
+                cells.push(SweepCell {
+                    id: format!("{mix_name}|n{count}|{dwell_label}"),
+                    spec: spec.clone(),
+                    noise: Environment::QuiescentLocal.noise(),
+                    algorithm: Algorithm::GtOp,
+                    filtering: false,
+                    tenants,
+                });
+            }
+        }
+    }
+    preset_from_cells("coresidency-grid", 0xc0_5e5d, cells, opts)
 }
 
 fn preset_from_cells(
@@ -350,6 +408,31 @@ mod tests {
         let specs: std::collections::HashSet<&str> =
             preset.source.cells().iter().map(|c| c.spec.name.as_str()).collect();
         assert_eq!(specs.len(), 1, "geometry is fixed; only noise varies");
+    }
+
+    #[test]
+    fn coresidency_grid_varies_population_not_geometry() {
+        let opts = RunOpts::smoke_with_threads(1);
+        let preset = build_preset("coresidency-grid", &opts).expect("known preset");
+        // 3 mixes × 2 neighbour counts × 2 dwell settings.
+        assert_eq!(preset.source.cells().len(), 12);
+        for cell in preset.source.cells() {
+            assert!(!cell.tenants.is_empty(), "every cell hosts neighbours: {}", cell.id);
+            assert_eq!(
+                cell.id.ends_with("static"),
+                cell.tenants.churn.is_none(),
+                "churn setting must match the cell id: {}",
+                cell.id
+            );
+        }
+        // Every population is a distinct machine configuration (the pool key
+        // hashes the tenant population), but geometry and noise are fixed.
+        let keys: std::collections::HashSet<u64> =
+            preset.source.cells().iter().map(|c| preset.source.pool_key(c)).collect();
+        assert_eq!(keys.len(), 12);
+        let specs: std::collections::HashSet<&str> =
+            preset.source.cells().iter().map(|c| c.spec.name.as_str()).collect();
+        assert_eq!(specs.len(), 1, "geometry is fixed; only the population varies");
     }
 
     #[test]

@@ -33,27 +33,44 @@ fn fresh_dir() -> PathBuf {
     dir
 }
 
-/// The `table3-sweep` smoke preset trimmed to its cheap cells (modulo slice
-/// hash, per-preset replacement): same machinery, tier-1-sized simulation.
-/// Rebuilt per call because a [`PruningSweep`] owns its machine pool.
-fn trimmed() -> (CampaignSpec, PruningSweep) {
+/// A named smoke preset trimmed to the cells whose ids pass `keep`: same
+/// machinery, tier-1-sized simulation. Rebuilt per call because a
+/// [`PruningSweep`] owns its machine pool.
+fn trim(
+    preset: &str,
+    name: &str,
+    chunk_trials: u64,
+    keep: impl Fn(&str) -> bool,
+) -> (CampaignSpec, PruningSweep) {
     let SweepPreset { spec, source } =
-        build_preset("table3-sweep", &RunOpts::smoke_with_threads(1)).expect("known preset");
-    let keep: Vec<usize> = (0..spec.cells.len())
-        .filter(|&i| {
-            let id = spec.cells[i].id.as_str();
-            id.contains("|modulo|") && id.ends_with("|preset") && !id.contains("|exclusive|")
-        })
-        .collect();
-    let cells = keep.iter().map(|&i| source.cells()[i].clone()).collect();
+        build_preset(preset, &RunOpts::smoke_with_threads(1)).expect("known preset");
+    let kept: Vec<usize> =
+        (0..spec.cells.len()).filter(|&i| keep(spec.cells[i].id.as_str())).collect();
+    let cells = kept.iter().map(|&i| source.cells()[i].clone()).collect();
     let spec = CampaignSpec {
-        name: "table3-sweep-trimmed".into(),
-        chunk_trials: 2,
-        cells: keep.iter().map(|&i| spec.cells[i].clone()).collect(),
+        name: name.into(),
+        chunk_trials,
+        cells: kept.iter().map(|&i| spec.cells[i].clone()).collect(),
         ..spec
     };
     let opts = RunOpts::smoke_with_threads(1);
     (spec.clone(), PruningSweep::new(cells, opts.fidelity, opts.hierarchy_options(), spec.master_seed))
+}
+
+/// The `table3-sweep` smoke preset trimmed to its cheap cells (modulo slice
+/// hash, per-preset replacement).
+fn trimmed() -> (CampaignSpec, PruningSweep) {
+    trim("table3-sweep", "table3-sweep-trimmed", 2, |id| {
+        id.contains("|modulo|") && id.ends_with("|preset") && !id.contains("|exclusive|")
+    })
+}
+
+/// The `coresidency-grid` smoke preset trimmed to one mix at one neighbour
+/// count — a static cell and a churned cell, so the resume path crosses a
+/// tenant-bearing machine configuration of each kind. One trial per chunk,
+/// so the two smoke trials give the kill leg a real chunk boundary.
+fn trimmed_coresidency() -> (CampaignSpec, PruningSweep) {
+    trim("coresidency-grid", "coresidency-grid-trimmed", 1, |id| id.starts_with("bursty|n1|"))
 }
 
 fn run(threads: usize, dir: &PathBuf, max_chunks: Option<u64>) -> (RunReport, u64, u64) {
@@ -105,6 +122,46 @@ fn killed_campaign_resumes_to_the_identical_report() {
     assert_eq!(replayed.aggregates, reference.aggregates);
     assert!(resumed_builds > 0, "the resume leg itself did run trials");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_coresidency_campaign_resumes_to_the_identical_report() {
+    let render = |report: &RunReport| {
+        let (spec, source) = trimmed_coresidency();
+        render_report(&spec, source.cells(), &report.aggregates)
+    };
+    let run = |threads: usize, dir: &PathBuf, max_chunks: Option<u64>| {
+        let (spec, source) = trimmed_coresidency();
+        Campaign::new(spec, dir)
+            .run(&Fleet::new(threads), &source, &RunOptions { max_chunks })
+            .expect("campaign runs")
+    };
+
+    // Uninterrupted reference at 2 threads.
+    let ref_dir = fresh_dir();
+    let reference = run(2, &ref_dir, None);
+    assert!(reference.complete);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Kill at a chunk boundary, resume at a different thread count: the
+    // churned tenant populations must re-derive bit-identically from the
+    // per-trial seeds recorded in the checkpoint. (The kill leg runs on one
+    // worker so the one-chunk bound bites before the second cell starts.)
+    let dir = fresh_dir();
+    let partial = run(1, &dir, Some(1));
+    assert!(!partial.complete);
+    let resumed = run(2, &dir, None);
+    assert!(resumed.complete);
+    assert!(resumed.chunks_resumed > 0);
+    assert_eq!(resumed.aggregates, reference.aggregates, "resume must be bit-identical");
+    assert_eq!(render(&resumed), render(&reference), "rendered reports must match byte-for-byte");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // And the report is thread-count invariant.
+    let dir8 = fresh_dir();
+    let threaded = run(8, &dir8, None);
+    assert_eq!(render(&threaded), render(&reference));
+    let _ = std::fs::remove_dir_all(&dir8);
 }
 
 #[test]

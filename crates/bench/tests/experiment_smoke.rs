@@ -29,6 +29,7 @@ const TABLE4_GOLDEN: &str = include_str!("golden/table4_smoke.txt");
 const TABLE5_GOLDEN: &str = include_str!("golden/table5_smoke.txt");
 const TABLE6_GOLDEN: &str = include_str!("golden/table6_smoke.txt");
 const E2E_KEY_GOLDEN: &str = include_str!("golden/e2e_key_smoke.txt");
+const E2E_KEY_CORESIDENCY_GOLDEN: &str = include_str!("golden/e2e_key_coresidency_smoke.txt");
 const AES_TTABLE_GOLDEN: &str = include_str!("golden/aes_ttable_smoke.txt");
 
 /// Diffs `actual` against `expected` with a readable first-mismatch report.
@@ -125,6 +126,47 @@ fn e2e_key_smoke_is_thread_count_invariant() {
     let eight = reports::e2e_key_report(&RunOpts::smoke_with_threads(8));
     assert_eq!(one, eight, "e2e_key --smoke must be byte-identical at 1 and 8 threads");
     assert_matches_golden("e2e_key --smoke --threads 1", &one, E2E_KEY_GOLDEN);
+}
+
+/// Options for the co-residency key-recovery smoke: the pinned smoke host
+/// plus two idle sidecars and one bursty web neighbour.
+fn coresidency_opts(threads: usize) -> RunOpts {
+    RunOpts::smoke_with_threads(threads).with_tenants("2*idle,1*bursty-web")
+}
+
+#[test]
+fn e2e_key_coresidency_smoke_matches_golden() {
+    let report = reports::e2e_key_report(&coresidency_opts(2));
+    assert_matches_golden(
+        "e2e_key --smoke --tenants 2*idle,1*bursty-web",
+        &report,
+        E2E_KEY_CORESIDENCY_GOLDEN,
+    );
+    // The headline claim of the tenant layer: key recovery still succeeds
+    // with modelled co-resident neighbours posting real cache traffic, and
+    // the report header says which population ran.
+    assert!(E2E_KEY_CORESIDENCY_GOLDEN.contains("tenants: 2*idle+1*bursty-web"));
+    assert!(E2E_KEY_CORESIDENCY_GOLDEN.contains("campaign: key recovered after"));
+    assert!(E2E_KEY_CORESIDENCY_GOLDEN.contains("key recovered: yes"));
+    assert!(!E2E_KEY_CORESIDENCY_GOLDEN.contains("MISMATCH"));
+    // And the neighbours are not decorative: their traffic changes the
+    // simulation relative to the tenant-free smoke golden.
+    assert_ne!(report, E2E_KEY_GOLDEN, "tenant population must perturb the simulation");
+}
+
+#[test]
+fn e2e_key_coresidency_smoke_is_thread_count_invariant() {
+    let one = reports::e2e_key_report(&coresidency_opts(1));
+    let eight = reports::e2e_key_report(&coresidency_opts(8));
+    assert_eq!(
+        one, eight,
+        "e2e_key --smoke --tenants ... must be byte-identical at 1 and 8 threads"
+    );
+    assert_matches_golden(
+        "e2e_key --smoke --tenants 2*idle,1*bursty-web --threads 1",
+        &one,
+        E2E_KEY_CORESIDENCY_GOLDEN,
+    );
 }
 
 #[test]

@@ -290,6 +290,36 @@ impl std::fmt::Display for SetLocation {
     }
 }
 
+/// The shared-structure set geometry visible to co-resident tenants: how
+/// many LLC/SF slices the host has and how many sets each slice holds.
+///
+/// Background tenants (the `llc-machine` actor layer) draw their working-set
+/// footprints over this space and post accesses per [`SetLocation`]; exposing
+/// the geometry here keeps them off the spec internals and guarantees the
+/// flat-index convention matches the one the sliced arenas use
+/// ([`SetLocation::flat_index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedGeometry {
+    /// Number of LLC/SF slices.
+    pub slices: usize,
+    /// Sets per slice (identical for LLC and SF by construction).
+    pub sets_per_slice: usize,
+}
+
+impl SharedGeometry {
+    /// Total number of shared sets across all slices.
+    pub fn total_sets(&self) -> usize {
+        self.slices * self.sets_per_slice
+    }
+
+    /// Maps a flat index in `0..total_sets()` back to a `(slice, set)`
+    /// location, inverse of [`SetLocation::flat_index`].
+    pub fn location(&self, flat: usize) -> SetLocation {
+        debug_assert!(flat < self.total_sets(), "flat set index outside the shared geometry");
+        SetLocation::new(flat / self.sets_per_slice, flat % self.sets_per_slice)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,7 +23,7 @@
 //! Latencies, noise and agents are layered on top by the `llc-machine` crate.
 
 use crate::addr::LineAddr;
-use crate::cache::{Cache, SetLocation, SlicedCache};
+use crate::cache::{Cache, SetLocation, SharedGeometry, SlicedCache};
 use crate::config::InclusionPolicy;
 use crate::presets::CacheSpec;
 use crate::slice::SliceHash;
@@ -284,6 +284,16 @@ impl Hierarchy {
     /// location because the two structures share sets and slice hash).
     pub fn shared_location(&self, line: LineAddr) -> SetLocation {
         self.llc.location(line)
+    }
+
+    /// The shared-structure set geometry (slices × sets per slice), which
+    /// the tenant actor layer uses to draw background working-set
+    /// footprints. The LLC and SF share this geometry by construction.
+    pub fn shared_geometry(&self) -> SharedGeometry {
+        SharedGeometry {
+            slices: self.spec.llc.num_slices(),
+            sets_per_slice: self.spec.llc.slice_geometry().sets(),
+        }
     }
 
     /// The L2 set index of `line`.

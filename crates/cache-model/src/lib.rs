@@ -48,7 +48,7 @@ mod slice;
 pub use addr::{
     LineAddr, PhysAddr, VirtAddr, LINES_PER_PAGE, LINE_BITS, LINE_SIZE, PAGE_BITS, PAGE_SIZE,
 };
-pub use cache::{Cache, SetLocation, SlicedCache};
+pub use cache::{Cache, SetLocation, SharedGeometry, SlicedCache};
 pub use config::{HierarchyConfig, InclusionPolicy, LevelReplacement, SliceHashSelect};
 pub use geometry::{CacheGeometry, SlicedGeometry};
 pub use hierarchy::{

@@ -11,6 +11,11 @@
 //!   quiescent lab machine (0.29 accesses/ms/set);
 //! * a co-located victim service, described by a [`VictimProgram`] that emits
 //!   one [`VictimSchedule`] per request;
+//! * an event-scheduled tenant actor layer ([`HostSim`], [`Tenant`]): the
+//!   noise process is the lazy [`StatisticalTenant`], and optional background
+//!   workload tenants (idle sidecars, bursty web serving, batch scans) post
+//!   timed bursts from per-tenant seeded streams, with placement/churn
+//!   modelling co-residency ([`TenantPopulation`], [`ChurnConfig`]);
 //! * the [`Machine`] itself, which exposes to the attack code exactly the
 //!   operations an unprivileged attacker has: timed/untimed loads of its own
 //!   memory, `clflush` of its own lines, and waiting;
@@ -46,6 +51,7 @@ mod machine;
 mod noise;
 mod pool;
 mod schedule;
+mod tenant;
 
 pub use aes::{
     AesHandle, AesLayout, AesLog, AesTTableConfig, AesTTableVictim, ENTRIES_PER_LINE,
@@ -54,11 +60,15 @@ pub use aes::{
 pub use latency::LatencyModel;
 pub use machine::{Machine, MachineBuilder, MachineSnapshot, MachineStats, TraversalPlan};
 pub use noise::{
-    sample_poisson, InitialSync, NoiseAdvance, NoiseConfig, NoiseEvent, NoiseFidelity, NoiseModel,
-    NoiseProcess,
+    aggregate_fallback_warned, sample_poisson, InitialSync, NoiseAdvance, NoiseConfig, NoiseEvent,
+    NoiseFidelity, NoiseModel, NoiseProcess, AGGREGATE_FALLBACK_WARNING,
 };
 pub use pool::{config_key, MachinePool, PooledMachine, PoolStats};
 pub use schedule::{PeriodicToucher, ScheduledAccess, VictimProgram, VictimSchedule};
+pub use tenant::{
+    BatchScanTenant, BurstyWebTenant, ChurnConfig, HostSim, IdleTenant, StatisticalTenant, Tenant,
+    TenantAccess, TenantBurst, TenantPopulation, WorkloadKind,
+};
 
 // Re-export the types attack code needs constantly, so downstream crates can
 // depend on a single façade for machine-level interaction.

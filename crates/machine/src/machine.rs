@@ -10,6 +10,7 @@
 use crate::latency::LatencyModel;
 use crate::noise::{NoiseConfig, NoiseFidelity, NoiseModel, NoiseProcess};
 use crate::schedule::{VictimProgram, VictimSchedule};
+use crate::tenant::{HostSim, StatisticalTenant, TenantBurst, TenantPopulation};
 use llc_cache_model::{
     AccessKind, AddressSpace, CacheSpec, CoreId, Hierarchy, HierarchyOptions, HitLevel, LineAddr,
     SetLocation, VirtAddr,
@@ -23,6 +24,9 @@ use rand::SeedableRng;
 /// injective `llc-fleet` derivation rather than XOR constants.
 const RESEED_RNG_STREAM: u64 = u64::from_le_bytes(*b"mrng\0\0\0\0");
 const RESEED_ASPACE_STREAM: u64 = u64::from_le_bytes(*b"maspace\0");
+/// Stream tag for the background-tenant seed family (each slot then derives
+/// its own sub-stream inside [`HostSim`]).
+const RESEED_TENANT_STREAM: u64 = u64::from_le_bytes(*b"mtenant\0");
 
 /// Counters describing how much work a simulation performed.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -35,6 +39,9 @@ pub struct MachineStats {
     pub noise_events: u64,
     /// Victim requests completed.
     pub victim_runs: u64,
+    /// Accesses posted by scheduled background tenants (event-queue actors;
+    /// the lazy statistical tenant's insertions count as `noise_events`).
+    pub tenant_accesses: u64,
 }
 
 /// Builder for [`Machine`]; see [`Machine::builder`].
@@ -44,6 +51,7 @@ pub struct MachineBuilder {
     noise: NoiseConfig,
     latency: LatencyModel,
     hierarchy_options: HierarchyOptions,
+    tenants: TenantPopulation,
     seed: u64,
 }
 
@@ -55,6 +63,7 @@ impl MachineBuilder {
             noise: NoiseConfig::exact(NoiseModel::quiescent_local()),
             latency: LatencyModel::default(),
             hierarchy_options: HierarchyOptions::default(),
+            tenants: TenantPopulation::empty(),
             seed: 0xC10D_5EED,
         }
     }
@@ -94,6 +103,15 @@ impl MachineBuilder {
         self
     }
 
+    /// Sets the background tenant population co-resident with the
+    /// attacker/victim pair (see [`TenantPopulation`]). The default is the
+    /// empty population — the legacy single-attacker/single-victim host,
+    /// bit-identical to the pre-tenant-model machine.
+    pub fn tenants(mut self, tenants: TenantPopulation) -> Self {
+        self.tenants = tenants;
+        self
+    }
+
     /// Sets the random seed controlling paging, noise and jitter.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -117,10 +135,13 @@ impl MachineBuilder {
         // per-event dispatch, so an Aggregate configuration effectively runs
         // Exact; record that so reports can label the run truthfully.
         noise.set_per_event_fallback(self.hierarchy_options.reuse_insert_probability > 0.0);
+        let mut host = HostSim::new(hierarchy, StatisticalTenant::new(noise), self.tenants);
+        // Zero work and zero RNG draws for the empty population, preserving
+        // the legacy configuration bit-for-bit.
+        host.reseed_tenants(stream_seed(self.seed, RESEED_TENANT_STREAM), 0);
         Machine {
-            hierarchy,
+            host,
             latency: self.latency,
-            noise,
             clock: 0,
             rng: StdRng::seed_from_u64(self.seed ^ 0x6d61_6368),
             attacker_aspace: AddressSpace::with_seed(self.seed ^ 0xa77a),
@@ -135,6 +156,7 @@ impl MachineBuilder {
             scratch_levels: Vec::new(),
             scratch_locs: Vec::new(),
             scratch_locs_sorted: Vec::new(),
+            scratch_burst: TenantBurst::default(),
             plan_epoch: 0,
         }
     }
@@ -156,9 +178,8 @@ impl MachineBuilder {
 /// victim and install a fresh victim per trial after each reset.
 #[derive(Debug, Clone)]
 pub struct MachineSnapshot {
-    hierarchy: Hierarchy,
+    host: HostSim,
     latency: LatencyModel,
-    noise: NoiseProcess,
     clock: u64,
     rng: StdRng,
     attacker_aspace: AddressSpace,
@@ -173,9 +194,8 @@ impl MachineSnapshot {
     /// Materialises an independent machine in exactly the snapshotted state.
     pub fn to_machine(&self) -> Machine {
         Machine {
-            hierarchy: self.hierarchy.clone(),
+            host: self.host.clone(),
             latency: self.latency.clone(),
-            noise: self.noise.clone(),
             clock: self.clock,
             rng: self.rng.clone(),
             attacker_aspace: self.attacker_aspace.clone(),
@@ -190,6 +210,7 @@ impl MachineSnapshot {
             scratch_levels: Vec::new(),
             scratch_locs: Vec::new(),
             scratch_locs_sorted: Vec::new(),
+            scratch_burst: TenantBurst::default(),
             plan_epoch: 0,
         }
     }
@@ -288,9 +309,11 @@ struct VictimRuntime {
 /// The simulated host machine.
 #[derive(Debug)]
 pub struct Machine {
-    hierarchy: Hierarchy,
+    /// The shared hierarchy plus every co-resident tenant — the lazy
+    /// statistical noise tenant and the event-scheduled background
+    /// workloads (see [`HostSim`]).
+    host: HostSim,
     latency: LatencyModel,
-    noise: NoiseProcess,
     clock: u64,
     rng: StdRng,
     attacker_aspace: AddressSpace,
@@ -309,6 +332,9 @@ pub struct Machine {
     scratch_levels: Vec<HitLevel>,
     scratch_locs: Vec<SetLocation>,
     scratch_locs_sorted: Vec<SetLocation>,
+    /// Reusable buffer tenant bursts are drawn into (same rationale as the
+    /// other scratch buffers; not part of snapshots).
+    scratch_burst: TenantBurst,
     /// Monotonic counter of [`Machine::reseed`] calls; a [`TraversalPlan`]
     /// is valid while its recorded epoch matches. Deliberately *not* part of
     /// snapshots and never rewound by `reset_to`: plans survive rewinds (the
@@ -335,7 +361,7 @@ impl Machine {
 
     /// The cache specification of this machine.
     pub fn spec(&self) -> &CacheSpec {
-        self.hierarchy.spec()
+        self.host.hierarchy.spec()
     }
 
     /// The latency model in force.
@@ -345,12 +371,12 @@ impl Machine {
 
     /// The background-noise model in force.
     pub fn noise_model(&self) -> &NoiseModel {
-        self.noise.model()
+        self.host.statistical.process.model()
     }
 
     /// The noise fidelity in force (see [`NoiseFidelity`]).
     pub fn noise_fidelity(&self) -> NoiseFidelity {
-        self.noise.fidelity()
+        self.host.statistical.process.fidelity()
     }
 
     /// The noise fidelity the simulation *actually runs at*: an `Aggregate`
@@ -358,12 +384,30 @@ impl Machine {
     /// hierarchy's reuse predictor is active (see
     /// [`NoiseProcess::effective_fidelity`]). Report headers print this.
     pub fn effective_noise_fidelity(&self) -> NoiseFidelity {
-        self.noise.effective_fidelity()
+        self.host.statistical.process.effective_fidelity()
     }
 
     /// Simulation work counters.
     pub fn stats(&self) -> MachineStats {
         self.stats
+    }
+
+    /// The configured background tenant population (empty for the legacy
+    /// single-attacker/single-victim host).
+    pub fn tenant_population(&self) -> &TenantPopulation {
+        self.host.population()
+    }
+
+    /// Number of background tenants currently resident on the host
+    /// (excludes slots waiting out a churn vacancy).
+    pub fn tenants_present(&self) -> usize {
+        self.host.tenants_present()
+    }
+
+    /// Total background-tenant arrivals: initial placements plus churn
+    /// migrations since the last (re)seed.
+    pub fn tenant_arrivals(&self) -> u64 {
+        self.host.arrivals()
     }
 
     /// Enables or disables the helper thread that echoes every attacker
@@ -390,12 +434,12 @@ impl Machine {
     /// This is an *oracle* for validation and success-rate accounting; the
     /// attack algorithms themselves never rely on it.
     pub fn oracle_attacker_location(&self, va: VirtAddr) -> SetLocation {
-        self.hierarchy.shared_location(self.attacker_line(va))
+        self.host.hierarchy.shared_location(self.attacker_line(va))
     }
 
     /// Ground-truth L2 set index of an attacker VA (oracle, validation only).
     pub fn oracle_attacker_l2_set(&self, va: VirtAddr) -> usize {
-        self.hierarchy.l2_set(self.attacker_line(va))
+        self.host.hierarchy.l2_set(self.attacker_line(va))
     }
 
     /// Ground-truth (slice, set) location of a victim VA (oracle).
@@ -405,7 +449,7 @@ impl Machine {
     /// Panics if no victim program is installed or the VA is unmapped.
     pub fn oracle_victim_location(&self, va: VirtAddr) -> SetLocation {
         let victim = self.victim.as_ref().expect("no victim installed");
-        self.hierarchy.shared_location(victim.aspace.translate_unchecked(va).line())
+        self.host.hierarchy.shared_location(victim.aspace.translate_unchecked(va).line())
     }
 
     // ---- attacker operations ----------------------------------------------
@@ -414,7 +458,7 @@ impl Machine {
     /// served it. Advances the clock by the access latency.
     pub fn access(&mut self, va: VirtAddr) -> HitLevel {
         let line = self.attacker_line(va);
-        let loc = self.hierarchy.shared_location(line);
+        let loc = self.host.hierarchy.shared_location(line);
         self.prepare_set(loc);
         let level = self.do_attacker_access(line, loc);
         let cost = self.latency.level_latency(level) + self.latency.issue_overhead;
@@ -427,7 +471,7 @@ impl Machine {
     /// latency in cycles (including timer overhead) and the serving level.
     pub fn timed_access(&mut self, va: VirtAddr) -> (u64, HitLevel) {
         let line = self.attacker_line(va);
-        let loc = self.hierarchy.shared_location(line);
+        let loc = self.host.hierarchy.shared_location(line);
         self.prepare_set(loc);
         let level = self.do_attacker_access(line, loc);
         let raw = self.latency.level_latency(level) + self.latency.timer_overhead;
@@ -517,7 +561,7 @@ impl Machine {
         plan.lines.clear();
         plan.lines.extend(vas.iter().map(|&va| self.attacker_line(va)));
         plan.locs.clear();
-        plan.locs.extend(plan.lines.iter().map(|&l| self.hierarchy.shared_location(l)));
+        plan.locs.extend(plan.lines.iter().map(|&l| self.host.hierarchy.shared_location(l)));
         plan.distinct.clear();
         plan.distinct.extend_from_slice(&plan.locs);
         plan.distinct.sort_unstable();
@@ -596,7 +640,7 @@ impl Machine {
     /// strategy; this just marks the state).
     pub fn prime_as_victim(&mut self, va: VirtAddr) {
         let line = self.attacker_line(va);
-        self.hierarchy.prime_as_victim(line);
+        self.host.hierarchy.prime_as_victim(line);
     }
 
     /// Performs a Prime+Scope-style *scope check* of `va`: a timed access
@@ -605,14 +649,14 @@ impl Machine {
     pub fn scope_check(&mut self, va: VirtAddr) -> (u64, HitLevel) {
         let result = self.timed_access(va);
         let line = self.attacker_line(va);
-        self.hierarchy.prime_as_victim(line);
+        self.host.hierarchy.prime_as_victim(line);
         result
     }
 
     /// Flushes an attacker line from the whole hierarchy (`clflush`).
     pub fn clflush(&mut self, va: VirtAddr) {
         let line = self.attacker_line(va);
-        self.hierarchy.clflush(line);
+        self.host.hierarchy.clflush(line);
         let cost = self.latency.jittered(self.latency.clflush, &mut self.rng);
         self.tick(cost);
     }
@@ -696,9 +740,8 @@ impl Machine {
             "snapshot a machine before installing a victim; install victims per trial"
         );
         MachineSnapshot {
-            hierarchy: self.hierarchy.clone(),
+            host: self.host.clone(),
             latency: self.latency.clone(),
-            noise: self.noise.clone(),
             clock: self.clock,
             rng: self.rng.clone(),
             attacker_aspace: self.attacker_aspace.clone(),
@@ -721,9 +764,8 @@ impl Machine {
     /// restores across different specs are a programming error and panic in
     /// debug builds).
     pub fn reset_to(&mut self, snapshot: &MachineSnapshot) {
-        self.hierarchy.restore_from(&snapshot.hierarchy);
+        self.host.restore_from(&snapshot.host);
         self.latency.clone_from(&snapshot.latency);
-        self.noise.restore_from(&snapshot.noise);
         self.clock = snapshot.clock;
         self.rng = snapshot.rng.clone();
         self.attacker_aspace.restore_from(&snapshot.attacker_aspace);
@@ -750,6 +792,10 @@ impl Machine {
     pub fn reseed(&mut self, seed: u64) {
         self.rng = StdRng::seed_from_u64(stream_seed(seed, RESEED_RNG_STREAM));
         self.attacker_aspace.reseed(stream_seed(seed, RESEED_ASPACE_STREAM));
+        // Background tenants re-derive their per-slot sub-streams, redraw
+        // their working sets and rebuild the event queue as of now. A no-op
+        // (zero RNG draws) for the empty population.
+        self.host.reseed_tenants(stream_seed(seed, RESEED_TENANT_STREAM), self.clock);
         self.plan_epoch += 1;
     }
 
@@ -774,7 +820,7 @@ impl Machine {
     fn prepare_sets(&mut self, lines: &[LineAddr]) {
         let mut locs = std::mem::take(&mut self.scratch_locs);
         locs.clear();
-        locs.extend(lines.iter().map(|&l| self.hierarchy.shared_location(l)));
+        locs.extend(lines.iter().map(|&l| self.host.hierarchy.shared_location(l)));
         let mut sorted = std::mem::take(&mut self.scratch_locs_sorted);
         sorted.clear();
         sorted.extend_from_slice(&locs);
@@ -803,38 +849,90 @@ impl Machine {
     /// aggregate mode draws only the per-structure insertion counts and
     /// applies them as one evict-and-fill transition.
     fn prepare_set_at(&mut self, loc: SetLocation, at: u64) {
-        match self.noise.fidelity() {
+        match self.host.statistical.process.fidelity() {
             NoiseFidelity::Exact => {
-                let events = self.noise.catch_up(loc, at, &mut self.rng);
+                let events = self.host.statistical.process.catch_up(loc, at, &mut self.rng);
                 self.stats.noise_events += events.len() as u64;
-                self.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
+                self.host.hierarchy.noise_access_bulk(loc, events.iter().map(|e| e.shared));
             }
             NoiseFidelity::Aggregate => {
-                let advance = self.noise.catch_up_aggregate(loc, at, &mut self.rng);
+                let advance = self.host.statistical.process.catch_up_aggregate(loc, at, &mut self.rng);
                 self.stats.noise_events += advance.total();
-                self.hierarchy.noise_advance_bulk(loc, advance.llc, advance.sf);
+                self.host.hierarchy.noise_advance_bulk(loc, advance.llc, advance.sf);
             }
         }
     }
 
     fn do_attacker_access(&mut self, line: LineAddr, loc: SetLocation) -> HitLevel {
-        let outcome = self.hierarchy.access_at(self.attacker_core, line, loc, AccessKind::Read);
+        let outcome = self.host.hierarchy.access_at(self.attacker_core, line, loc, AccessKind::Read);
         self.stats.attacker_accesses += 1;
         if self.helper_echo {
             // The helper thread repeats the access from another core shortly
             // afterwards, turning the line Shared and pushing it to the LLC.
-            self.hierarchy.access_at(self.helper_core, line, loc, AccessKind::Read);
+            self.host.hierarchy.access_at(self.helper_core, line, loc, AccessKind::Read);
             self.stats.attacker_accesses += 1;
         }
         outcome.level
     }
 
-    /// Advances the clock by `cost`, replaying victim activity that happens
-    /// in the meantime.
+    /// Advances the clock by `cost`, replaying victim activity and scheduled
+    /// tenant events that happen in the meantime.
     fn tick(&mut self, cost: u64) {
         let target = self.clock + cost;
-        self.advance_victim(target);
+        if self.host.has_scheduled() {
+            self.advance_host(target);
+        } else {
+            // The legacy path: no background tenants, the event queue is
+            // empty for the whole simulation and only the victim replays.
+            self.advance_victim(target);
+        }
         self.clock = target;
+    }
+
+    /// Interleaves queued tenant events with victim replay in timestamp
+    /// order up to `to`. Ties resolve victim-first: the victim's accesses at
+    /// cycle `t` land before any tenant burst scheduled at `t`, matching the
+    /// pre-refactor ordering where victim replay was the only timed agent.
+    fn advance_host(&mut self, to: u64) {
+        while let Some(at) = self.host.next_event_at(to) {
+            self.advance_victim(at);
+            let event = self.host.pop_event();
+            let mut burst = std::mem::take(&mut self.scratch_burst);
+            self.host.step_tenant(event, &mut burst);
+            self.apply_tenant_burst(&mut burst, at);
+            self.scratch_burst = burst;
+        }
+        self.advance_victim(to);
+    }
+
+    /// Lands one tenant burst at cycle `at`: statistical catch-up over the
+    /// burst's distinct sets first (canonical sorted order, same discipline
+    /// as attacker traversals and victim replay), then the burst's accesses
+    /// in posting order, with consecutive same-set runs applied through one
+    /// borrowed set view each.
+    fn apply_tenant_burst(&mut self, burst: &mut TenantBurst, at: u64) {
+        if burst.accesses.is_empty() {
+            return;
+        }
+        burst.locs.clear();
+        burst.locs.extend(burst.accesses.iter().map(|&(loc, _)| loc));
+        burst.locs.sort_unstable();
+        burst.locs.dedup();
+        for &loc in &burst.locs {
+            self.prepare_set_at(loc, at);
+        }
+        let accesses = &burst.accesses;
+        let mut i = 0;
+        while i < accesses.len() {
+            let loc = accesses[i].0;
+            let mut j = i + 1;
+            while j < accesses.len() && accesses[j].0 == loc {
+                j += 1;
+            }
+            self.host.hierarchy.noise_access_bulk(loc, accesses[i..j].iter().map(|&(_, s)| s));
+            i = j;
+        }
+        self.stats.tenant_accesses += accesses.len() as u64;
     }
 
     fn advance_victim(&mut self, to: u64) {
@@ -853,9 +951,9 @@ impl Machine {
                     }
                     let line = v.aspace.translate_unchecked(acc.va).line();
                     // Background noise also hits the victim's sets.
-                    let loc = self.hierarchy.shared_location(line);
+                    let loc = self.host.hierarchy.shared_location(line);
                     self.prepare_set_at(loc, at);
-                    self.hierarchy.access_at(self.victim_core, line, loc, AccessKind::Read);
+                    self.host.hierarchy.access_at(self.victim_core, line, loc, AccessKind::Read);
                     self.stats.victim_accesses += 1;
                     run.next += 1;
                 }

@@ -28,6 +28,25 @@
 
 use llc_cache_model::SetLocation;
 use rand::Rng;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// The one-time warning printed when an aggregate-fidelity configuration
+/// degrades to per-event dispatch (see
+/// [`NoiseProcess::set_per_event_fallback`]).
+pub const AGGREGATE_FALLBACK_WARNING: &str = "noise fidelity 'aggregate' degraded to per-event \
+     dispatch: the reuse predictor is active (reuse_insert_probability > 0), and the bulk \
+     evict-and-fill transition cannot reproduce its mid-burst re-insertions. The run is \
+     bit-faithful but ~5x slower than an aggregate configuration implies; report headers show \
+     the effective fidelity.";
+
+/// Process-wide latch for the one-time fallback warning.
+static AGGREGATE_FALLBACK_WARNED: AtomicBool = AtomicBool::new(false);
+
+/// True once the aggregate-fallback warning has been emitted by this
+/// process (test hook; see [`NoiseProcess::set_per_event_fallback`]).
+pub fn aggregate_fallback_warned() -> bool {
+    AGGREGATE_FALLBACK_WARNED.load(Ordering::Relaxed)
+}
 
 /// Parameters of the background-tenant access process.
 #[derive(Debug, Clone, PartialEq)]
@@ -335,8 +354,21 @@ impl NoiseProcess {
     /// to per-event dispatch (e.g. its reuse predictor is active, which
     /// forces `Hierarchy::noise_advance_bulk` onto the exact per-event
     /// path).
+    ///
+    /// When an **aggregate** configuration hits this fallback, a one-time
+    /// warning ([`AGGREGATE_FALLBACK_WARNING`]) is printed to stderr — a
+    /// campaign cell that silently ran ~5× slower than its preset implies
+    /// was only discoverable from a header tag before. The warning fires at
+    /// most once per process; report headers still carry the per-run
+    /// effective-fidelity tag.
     pub fn set_per_event_fallback(&mut self, fallback: bool) {
         self.per_event_fallback = fallback;
+        if fallback
+            && self.fidelity == NoiseFidelity::Aggregate
+            && !AGGREGATE_FALLBACK_WARNED.swap(true, Ordering::Relaxed)
+        {
+            eprintln!("warning: {AGGREGATE_FALLBACK_WARNING}");
+        }
     }
 
     /// The fidelity the simulation *actually runs at*.

@@ -1,0 +1,707 @@
+//! The tenant actor layer: every source of cache activity on the simulated
+//! host — the statistical noise floor and structured background workloads —
+//! expressed as [`Tenant`] actors scheduled by a [`HostSim`].
+//!
+//! The host owns the [`Hierarchy`] plus a binary-heap event queue keyed on
+//! the machine's virtual clock. Scheduled tenants (bursty web serving, batch
+//! scans, idle sidecars) post timed cache-access events drawn from
+//! per-tenant seeded streams; the [`StatisticalTenant`] — the former
+//! free-standing `NoiseProcess` — stays *lazily* synchronised per set
+//! instead, exactly as before the refactor, which is what keeps the legacy
+//! single-attacker/single-victim configuration bit-identical (it posts no
+//! events, draws from the same machine RNG in the same order, and the event
+//! queue stays empty).
+//!
+//! Tenant placement and churn model the paper's co-residency question:
+//! neighbours arrive, dwell for an exponentially distributed time, depart,
+//! and are replaced by a fresh neighbour (a migration) with a newly drawn
+//! working set. All churn randomness comes from per-tenant sub-streams
+//! derived with `llc_fleet::stream_seed`, so adding or churning tenants
+//! never perturbs the attacker's jitter stream, and every fleet trial
+//! re-derives the whole population deterministically from its trial seed.
+
+use crate::noise::NoiseProcess;
+use llc_cache_model::{Hierarchy, SetLocation, SharedGeometry};
+use llc_fleet::stream_seed;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Stream tag under which [`HostSim`] derives the per-tenant seed family
+/// from a machine (re)seed, via the injective `llc-fleet` derivation.
+const TENANT_STREAM: u64 = u64::from_le_bytes(*b"tenant\0\0");
+
+/// One background access posted by a tenant: the shared set it lands in and
+/// whether it allocates in the LLC (`true`, a shared line) or the snoop
+/// filter (`false`, another tenant's private line).
+pub type TenantAccess = (SetLocation, bool);
+
+/// Reusable buffer a tenant fills with one event's burst of accesses.
+///
+/// Owned by the machine and handed to [`Tenant::on_event`] so the event
+/// dispatch hot path allocates nothing in steady state.
+#[derive(Debug, Clone, Default)]
+pub struct TenantBurst {
+    /// The burst's accesses, in posting order. Consecutive accesses to the
+    /// same set are applied through one borrowed set view
+    /// (`Hierarchy::noise_access_bulk`).
+    pub accesses: Vec<TenantAccess>,
+    /// Scratch: the burst's distinct locations, for canonical noise
+    /// catch-up ordering before the accesses land.
+    pub(crate) locs: Vec<SetLocation>,
+}
+
+impl TenantBurst {
+    /// Empties the buffer (keeping its allocations).
+    pub fn clear(&mut self) {
+        self.accesses.clear();
+        self.locs.clear();
+    }
+}
+
+/// A co-resident tenant actor.
+///
+/// Tenants come in two temporal shapes, distinguished by what
+/// [`Tenant::place`] returns:
+///
+/// * **Scheduled** tenants return their first event time; the host enqueues
+///   it and thereafter calls [`Tenant::on_event`] at each scheduled cycle,
+///   interleaved with victim replay in timestamp order.
+/// * **Lazy** tenants return `None`: they post no events and are instead
+///   synchronised per set at observation time (the [`StatisticalTenant`]'s
+///   Poisson catch-up, evaluated only for sets somebody actually looks at).
+pub trait Tenant: std::fmt::Debug {
+    /// Short human label for reports ("idle", "bursty-web", ...).
+    fn label(&self) -> &'static str;
+
+    /// (Re)places the tenant on a host with the given shared geometry:
+    /// draws a fresh working-set footprint from `rng` and returns the cycle
+    /// of its first activity event (`None` for lazy tenants).
+    fn place(&mut self, geometry: SharedGeometry, now: u64, rng: &mut StdRng) -> Option<u64>;
+
+    /// Executes the activity event scheduled at `at`: posts the burst's
+    /// accesses into `burst` and returns the next event time (`None` to
+    /// stop scheduling).
+    fn on_event(
+        &mut self,
+        at: u64,
+        geometry: SharedGeometry,
+        rng: &mut StdRng,
+        burst: &mut TenantBurst,
+    ) -> Option<u64>;
+}
+
+/// Draws an exponentially distributed gap with the given mean, in cycles
+/// (minimum 1, so event times strictly advance).
+fn exp_gap(rng: &mut StdRng, mean: f64) -> u64 {
+    // 1 - u ∈ (0, 1]: ln never sees zero.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    (-u.ln() * mean).ceil().max(1.0) as u64
+}
+
+/// Draws a uniformly random shared-set location.
+fn random_loc(geometry: SharedGeometry, rng: &mut StdRng) -> SetLocation {
+    geometry.location(rng.gen::<u64>() as usize % geometry.total_sets())
+}
+
+// ---------------------------------------------------------------------------
+// The statistical tenant (the former free-standing noise process)
+// ---------------------------------------------------------------------------
+
+/// The statistical noise floor as a tenant: wraps the Poisson
+/// [`NoiseProcess`] that models the aggregate LLC/SF traffic of all the
+/// *unmodelled* neighbours (11.5 accesses/ms/set on Cloud Run).
+///
+/// This is the lazy tenant kind: it never posts events. Each shared set is
+/// caught up on demand when the attacker or victim touches it, drawing from
+/// the machine's RNG in exactly the pre-refactor order — the bit-identity
+/// anchor for every existing golden.
+#[derive(Debug, Clone)]
+pub struct StatisticalTenant {
+    pub(crate) process: NoiseProcess,
+}
+
+impl StatisticalTenant {
+    /// Wraps a noise process as the host's lazy statistical tenant.
+    pub fn new(process: NoiseProcess) -> Self {
+        Self { process }
+    }
+
+    /// The wrapped noise process.
+    pub fn process(&self) -> &NoiseProcess {
+        &self.process
+    }
+
+    /// Mutable access to the wrapped noise process.
+    pub fn process_mut(&mut self) -> &mut NoiseProcess {
+        &mut self.process
+    }
+}
+
+impl Tenant for StatisticalTenant {
+    fn label(&self) -> &'static str {
+        "statistical"
+    }
+
+    fn place(&mut self, _geometry: SharedGeometry, _now: u64, _rng: &mut StdRng) -> Option<u64> {
+        None // lazy: synchronised per set at observation time
+    }
+
+    fn on_event(
+        &mut self,
+        _at: u64,
+        _geometry: SharedGeometry,
+        _rng: &mut StdRng,
+        _burst: &mut TenantBurst,
+    ) -> Option<u64> {
+        None // never scheduled
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled background workloads
+// ---------------------------------------------------------------------------
+
+/// An idle neighbour: a mostly-sleeping sidecar that touches a tiny
+/// working set about once per millisecond.
+#[derive(Debug, Clone, Default)]
+pub struct IdleTenant {
+    footprint: Vec<SetLocation>,
+}
+
+impl IdleTenant {
+    const FOOTPRINT_SETS: usize = 8;
+    const MEAN_GAP_CYCLES: f64 = 2_000_000.0; // ~1 wakeup per ms at 2 GHz
+    const ACCESSES_PER_EVENT: usize = 2;
+}
+
+impl Tenant for IdleTenant {
+    fn label(&self) -> &'static str {
+        "idle"
+    }
+
+    fn place(&mut self, geometry: SharedGeometry, now: u64, rng: &mut StdRng) -> Option<u64> {
+        self.footprint.clear();
+        self.footprint.extend((0..Self::FOOTPRINT_SETS).map(|_| random_loc(geometry, rng)));
+        Some(now + exp_gap(rng, Self::MEAN_GAP_CYCLES))
+    }
+
+    fn on_event(
+        &mut self,
+        at: u64,
+        _geometry: SharedGeometry,
+        rng: &mut StdRng,
+        burst: &mut TenantBurst,
+    ) -> Option<u64> {
+        for _ in 0..Self::ACCESSES_PER_EVENT {
+            let loc = self.footprint[rng.gen::<u64>() as usize % self.footprint.len()];
+            burst.accesses.push((loc, rng.gen::<f64>() < 0.5));
+        }
+        Some(at + exp_gap(rng, Self::MEAN_GAP_CYCLES))
+    }
+}
+
+/// A bursty web-serving neighbour: requests arrive as a Poisson process
+/// (~5 per millisecond) and each request touches a few hot sets of a larger
+/// footprint with a short same-set run per hot set (the shape that makes
+/// the set-view bulk access path pay off).
+#[derive(Debug, Clone, Default)]
+pub struct BurstyWebTenant {
+    footprint: Vec<SetLocation>,
+}
+
+impl BurstyWebTenant {
+    const FOOTPRINT_SETS: usize = 32;
+    const MEAN_GAP_CYCLES: f64 = 400_000.0; // ~5 requests per ms at 2 GHz
+    const HOT_SETS_PER_REQUEST: usize = 4;
+    const RUN_PER_HOT_SET: usize = 6;
+}
+
+impl Tenant for BurstyWebTenant {
+    fn label(&self) -> &'static str {
+        "bursty-web"
+    }
+
+    fn place(&mut self, geometry: SharedGeometry, now: u64, rng: &mut StdRng) -> Option<u64> {
+        self.footprint.clear();
+        self.footprint.extend((0..Self::FOOTPRINT_SETS).map(|_| random_loc(geometry, rng)));
+        Some(now + exp_gap(rng, Self::MEAN_GAP_CYCLES))
+    }
+
+    fn on_event(
+        &mut self,
+        at: u64,
+        _geometry: SharedGeometry,
+        rng: &mut StdRng,
+        burst: &mut TenantBurst,
+    ) -> Option<u64> {
+        for _ in 0..Self::HOT_SETS_PER_REQUEST {
+            let loc = self.footprint[rng.gen::<u64>() as usize % self.footprint.len()];
+            for _ in 0..Self::RUN_PER_HOT_SET {
+                // Web-serving working sets are mostly shared (page cache,
+                // code): most insertions contend in the LLC.
+                burst.accesses.push((loc, rng.gen::<f64>() < 0.6));
+            }
+        }
+        Some(at + exp_gap(rng, Self::MEAN_GAP_CYCLES))
+    }
+}
+
+/// A batch-scan neighbour: a steady sequential sweep over the whole shared
+/// set space (analytics / compaction / backup traffic), one stripe of
+/// consecutive sets per fixed-interval event.
+#[derive(Debug, Clone, Default)]
+pub struct BatchScanTenant {
+    cursor: usize,
+}
+
+impl BatchScanTenant {
+    const INTERVAL_CYCLES: u64 = 25_000;
+    const SETS_PER_EVENT: usize = 8;
+}
+
+impl Tenant for BatchScanTenant {
+    fn label(&self) -> &'static str {
+        "batch-scan"
+    }
+
+    fn place(&mut self, geometry: SharedGeometry, now: u64, rng: &mut StdRng) -> Option<u64> {
+        self.cursor = rng.gen::<u64>() as usize % geometry.total_sets();
+        Some(now + Self::INTERVAL_CYCLES)
+    }
+
+    fn on_event(
+        &mut self,
+        at: u64,
+        geometry: SharedGeometry,
+        rng: &mut StdRng,
+        burst: &mut TenantBurst,
+    ) -> Option<u64> {
+        let total = geometry.total_sets();
+        for k in 0..Self::SETS_PER_EVENT {
+            let loc = geometry.location((self.cursor + k) % total);
+            // Streaming reads of private buffers: mostly SF insertions.
+            burst.accesses.push((loc, rng.gen::<f64>() < 0.25));
+        }
+        self.cursor = (self.cursor + Self::SETS_PER_EVENT) % total;
+        Some(at + Self::INTERVAL_CYCLES)
+    }
+}
+
+/// The background workload kinds a host population can be composed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadKind {
+    /// Mostly-sleeping sidecar ([`IdleTenant`]).
+    Idle,
+    /// Poisson request bursts over hot sets ([`BurstyWebTenant`]).
+    BurstyWeb,
+    /// Steady sequential sweep of the set space ([`BatchScanTenant`]).
+    BatchScan,
+}
+
+impl WorkloadKind {
+    /// Parses a workload name (the `--tenants` vocabulary).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "idle" => Some(Self::Idle),
+            "bursty-web" | "bursty" => Some(Self::BurstyWeb),
+            "batch-scan" | "batch" => Some(Self::BatchScan),
+            _ => None,
+        }
+    }
+
+    /// Canonical label (round-trips through [`WorkloadKind::parse`]).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Idle => "idle",
+            Self::BurstyWeb => "bursty-web",
+            Self::BatchScan => "batch-scan",
+        }
+    }
+
+    fn instance(self) -> WorkloadTenant {
+        match self {
+            Self::Idle => WorkloadTenant::Idle(IdleTenant::default()),
+            Self::BurstyWeb => WorkloadTenant::Bursty(BurstyWebTenant::default()),
+            Self::BatchScan => WorkloadTenant::Batch(BatchScanTenant::default()),
+        }
+    }
+}
+
+/// Runtime state of a scheduled workload, enum-dispatched (like the cache
+/// core's replacement policies) so slots stay `Clone` for snapshots.
+#[derive(Debug, Clone)]
+enum WorkloadTenant {
+    Idle(IdleTenant),
+    Bursty(BurstyWebTenant),
+    Batch(BatchScanTenant),
+}
+
+impl WorkloadTenant {
+    fn as_tenant_mut(&mut self) -> &mut dyn Tenant {
+        match self {
+            Self::Idle(t) => t,
+            Self::Bursty(t) => t,
+            Self::Batch(t) => t,
+        }
+    }
+}
+
+/// Churn model: every tenant slot dwells for an exponentially distributed
+/// time, departs, and is replaced after an exponential vacancy gap by a
+/// fresh neighbour of the same workload kind with a newly drawn working set
+/// (arrival → dwell → departure → migration, repeated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnConfig {
+    /// Mean co-residency dwell time, in cycles.
+    pub mean_dwell_cycles: f64,
+}
+
+impl ChurnConfig {
+    /// Mean vacancy between a departure and the replacement's arrival: a
+    /// quarter of the dwell time (hosts in the paper's setting are rarely
+    /// left under-committed for long).
+    fn mean_gap_cycles(self) -> f64 {
+        (self.mean_dwell_cycles / 4.0).max(1.0)
+    }
+}
+
+/// The configured tenant population of a host: which background workloads
+/// co-reside with the attacker/victim pair, and whether they churn.
+///
+/// The empty population is the legacy single-attacker/single-victim host
+/// and is guaranteed bit-identical to the pre-actor-model machine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TenantPopulation {
+    /// One entry per background tenant slot.
+    pub workloads: Vec<WorkloadKind>,
+    /// Churn model; `None` pins the population for the whole simulation.
+    pub churn: Option<ChurnConfig>,
+}
+
+impl TenantPopulation {
+    /// The empty (legacy) population.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// True if no background tenants are configured.
+    pub fn is_empty(&self) -> bool {
+        self.workloads.is_empty()
+    }
+
+    /// Number of configured background tenant slots.
+    pub fn len(&self) -> usize {
+        self.workloads.len()
+    }
+
+    /// Returns this population with the given churn model.
+    pub fn with_churn(mut self, churn: ChurnConfig) -> Self {
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Parses a population spec: comma- or plus-separated entries of the
+    /// form `N*kind` or `kind`, e.g. `2*idle,1*bursty-web` or
+    /// `idle+batch-scan`. Kinds: `idle`, `bursty-web`, `batch-scan`.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let mut workloads = Vec::new();
+        for entry in spec.split([',', '+']).map(str::trim).filter(|e| !e.is_empty()) {
+            let (count, name) = match entry.split_once('*') {
+                Some((n, name)) => (n.trim().parse::<usize>().ok()?, name.trim()),
+                None => (1, entry),
+            };
+            let kind = WorkloadKind::parse(name)?;
+            workloads.extend(std::iter::repeat(kind).take(count));
+        }
+        Some(Self { workloads, churn: None })
+    }
+
+    /// Canonical label for report headers: consecutive equal kinds grouped,
+    /// e.g. `2*idle+1*bursty-web`. Empty string for the empty population.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<(WorkloadKind, usize)> = Vec::new();
+        for &kind in &self.workloads {
+            match parts.last_mut() {
+                Some((k, n)) if *k == kind => *n += 1,
+                _ => parts.push((kind, 1)),
+            }
+        }
+        parts
+            .iter()
+            .map(|(k, n)| format!("{n}*{}", k.label()))
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The host simulator
+// ---------------------------------------------------------------------------
+
+/// What a queued host event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum EventKind {
+    /// Tenant activity burst.
+    Work,
+    /// The slot's tenant leaves the host.
+    Depart,
+    /// A replacement tenant (fresh working set) migrates in.
+    Arrive,
+}
+
+/// One entry of the host's event queue. Ordered by `(at, seq)`: `seq` is a
+/// monotonically increasing push counter, so same-cycle events fire in
+/// deterministic insertion order regardless of heap internals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct HostEvent {
+    pub(crate) at: u64,
+    seq: u64,
+    pub(crate) slot: u32,
+    pub(crate) kind: EventKind,
+}
+
+/// One background tenant slot: the workload state machine plus its private
+/// seeded stream and churn bookkeeping.
+#[derive(Debug, Clone)]
+struct TenantSlot {
+    workload: WorkloadTenant,
+    kind: WorkloadKind,
+    rng: StdRng,
+    /// Per-slot base seed (derived from the machine seed via
+    /// `stream_seed`); generations re-derive from it.
+    seed: u64,
+    /// Migration counter: each arrival re-seeds the slot RNG from
+    /// `stream_seed(seed, generation)` and redraws the working set.
+    generation: u64,
+    present: bool,
+}
+
+/// The simulated host: the shared [`Hierarchy`], the lazy
+/// [`StatisticalTenant`], and the scheduled background tenants with their
+/// binary-heap event queue keyed on the machine's virtual clock.
+///
+/// The machine drives it: `Machine::tick` interleaves queued tenant events
+/// with victim replay in timestamp order (ties resolve victim-first), and
+/// routes each burst through the statistical tenant's per-set catch-up
+/// before the burst's own accesses land — identical ordering discipline to
+/// the victim replay path.
+#[derive(Debug, Clone)]
+pub struct HostSim {
+    pub(crate) hierarchy: Hierarchy,
+    pub(crate) statistical: StatisticalTenant,
+    population: TenantPopulation,
+    slots: Vec<TenantSlot>,
+    queue: BinaryHeap<Reverse<HostEvent>>,
+    seq: u64,
+    /// Total tenant arrivals (initial placements + churn migrations).
+    arrivals: u64,
+}
+
+impl HostSim {
+    pub(crate) fn new(
+        hierarchy: Hierarchy,
+        statistical: StatisticalTenant,
+        population: TenantPopulation,
+    ) -> Self {
+        let slots = population
+            .workloads
+            .iter()
+            .map(|&kind| TenantSlot {
+                workload: kind.instance(),
+                kind,
+                rng: StdRng::seed_from_u64(0),
+                seed: 0,
+                generation: 0,
+                present: false,
+            })
+            .collect();
+        Self {
+            hierarchy,
+            statistical,
+            population,
+            slots,
+            queue: BinaryHeap::new(),
+            seq: 0,
+            arrivals: 0,
+        }
+    }
+
+    /// The configured tenant population.
+    pub fn population(&self) -> &TenantPopulation {
+        &self.population
+    }
+
+    /// Number of background tenants currently resident (excludes slots
+    /// waiting out a churn vacancy).
+    pub fn tenants_present(&self) -> usize {
+        self.slots.iter().filter(|s| s.present).count()
+    }
+
+    /// Total tenant arrivals so far: initial placements plus churn
+    /// migrations.
+    pub fn arrivals(&self) -> u64 {
+        self.arrivals
+    }
+
+    pub(crate) fn has_scheduled(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Time of the earliest queued event at or before `to`, if any.
+    pub(crate) fn next_event_at(&self, to: u64) -> Option<u64> {
+        self.queue.peek().map(|Reverse(e)| e.at).filter(|&at| at <= to)
+    }
+
+    pub(crate) fn pop_event(&mut self) -> HostEvent {
+        self.queue.pop().expect("pop_event called with an empty queue").0
+    }
+
+    fn push(&mut self, at: u64, slot: u32, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(HostEvent { at, seq, slot, kind }));
+    }
+
+    /// (Re)derives every tenant slot's sub-stream from `master`, redraws
+    /// working sets and rebuilds the event queue from scratch as of `now`.
+    ///
+    /// Called at machine build and from `Machine::reseed`, so each fleet
+    /// trial gets an independent, deterministic tenant population. Performs
+    /// **zero work and zero RNG draws** for the empty population — the
+    /// legacy configuration's bit-identity depends on it.
+    pub(crate) fn reseed_tenants(&mut self, master: u64, now: u64) {
+        self.queue.clear();
+        self.seq = 0;
+        self.arrivals = 0;
+        if self.slots.is_empty() {
+            return;
+        }
+        let family = stream_seed(master, TENANT_STREAM);
+        let geometry = self.hierarchy.shared_geometry();
+        let churn = self.population.churn;
+        for index in 0..self.slots.len() {
+            let slot = &mut self.slots[index];
+            slot.seed = stream_seed(family, index as u64);
+            slot.generation = 0;
+            slot.rng = StdRng::seed_from_u64(stream_seed(slot.seed, 0));
+            slot.workload = slot.kind.instance();
+            slot.present = true;
+            let first = slot.workload.as_tenant_mut().place(geometry, now, &mut slot.rng);
+            let dwell = churn.map(|c| now + exp_gap(&mut slot.rng, c.mean_dwell_cycles));
+            self.arrivals += 1;
+            if let Some(at) = first {
+                self.push(at, index as u32, EventKind::Work);
+            }
+            if let Some(at) = dwell {
+                self.push(at, index as u32, EventKind::Depart);
+            }
+        }
+    }
+
+    /// Advances one popped event's tenant: fills `burst` with the accesses
+    /// to apply (empty for churn bookkeeping events) and enqueues the
+    /// slot's follow-up events.
+    pub(crate) fn step_tenant(&mut self, event: HostEvent, burst: &mut TenantBurst) {
+        burst.clear();
+        let geometry = self.hierarchy.shared_geometry();
+        let churn = self.population.churn;
+        let index = event.slot as usize;
+        let slot = &mut self.slots[index];
+        match event.kind {
+            EventKind::Work => {
+                if !slot.present {
+                    return; // a Work event of a tenant that has since departed
+                }
+                let next =
+                    slot.workload.as_tenant_mut().on_event(event.at, geometry, &mut slot.rng, burst);
+                if let Some(at) = next {
+                    self.push(at, event.slot, EventKind::Work);
+                }
+            }
+            EventKind::Depart => {
+                let Some(churn) = churn else { return };
+                slot.present = false;
+                let gap = exp_gap(&mut slot.rng, churn.mean_gap_cycles());
+                self.push(event.at + gap, event.slot, EventKind::Arrive);
+            }
+            EventKind::Arrive => {
+                let Some(churn) = churn else { return };
+                // A *different* neighbour moves in: new generation, new
+                // sub-stream, fresh working set.
+                slot.generation += 1;
+                slot.rng = StdRng::seed_from_u64(stream_seed(slot.seed, slot.generation));
+                slot.workload = slot.kind.instance();
+                slot.present = true;
+                self.arrivals += 1;
+                let first = slot.workload.as_tenant_mut().place(geometry, event.at, &mut slot.rng);
+                let dwell = event.at + exp_gap(&mut slot.rng, churn.mean_dwell_cycles);
+                if let Some(at) = first {
+                    self.push(at, event.slot, EventKind::Work);
+                }
+                self.push(dwell, event.slot, EventKind::Depart);
+            }
+        }
+    }
+
+    /// Copies `source`'s state into `self` in place, reusing allocations
+    /// where the collections allow (the per-trial machine-restore hot path).
+    pub(crate) fn restore_from(&mut self, source: &HostSim) {
+        self.hierarchy.restore_from(&source.hierarchy);
+        self.statistical.process.restore_from(&source.statistical.process);
+        self.population.clone_from(&source.population);
+        self.slots.clone_from(&source.slots);
+        self.queue.clone_from(&source.queue);
+        self.seq = source.seq;
+        self.arrivals = source.arrivals;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_parse_round_trips() {
+        let p = TenantPopulation::parse("2*idle,1*bursty-web").expect("valid spec");
+        assert_eq!(p.workloads, vec![WorkloadKind::Idle, WorkloadKind::Idle, WorkloadKind::BurstyWeb]);
+        assert_eq!(p.label(), "2*idle+1*bursty-web");
+        let q = TenantPopulation::parse(&p.label()).expect("label is parseable");
+        assert_eq!(p, q);
+        assert_eq!(TenantPopulation::parse("idle+batch").unwrap().label(), "1*idle+1*batch-scan");
+        assert!(TenantPopulation::parse("3*webscale").is_none());
+        assert!(TenantPopulation::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn exp_gap_is_positive_and_deterministic() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let ga = exp_gap(&mut a, 1000.0);
+            assert!(ga >= 1);
+            assert_eq!(ga, exp_gap(&mut b, 1000.0));
+        }
+    }
+
+    #[test]
+    fn workload_kinds_parse_and_label() {
+        for kind in [WorkloadKind::Idle, WorkloadKind::BurstyWeb, WorkloadKind::BatchScan] {
+            assert_eq!(WorkloadKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(WorkloadKind::parse("bursty"), Some(WorkloadKind::BurstyWeb));
+        assert_eq!(WorkloadKind::parse("nfs"), None);
+    }
+
+    #[test]
+    fn host_events_order_by_time_then_sequence() {
+        let a = HostEvent { at: 5, seq: 1, slot: 0, kind: EventKind::Work };
+        let b = HostEvent { at: 5, seq: 2, slot: 1, kind: EventKind::Depart };
+        let c = HostEvent { at: 4, seq: 9, slot: 2, kind: EventKind::Arrive };
+        let mut heap = BinaryHeap::from([Reverse(a), Reverse(b), Reverse(c)]);
+        assert_eq!(heap.pop().unwrap().0, c);
+        assert_eq!(heap.pop().unwrap().0, a);
+        assert_eq!(heap.pop().unwrap().0, b);
+    }
+}

@@ -1,0 +1,47 @@
+//! Pins the one-time aggregate-fallback warning: an `Aggregate` noise
+//! configuration that the reuse predictor degrades to per-event dispatch
+//! must announce itself once on stderr, not only via the report-header tag
+//! (a campaign cell could otherwise silently run ~5× slower than its
+//! preset implies).
+//!
+//! This lives in its own integration-test binary because the warning latch
+//! is process-wide: a single `#[test]` controls the exact build order so the
+//! latch's before/after states are observable.
+
+use llc_cache_model::{CacheSpec, HierarchyOptions};
+use llc_machine::{aggregate_fallback_warned, Machine, NoiseFidelity, NoiseModel};
+
+fn build(fidelity: NoiseFidelity, reuse: f64) -> Machine {
+    Machine::builder(CacheSpec::tiny_test())
+        .noise(NoiseModel::cloud_run())
+        .noise_fidelity(fidelity)
+        .hierarchy_options(HierarchyOptions { reuse_insert_probability: reuse })
+        .seed(3)
+        .build()
+}
+
+#[test]
+fn aggregate_fallback_warns_exactly_when_degraded() {
+    assert!(!aggregate_fallback_warned(), "no machine built yet: latch must be clear");
+
+    // Exact fidelity with an active reuse predictor is not a degradation —
+    // per-event dispatch is what 'exact' means.
+    let exact = build(NoiseFidelity::Exact, 0.3);
+    assert_eq!(exact.effective_noise_fidelity(), NoiseFidelity::Exact);
+    assert!(!aggregate_fallback_warned(), "exact + reuse predictor must not warn");
+
+    // Aggregate fidelity without the reuse predictor runs genuinely
+    // aggregate: still no warning.
+    let clean = build(NoiseFidelity::Aggregate, 0.0);
+    assert_eq!(clean.effective_noise_fidelity(), NoiseFidelity::Aggregate);
+    assert!(!aggregate_fallback_warned(), "undegraded aggregate must not warn");
+
+    // Aggregate + reuse predictor is the silent 5× slowdown: warn now.
+    let degraded = build(NoiseFidelity::Aggregate, 0.3);
+    assert_eq!(degraded.effective_noise_fidelity(), NoiseFidelity::Exact);
+    assert!(aggregate_fallback_warned(), "degraded aggregate must warn");
+
+    // And only once per process, no matter how many machines follow.
+    let _again = build(NoiseFidelity::Aggregate, 0.5);
+    assert!(aggregate_fallback_warned());
+}
