@@ -62,6 +62,10 @@
 //! * `--churn MS` / `LLC_CHURN_MS` — mean tenant dwell time in milliseconds
 //!   before a neighbour departs and is replaced by a fresh one (0 disables
 //!   churn; ignored without `--tenants`).
+//!
+//! A set-but-unparseable `LLC_TENANTS` or `LLC_CHURN_MS` is an error (the
+//! same vocabulary as the corresponding flag), never a silent fallback to
+//! the tenant-free legacy host.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -146,7 +150,33 @@ pub struct RunOpts {
 }
 
 impl Default for RunOpts {
+    /// Reads the `LLC_*` environment.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `LLC_TENANTS` or `LLC_CHURN_MS` is set but unparseable —
+    /// a typo'd population spec must not silently run the legacy tenant-free
+    /// host (the binaries report the error through [`RunOpts::parse`]'s
+    /// usage path instead of panicking).
     fn default() -> Self {
+        Self::from_env().unwrap_or_else(|msg| panic!("{msg}"))
+    }
+}
+
+impl RunOpts {
+    /// Reads options from the `LLC_*` environment. Unset variables take
+    /// their defaults; a set-but-unparseable `LLC_TENANTS` or `LLC_CHURN_MS`
+    /// is an error (the same vocabulary as `--tenants`/`--churn`).
+    pub fn from_env() -> Result<Self, String> {
+        Self::from_env_values(
+            std::env::var("LLC_TENANTS").ok().as_deref(),
+            std::env::var("LLC_CHURN_MS").ok().as_deref(),
+        )
+    }
+
+    /// Value-level core of [`RunOpts::from_env`]: `tenants`/`churn` are the
+    /// `LLC_TENANTS`/`LLC_CHURN_MS` values when set.
+    fn from_env_values(tenants: Option<&str>, churn: Option<&str>) -> Result<Self, String> {
         let fidelity = std::env::var("LLC_NOISE_FIDELITY")
             .ok()
             .and_then(|v| NoiseFidelity::parse(&v))
@@ -166,16 +196,15 @@ impl Default for RunOpts {
             .and_then(|v| v.parse::<f64>().ok())
             .filter(|p| (0.0..=1.0).contains(p))
             .unwrap_or(0.0);
-        let tenants = std::env::var("LLC_TENANTS")
-            .ok()
-            .and_then(|v| TenantPopulation::parse(&v))
-            .unwrap_or_default();
-        let churn_dwell_ms = std::env::var("LLC_CHURN_MS")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .filter(|ms| *ms >= 0.0)
-            .unwrap_or(0.0);
-        Self {
+        let tenants = match tenants {
+            Some(v) => parse_tenants("LLC_TENANTS", v)?,
+            None => TenantPopulation::empty(),
+        };
+        let churn_dwell_ms = match churn {
+            Some(v) => parse_churn("LLC_CHURN_MS", v)?,
+            None => 0.0,
+        };
+        Ok(Self {
             threads: llc_fleet::default_threads(),
             smoke: false,
             fidelity,
@@ -185,11 +214,9 @@ impl Default for RunOpts {
             reuse_insert_probability,
             tenants,
             churn_dwell_ms,
-        }
+        })
     }
-}
 
-impl RunOpts {
     /// Parses `std::env::args`, exiting with a usage message on bad input.
     pub fn parse() -> Self {
         match Self::from_args(std::env::args().skip(1)) {
@@ -215,7 +242,7 @@ impl RunOpts {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let mut opts = Self::default();
+        let mut opts = Self::from_env()?;
         let mut iter = args.into_iter();
         while let Some(arg) = iter.next() {
             let arg = arg.as_ref();
@@ -248,14 +275,14 @@ impl RunOpts {
                 opts.replacement = Some(parse_replacement(v)?);
             } else if arg == "--tenants" {
                 let v = iter.next().ok_or("--tenants requires a value")?;
-                opts.tenants = parse_tenants(v.as_ref())?;
+                opts.tenants = parse_tenants("--tenants", v.as_ref())?;
             } else if let Some(v) = arg.strip_prefix("--tenants=") {
-                opts.tenants = parse_tenants(v)?;
+                opts.tenants = parse_tenants("--tenants", v)?;
             } else if arg == "--churn" {
                 let v = iter.next().ok_or("--churn requires a value")?;
-                opts.churn_dwell_ms = parse_churn(v.as_ref())?;
+                opts.churn_dwell_ms = parse_churn("--churn", v.as_ref())?;
             } else if let Some(v) = arg.strip_prefix("--churn=") {
-                opts.churn_dwell_ms = parse_churn(v)?;
+                opts.churn_dwell_ms = parse_churn("--churn", v)?;
             } else {
                 return Err(format!("unknown argument: {arg}"));
             }
@@ -403,20 +430,25 @@ fn parse_replacement(v: &str) -> Result<ReplacementKind, String> {
     })
 }
 
-fn parse_tenants(v: &str) -> Result<TenantPopulation, String> {
+/// Parses a tenant-population spec for `what` (`--tenants` or
+/// `LLC_TENANTS`), so an invalid spec fails loudly instead of silently
+/// running the legacy tenant-free host.
+fn parse_tenants(what: &str, v: &str) -> Result<TenantPopulation, String> {
     TenantPopulation::parse(v).ok_or_else(|| {
         format!(
-            "--tenants expects entries like '2*idle,1*bursty-web' \
-             (kinds: idle, bursty-web, batch-scan), got {v:?}"
+            "{what} expects up to {} entries like '2*idle,1*bursty-web' \
+             (kinds: idle, bursty-web, batch-scan), got {v:?}",
+            TenantPopulation::MAX_TENANTS
         )
     })
 }
 
-fn parse_churn(v: &str) -> Result<f64, String> {
+/// Parses a churn dwell time for `what` (`--churn` or `LLC_CHURN_MS`).
+fn parse_churn(what: &str, v: &str) -> Result<f64, String> {
     v.parse::<f64>()
         .ok()
         .filter(|ms| *ms >= 0.0 && ms.is_finite())
-        .ok_or_else(|| format!("--churn expects a non-negative dwell time in ms, got {v:?}"))
+        .ok_or_else(|| format!("{what} expects a non-negative dwell time in ms, got {v:?}"))
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -561,6 +593,20 @@ mod tests {
         assert!(RunOpts::from_args(["--tenants"]).is_err());
         // Smoke pins the legacy empty population.
         assert!(RunOpts::smoke_with_threads(2).tenants.is_empty());
+    }
+
+    #[test]
+    fn env_tenant_values_fail_loudly_when_unparseable() {
+        // The value-level core of `from_env`: a typo'd spec is an error, not
+        // a silent fallback to the tenant-free legacy host.
+        assert!(RunOpts::from_env_values(Some("3*webscale"), None).is_err());
+        assert!(RunOpts::from_env_values(Some("999999999999*idle"), None).is_err());
+        assert!(RunOpts::from_env_values(None, Some("fast")).is_err());
+        assert!(RunOpts::from_env_values(None, Some("-2")).is_err());
+        let o = RunOpts::from_env_values(Some("2*idle"), Some("5")).unwrap();
+        assert_eq!(o.tenants.label(), "2*idle");
+        assert_eq!(o.churn_dwell_ms, 5.0);
+        assert!(RunOpts::from_env_values(None, None).unwrap().tenants.is_empty());
     }
 
     #[test]

@@ -381,6 +381,12 @@ pub struct TenantPopulation {
 }
 
 impl TenantPopulation {
+    /// Upper bound on the number of background tenant slots a parsed spec
+    /// may configure. Far above anything a simulated host can make progress
+    /// with, but low enough that a typo'd `N*kind` repeat count fails to
+    /// parse instead of materialising billions of slots.
+    pub const MAX_TENANTS: usize = 256;
+
     /// The empty (legacy) population.
     pub fn empty() -> Self {
         Self::default()
@@ -405,6 +411,7 @@ impl TenantPopulation {
     /// Parses a population spec: comma- or plus-separated entries of the
     /// form `N*kind` or `kind`, e.g. `2*idle,1*bursty-web` or
     /// `idle+batch-scan`. Kinds: `idle`, `bursty-web`, `batch-scan`.
+    /// Rejects specs totalling more than [`Self::MAX_TENANTS`] slots.
     pub fn parse(spec: &str) -> Option<Self> {
         let mut workloads = Vec::new();
         for entry in spec.split([',', '+']).map(str::trim).filter(|e| !e.is_empty()) {
@@ -413,6 +420,9 @@ impl TenantPopulation {
                 None => (1, entry),
             };
             let kind = WorkloadKind::parse(name)?;
+            if count > Self::MAX_TENANTS - workloads.len() {
+                return None;
+            }
             workloads.extend(std::iter::repeat(kind).take(count));
         }
         Some(Self { workloads, churn: None })
@@ -460,6 +470,12 @@ pub(crate) struct HostEvent {
     seq: u64,
     pub(crate) slot: u32,
     pub(crate) kind: EventKind,
+    /// The slot generation that posted the event. A `Work` event whose
+    /// generation no longer matches the slot's is a leftover of a departed
+    /// tenant's chain and must be dropped, or the replacement tenant ends up
+    /// running two work chains at once (the `present` flag alone only
+    /// catches stale events that fire inside the vacancy window).
+    generation: u64,
 }
 
 /// One background tenant slot: the workload state machine plus its private
@@ -558,10 +574,10 @@ impl HostSim {
         self.queue.pop().expect("pop_event called with an empty queue").0
     }
 
-    fn push(&mut self, at: u64, slot: u32, kind: EventKind) {
+    fn push(&mut self, at: u64, slot: u32, kind: EventKind, generation: u64) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(HostEvent { at, seq, slot, kind }));
+        self.queue.push(Reverse(HostEvent { at, seq, slot, kind, generation }));
     }
 
     /// (Re)derives every tenant slot's sub-stream from `master`, redraws
@@ -592,10 +608,10 @@ impl HostSim {
             let dwell = churn.map(|c| now + exp_gap(&mut slot.rng, c.mean_dwell_cycles));
             self.arrivals += 1;
             if let Some(at) = first {
-                self.push(at, index as u32, EventKind::Work);
+                self.push(at, index as u32, EventKind::Work, 0);
             }
             if let Some(at) = dwell {
-                self.push(at, index as u32, EventKind::Depart);
+                self.push(at, index as u32, EventKind::Depart, 0);
             }
         }
     }
@@ -611,20 +627,25 @@ impl HostSim {
         let slot = &mut self.slots[index];
         match event.kind {
             EventKind::Work => {
-                if !slot.present {
-                    return; // a Work event of a tenant that has since departed
+                // Drop stale work: the posting tenant has departed (vacancy
+                // window) or has already been replaced (generation moved on
+                // — executing the event would fork a second work chain
+                // against the replacement's state and RNG).
+                if !slot.present || event.generation != slot.generation {
+                    return;
                 }
                 let next =
                     slot.workload.as_tenant_mut().on_event(event.at, geometry, &mut slot.rng, burst);
                 if let Some(at) = next {
-                    self.push(at, event.slot, EventKind::Work);
+                    self.push(at, event.slot, EventKind::Work, event.generation);
                 }
             }
             EventKind::Depart => {
                 let Some(churn) = churn else { return };
                 slot.present = false;
                 let gap = exp_gap(&mut slot.rng, churn.mean_gap_cycles());
-                self.push(event.at + gap, event.slot, EventKind::Arrive);
+                let generation = slot.generation;
+                self.push(event.at + gap, event.slot, EventKind::Arrive, generation);
             }
             EventKind::Arrive => {
                 let Some(churn) = churn else { return };
@@ -637,10 +658,11 @@ impl HostSim {
                 self.arrivals += 1;
                 let first = slot.workload.as_tenant_mut().place(geometry, event.at, &mut slot.rng);
                 let dwell = event.at + exp_gap(&mut slot.rng, churn.mean_dwell_cycles);
+                let generation = slot.generation;
                 if let Some(at) = first {
-                    self.push(at, event.slot, EventKind::Work);
+                    self.push(at, event.slot, EventKind::Work, generation);
                 }
-                self.push(dwell, event.slot, EventKind::Depart);
+                self.push(dwell, event.slot, EventKind::Depart, generation);
             }
         }
     }
@@ -696,12 +718,108 @@ mod tests {
 
     #[test]
     fn host_events_order_by_time_then_sequence() {
-        let a = HostEvent { at: 5, seq: 1, slot: 0, kind: EventKind::Work };
-        let b = HostEvent { at: 5, seq: 2, slot: 1, kind: EventKind::Depart };
-        let c = HostEvent { at: 4, seq: 9, slot: 2, kind: EventKind::Arrive };
+        let a = HostEvent { at: 5, seq: 1, slot: 0, kind: EventKind::Work, generation: 0 };
+        let b = HostEvent { at: 5, seq: 2, slot: 1, kind: EventKind::Depart, generation: 1 };
+        let c = HostEvent { at: 4, seq: 9, slot: 2, kind: EventKind::Arrive, generation: 2 };
         let mut heap = BinaryHeap::from([Reverse(a), Reverse(b), Reverse(c)]);
         assert_eq!(heap.pop().unwrap().0, c);
         assert_eq!(heap.pop().unwrap().0, a);
         assert_eq!(heap.pop().unwrap().0, b);
+    }
+
+    #[test]
+    fn population_parse_rejects_runaway_repeat_counts() {
+        assert!(TenantPopulation::parse("999999999999*idle").is_none());
+        assert!(TenantPopulation::parse("200*idle,100*bursty-web").is_none());
+        let max = TenantPopulation::parse(&format!("{}*idle", TenantPopulation::MAX_TENANTS))
+            .expect("the cap itself is accepted");
+        assert_eq!(max.len(), TenantPopulation::MAX_TENANTS);
+        assert!(
+            TenantPopulation::parse(&format!("{}*idle", TenantPopulation::MAX_TENANTS + 1))
+                .is_none()
+        );
+    }
+
+    /// A churned single-slot host for the stale-event tests.
+    fn churned_host(spec: &str) -> HostSim {
+        use crate::noise::NoiseModel;
+        let hierarchy = Hierarchy::new(llc_cache_model::CacheSpec::tiny_test(), 1);
+        let geometry = hierarchy.shared_geometry();
+        let noise =
+            NoiseProcess::new(NoiseModel::silent(), geometry.sets_per_slice, geometry.slices);
+        let population = TenantPopulation::parse(spec)
+            .expect("valid spec")
+            .with_churn(ChurnConfig { mean_dwell_cycles: 100_000.0 });
+        let mut host = HostSim::new(hierarchy, StatisticalTenant::new(noise), population);
+        host.reseed_tenants(42, 0);
+        host
+    }
+
+    /// A `Work` event posted by a previous generation of a slot must be
+    /// dropped once the replacement tenant has arrived — otherwise the old
+    /// chain executes against the new tenant's state and RNG and forks a
+    /// second, permanent work chain.
+    #[test]
+    fn stale_generation_work_is_dropped() {
+        let mut host = churned_host("1*bursty-web");
+        let mut burst = TenantBurst::default();
+        // The slot departs, leaving a vacancy.
+        let depart = HostEvent { at: 1_000, seq: 100, slot: 0, kind: EventKind::Depart, generation: 0 };
+        host.step_tenant(depart, &mut burst);
+        assert_eq!(host.tenants_present(), 0);
+        // Stale work firing inside the vacancy window: the `present` guard
+        // drops it.
+        let vacant = HostEvent { at: 1_500, seq: 101, slot: 0, kind: EventKind::Work, generation: 0 };
+        host.step_tenant(vacant, &mut burst);
+        assert!(burst.accesses.is_empty(), "work executed against a vacant slot");
+        // The replacement migrates in: generation 1.
+        let arrive = HostEvent { at: 2_000, seq: 102, slot: 0, kind: EventKind::Arrive, generation: 0 };
+        host.step_tenant(arrive, &mut burst);
+        assert_eq!(host.tenants_present(), 1);
+        let queued = host.queue.len();
+        // Stale generation-0 work firing after the replacement arrived: must
+        // neither execute nor schedule a follow-up (the double-chain bug).
+        let stale = HostEvent { at: 2_500, seq: 103, slot: 0, kind: EventKind::Work, generation: 0 };
+        host.step_tenant(stale, &mut burst);
+        assert!(burst.accesses.is_empty(), "stale work executed against the replacement");
+        assert_eq!(host.queue.len(), queued, "stale work forked a second chain");
+        // Current-generation work still executes and continues its chain.
+        let live = HostEvent { at: 3_000, seq: 104, slot: 0, kind: EventKind::Work, generation: 1 };
+        host.step_tenant(live, &mut burst);
+        assert!(!burst.accesses.is_empty(), "live work must execute");
+        assert_eq!(host.queue.len(), queued + 1, "live work must continue its chain");
+    }
+
+    /// Driving the queue through many churn cycles, each slot always has at
+    /// most one live (current-generation) work chain queued.
+    #[test]
+    fn work_chains_never_fork_under_churn() {
+        let mut host = churned_host("2*idle,1*bursty-web");
+        let mut burst = TenantBurst::default();
+        let mut stale_drops = 0u32;
+        for _ in 0..5_000 {
+            if !host.has_scheduled() {
+                break;
+            }
+            let event = host.pop_event();
+            if event.kind == EventKind::Work
+                && event.generation != host.slots[event.slot as usize].generation
+            {
+                stale_drops += 1;
+            }
+            host.step_tenant(event, &mut burst);
+            let mut live = vec![0usize; host.slots.len()];
+            for Reverse(e) in &host.queue {
+                let slot = &host.slots[e.slot as usize];
+                if e.kind == EventKind::Work && e.generation == slot.generation {
+                    live[e.slot as usize] += 1;
+                }
+            }
+            for (slot, &chains) in live.iter().enumerate() {
+                assert!(chains <= 1, "slot {slot} runs {chains} concurrent work chains");
+            }
+        }
+        assert!(host.arrivals() > 3, "the horizon saw no churn; the property is vacuous");
+        assert!(stale_drops > 0, "no work event outlived its generation; the guard is untested");
     }
 }
