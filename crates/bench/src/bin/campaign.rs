@@ -3,31 +3,43 @@
 //!
 //! ```text
 //! campaign --preset table3-sweep [--dir DIR] [--threads N] [--smoke]
-//!          [--max-chunks K] [<shared RunOpts flags>]
+//!          [--max-chunks K] [--fault-plan SPEC] [--trial-budget CYCLES]
+//!          [<shared RunOpts flags>]
 //! ```
 //!
 //! Progress goes to stderr; the consolidated report goes to stdout **only
 //! when the campaign is complete**, and is a pure function of the campaign
-//! identity and its final aggregates. Killing a campaign (or bounding it
-//! with `--max-chunks`) and re-running the same command resumes from the
-//! checkpoint directory and prints the byte-identical report — CI diffs
-//! exactly that against the golden file.
+//! identity, its final aggregates and its quarantine list. Killing a
+//! campaign (or bounding it with `--max-chunks`) and re-running the same
+//! command resumes from the checkpoint directory and prints the
+//! byte-identical report — CI diffs exactly that against the golden file.
+//!
+//! Fault-tolerance knobs: `--retries N` (shared `RunOpts` flag) bounds
+//! per-trial retry; `--trial-budget CYCLES` arms the per-trial virtual-time
+//! watchdog so runaway trials quarantine instead of hanging; `--fault-plan
+//! SPEC` injects deterministic faults (`panic@K`, `panic@K!`, `short@N`,
+//! `torn@N`, `enospc@N`, `fsync@N`, `rename@N`) for chaos testing — CI
+//! kills a smoke campaign with an injected panic plus a torn record line,
+//! resumes fault-free, and diffs the report against the fault-free golden.
 
 use llc_bench::sweeps::{build_preset, render_report, PRESETS};
 use llc_bench::RunOpts;
-use llc_campaign::{Campaign, RunOptions};
+use llc_campaign::{Campaign, FaultPlan, RunOptions};
 use std::path::PathBuf;
 
 struct Args {
     preset: String,
     dir: Option<PathBuf>,
     max_chunks: Option<u64>,
+    fault_plan: Option<FaultPlan>,
+    trial_budget: Option<u64>,
     opts: RunOpts,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign --preset {} [--dir DIR] [--max-chunks K] \
+         [--fault-plan SPEC] [--trial-budget CYCLES] [--retries N] \
          [--threads N] [--smoke] [--noise-fidelity exact|aggregate]",
         PRESETS.join("|")
     );
@@ -38,6 +50,8 @@ fn parse_args() -> Args {
     let mut preset = None;
     let mut dir = None;
     let mut max_chunks = None;
+    let mut fault_plan = None;
+    let mut trial_budget = None;
     let mut rest: Vec<String> = Vec::new();
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
@@ -62,6 +76,22 @@ fn parse_args() -> Args {
                     usage();
                 }
             }
+        } else if let Some(v) = take("--fault-plan") {
+            match FaultPlan::parse(&v) {
+                Ok(plan) => fault_plan = Some(plan),
+                Err(msg) => {
+                    eprintln!("--fault-plan: {msg}");
+                    usage();
+                }
+            }
+        } else if let Some(v) = take("--trial-budget") {
+            match v.parse::<u64>() {
+                Ok(b) if b > 0 => trial_budget = Some(b),
+                _ => {
+                    eprintln!("--trial-budget expects a positive cycle count, got {v:?}");
+                    usage();
+                }
+            }
         } else {
             rest.push(arg);
         }
@@ -77,7 +107,7 @@ fn parse_args() -> Args {
         eprintln!("--preset is required");
         usage();
     };
-    Args { preset, dir, max_chunks, opts }
+    Args { preset, dir, max_chunks, fault_plan, trial_budget, opts }
 }
 
 fn main() {
@@ -86,6 +116,7 @@ fn main() {
         eprintln!("unknown preset {:?}; available: {}", args.preset, PRESETS.join(", "));
         std::process::exit(2);
     };
+    let source = preset.source.with_trial_budget(args.trial_budget);
     let dir = args
         .dir
         .unwrap_or_else(|| PathBuf::from("target/campaigns").join(&preset.spec.name));
@@ -99,30 +130,40 @@ fn main() {
         preset.spec.grid().total(),
         dir.display()
     );
-    let report =
-        match campaign.run(&fleet, &preset.source, &RunOptions { max_chunks: args.max_chunks }) {
-            Ok(report) => report,
-            Err(err) => {
-                eprintln!("error: {err}");
-                eprintln!("(hint: a mismatched or damaged checkpoint directory is never merged; \
-                           point --dir elsewhere or delete it)");
-                std::process::exit(1);
-            }
-        };
+    let mut options = RunOptions { max_chunks: args.max_chunks, ..RunOptions::default() };
+    if let Some(retries) = args.opts.retries {
+        options.retries = retries;
+    }
+    options.fault_plan = args.fault_plan;
+    let outcome = match campaign.run(&fleet, &source, &options) {
+        Ok(outcome) => outcome,
+        Err(err) => {
+            eprintln!("error: {err}");
+            eprintln!("(hint: a mismatched or damaged checkpoint directory is never merged; \
+                       point --dir elsewhere or delete it — an injected-fault or worker-lost \
+                       error resumes cleanly from the same directory)");
+            std::process::exit(1);
+        }
+    };
 
-    let stats = preset.source.pool().stats();
+    let stats = source.pool().stats();
     eprintln!(
-        "chunks: {}/{} recorded ({} resumed, {} run now{}); machines: {} built, {} checkouts",
-        report.chunks_resumed + report.chunks_run,
-        report.chunks_total,
-        report.chunks_resumed,
-        report.chunks_run,
-        if report.recovered_tail { ", torn tail re-run" } else { "" },
+        "chunks: {}/{} recorded ({} resumed, {} run now{}); machines: {} built, {} checkouts, \
+         {} discarded",
+        outcome.chunks_resumed + outcome.chunks_run,
+        outcome.chunks_total,
+        outcome.chunks_resumed,
+        outcome.chunks_run,
+        if outcome.recovered_tail { ", torn tail re-run" } else { "" },
         stats.builds,
         stats.acquisitions,
+        stats.discards,
     );
-    if report.complete {
-        print!("{}", render_report(&preset.spec, preset.source.cells(), &report.aggregates));
+    if outcome.complete {
+        print!(
+            "{}",
+            render_report(&preset.spec, source.cells(), &outcome.aggregates, &outcome.quarantined)
+        );
     } else {
         eprintln!("campaign incomplete; re-run the same command to resume");
     }

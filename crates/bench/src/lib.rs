@@ -61,7 +61,11 @@
 //!   noise floor and do not place structured tenants;
 //! * `--churn MS` / `LLC_CHURN_MS` — mean tenant dwell time in milliseconds
 //!   before a neighbour departs and is replaced by a fresh one (0 disables
-//!   churn; ignored without `--tenants`).
+//!   churn; ignored without `--tenants`);
+//! * `--retries N` / `LLC_RETRIES` — campaign per-trial retry budget: a
+//!   panicking trial re-runs with its *same* derived seed up to N times
+//!   before it quarantines (default 2, i.e. three attempts; 0 quarantines
+//!   on the first panic). Honoured by the `campaign` binary.
 //!
 //! A set-but-unparseable `LLC_TENANTS` or `LLC_CHURN_MS` is an error (the
 //! same vocabulary as the corresponding flag), never a silent fallback to
@@ -147,6 +151,11 @@ pub struct RunOpts {
     /// Mean tenant dwell time in milliseconds for churn
     /// (`--churn`, `LLC_CHURN_MS`; 0 disables churn, the default).
     pub churn_dwell_ms: f64,
+    /// Per-trial retry budget of the campaign driver (`--retries`,
+    /// `LLC_RETRIES`; `None` keeps the driver's default of 2). A panicking
+    /// trial is re-run with its same derived seed this many times before it
+    /// quarantines.
+    pub retries: Option<u32>,
 }
 
 impl Default for RunOpts {
@@ -204,6 +213,10 @@ impl RunOpts {
             Some(v) => parse_churn("LLC_CHURN_MS", v)?,
             None => 0.0,
         };
+        let retries = match std::env::var("LLC_RETRIES").ok() {
+            Some(v) => Some(parse_retries("LLC_RETRIES", &v)?),
+            None => None,
+        };
         Ok(Self {
             threads: llc_fleet::default_threads(),
             smoke: false,
@@ -214,6 +227,7 @@ impl RunOpts {
             reuse_insert_probability,
             tenants,
             churn_dwell_ms,
+            retries,
         })
     }
 
@@ -228,7 +242,7 @@ impl RunOpts {
                      [--inclusion non-inclusive|inclusive|exclusive] \
                      [--slice-hash xor-fold|modulo] \
                      [--replacement lru|tree-plru|qlru|srrip|random] \
-                     [--tenants SPEC] [--churn MS] [--smoke]"
+                     [--tenants SPEC] [--churn MS] [--retries N] [--smoke]"
                 );
                 std::process::exit(2);
             }
@@ -283,6 +297,11 @@ impl RunOpts {
                 opts.churn_dwell_ms = parse_churn("--churn", v.as_ref())?;
             } else if let Some(v) = arg.strip_prefix("--churn=") {
                 opts.churn_dwell_ms = parse_churn("--churn", v)?;
+            } else if arg == "--retries" {
+                let v = iter.next().ok_or("--retries requires a value")?;
+                opts.retries = Some(parse_retries("--retries", v.as_ref())?);
+            } else if let Some(v) = arg.strip_prefix("--retries=") {
+                opts.retries = Some(parse_retries("--retries", v)?);
             } else {
                 return Err(format!("unknown argument: {arg}"));
             }
@@ -306,6 +325,7 @@ impl RunOpts {
             reuse_insert_probability: 0.0,
             tenants: TenantPopulation::empty(),
             churn_dwell_ms: 0.0,
+            retries: None,
         }
     }
 
@@ -449,6 +469,13 @@ fn parse_churn(what: &str, v: &str) -> Result<f64, String> {
         .ok()
         .filter(|ms| *ms >= 0.0 && ms.is_finite())
         .ok_or_else(|| format!("{what} expects a non-negative dwell time in ms, got {v:?}"))
+}
+
+/// Parses a retry budget for `what` (`--retries` or `LLC_RETRIES`). Zero is
+/// legal: it quarantines on the first panic.
+fn parse_retries(what: &str, v: &str) -> Result<u32, String> {
+    v.parse::<u32>()
+        .map_err(|_| format!("{what} expects a non-negative retry count, got {v:?}"))
 }
 
 /// Formats a fraction as a percentage with one decimal.
@@ -620,6 +647,20 @@ mod tests {
         // No churn flag → static population.
         let o = RunOpts::from_args(["--tenants", "idle"]).unwrap();
         assert!(o.tenant_population(2.0).churn.is_none());
+    }
+
+    #[test]
+    fn run_opts_parse_retry_forms() {
+        let o = RunOpts::from_args(["--retries", "5"]).unwrap();
+        assert_eq!(o.retries, Some(5));
+        let o = RunOpts::from_args(["--retries=0"]).unwrap();
+        assert_eq!(o.retries, Some(0));
+        assert!(RunOpts::from_args(["--retries", "-1"]).is_err());
+        assert!(RunOpts::from_args(["--retries", "lots"]).is_err());
+        assert!(RunOpts::from_args(["--retries"]).is_err());
+        // Smoke keeps the driver default so golden runs exercise the
+        // production retry path unchanged.
+        assert_eq!(RunOpts::smoke_with_threads(2).retries, None);
     }
 
     #[test]

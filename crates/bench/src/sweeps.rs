@@ -18,7 +18,9 @@
 
 use crate::experiments::{trial_streams, Environment};
 use crate::RunOpts;
-use llc_campaign::{CampaignSpec, CellAggregate, CellSpec, TrialOutcome, TrialSource};
+use llc_campaign::{
+    CampaignSpec, CellAggregate, CellSpec, QuarantineRecord, TrialOutcome, TrialSource,
+};
 use llc_cache_model::{
     CacheSpec, HierarchyOptions, InclusionPolicy, ReplacementKind, SliceHashSelect,
 };
@@ -64,6 +66,10 @@ pub struct PruningSweep {
     /// Canonical build seed shared by every cell, so cells that share a
     /// machine configuration share pool keys (and therefore machines).
     build_seed: u64,
+    /// Per-trial virtual-time watchdog: when set, every trial arms the
+    /// machine's budget so a runaway trial panics deterministically (and
+    /// the campaign layer quarantines it) instead of spinning forever.
+    trial_budget: Option<u64>,
     pool: Arc<MachinePool>,
 }
 
@@ -82,8 +88,18 @@ impl PruningSweep {
             fidelity,
             hierarchy,
             build_seed: stream_seed(master_seed, trial_streams::MACHINE),
+            trial_budget: None,
             pool: MachinePool::new(),
         }
+    }
+
+    /// Arms a per-trial virtual-time budget (in simulated cycles). The
+    /// budget is checked at the machine's single clock-advance choke point,
+    /// so overrunning trials panic with a deterministic message — identical
+    /// on every retry — and end up quarantined rather than hanging a worker.
+    pub fn with_trial_budget(mut self, budget: Option<u64>) -> Self {
+        self.trial_budget = budget;
+        self
     }
 
     /// The sweep's cells, in campaign cell order.
@@ -144,6 +160,10 @@ impl TrialSource for PruningSweep {
         let machine = held.as_mut().expect("machine just acquired");
         machine.reset();
         machine.reseed(ctx.stream(trial_streams::NOISE));
+        match self.trial_budget {
+            Some(budget) => machine.arm_trial_budget(budget),
+            None => machine.disarm_trial_budget(),
+        }
         let mut rng = ctx.stream_rng(trial_streams::ALLOC);
 
         let config = if cell.filtering { EvsetConfig::filtered() } else { EvsetConfig::unfiltered() };
@@ -163,6 +183,16 @@ impl TrialSource for PruningSweep {
         TrialOutcome {
             success,
             metrics: vec![result.total_cycles, result.backtracks as u64, result.filter_cycles],
+        }
+    }
+
+    /// A trial panicked mid-run, so the held machine's state is suspect
+    /// (half-applied accesses, mid-churn population). Discard it instead of
+    /// returning it to the pool: the retry — and every later trial — starts
+    /// from a freshly built (or cleanly pooled) machine.
+    fn on_trial_panic(&self, held: &mut Option<PooledMachine>) {
+        if let Some(machine) = held.take() {
+            machine.discard();
         }
     }
 }
@@ -340,11 +370,18 @@ fn preset_from_cells(
 }
 
 /// Renders the consolidated campaign report. Pure function of the campaign
-/// identity and its final aggregates — chunk scheduling, thread count and
-/// resume history cannot appear in it, which is what lets CI diff the
-/// output of a killed-and-resumed campaign against the uninterrupted
-/// golden byte for byte.
-pub fn render_report(spec: &CampaignSpec, cells: &[SweepCell], aggregates: &[CellAggregate]) -> String {
+/// identity, its final aggregates and its quarantine list — chunk
+/// scheduling, thread count and resume history cannot appear in it, which
+/// is what lets CI diff the output of a killed-and-resumed campaign
+/// against the uninterrupted golden byte for byte. A campaign with no
+/// quarantined trials renders exactly as it did before quarantine existed,
+/// so fault-free goldens are stable.
+pub fn render_report(
+    spec: &CampaignSpec,
+    cells: &[SweepCell],
+    aggregates: &[CellAggregate],
+    quarantined: &[QuarantineRecord],
+) -> String {
     use std::fmt::Write as _;
     assert_eq!(cells.len(), aggregates.len(), "one aggregate per cell");
     let total: u64 = aggregates.iter().map(|a| a.trials).sum();
@@ -372,6 +409,17 @@ pub fn render_report(spec: &CampaignSpec, cells: &[SweepCell], aggregates: &[Cel
             backtracks.mean().unwrap_or(0.0),
             crate::pct(filter_share),
         );
+    }
+    if !quarantined.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(out, "QUARANTINED ({} trials)", quarantined.len());
+        for q in quarantined {
+            let _ = writeln!(
+                out,
+                "  {} trial {} after {} attempts: {}",
+                cells[q.cell].id, q.trial, q.attempts, q.reason
+            );
+        }
     }
     out
 }
@@ -449,10 +497,47 @@ mod tests {
                 agg
             })
             .collect();
-        let a = render_report(&preset.spec, preset.source.cells(), &aggregates);
-        let b = render_report(&preset.spec, preset.source.cells(), &aggregates);
+        let a = render_report(&preset.spec, preset.source.cells(), &aggregates, &[]);
+        let b = render_report(&preset.spec, preset.source.cells(), &aggregates, &[]);
         assert_eq!(a, b);
         assert!(a.contains("12 cells, 12 trials"), "{a}");
         assert!(a.contains("100.0%"), "{a}");
+        assert!(!a.contains("QUARANTINED"), "fault-free reports carry no quarantine section");
+
+        let quarantined = vec![QuarantineRecord {
+            cell: 0,
+            trial: 3,
+            attempts: 3,
+            reason: "trial budget exhausted: 1000 virtual cycles".to_string(),
+        }];
+        let q = render_report(&preset.spec, preset.source.cells(), &aggregates, &quarantined);
+        assert!(q.starts_with(&a), "quarantine section strictly appends");
+        assert!(q.contains("QUARANTINED (1 trials)"), "{q}");
+        assert!(q.contains("trial 3 after 3 attempts: trial budget exhausted"), "{q}");
+    }
+
+    #[test]
+    fn trial_budget_panics_deterministically_and_discards_the_machine() {
+        let opts = RunOpts::smoke_with_threads(1);
+        let preset = build_preset("noise-grid", &opts).expect("known preset");
+        // A budget far below any real trial cost: the first timed access
+        // blows it. Two attempts must produce the identical panic message
+        // (that message becomes the stable quarantine reason).
+        let source = preset.source.with_trial_budget(Some(1));
+        let ctx = llc_fleet::TrialCtx::derive(0x5eed, 0, 4);
+        let mut messages = Vec::new();
+        for _ in 0..2 {
+            let mut held = source.init(0);
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                source.run_trial(&mut held, 0, ctx);
+            }))
+            .expect_err("a 1-cycle budget cannot complete a trial");
+            source.on_trial_panic(&mut held);
+            assert!(held.is_none(), "panicked trial's machine must be discarded");
+            messages.push(llc_fleet::panic_message(caught.as_ref()));
+        }
+        assert_eq!(messages[0], messages[1]);
+        assert_eq!(messages[0], "trial budget exhausted: 1 virtual cycles");
+        assert!(source.pool().stats().discards >= 2, "discards must hit the pool counter");
     }
 }

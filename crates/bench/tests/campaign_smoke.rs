@@ -18,7 +18,7 @@
 
 use llc_bench::sweeps::{build_preset, render_report, PruningSweep, SweepPreset};
 use llc_bench::RunOpts;
-use llc_campaign::{Campaign, CampaignSpec, Fleet, RunOptions, RunReport};
+use llc_campaign::{Campaign, CampaignOutcome, CampaignSpec, FaultPlan, Fleet, RunOptions};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -73,18 +73,18 @@ fn trimmed_coresidency() -> (CampaignSpec, PruningSweep) {
     trim("coresidency-grid", "coresidency-grid-trimmed", 1, |id| id.starts_with("bursty|n1|"))
 }
 
-fn run(threads: usize, dir: &PathBuf, max_chunks: Option<u64>) -> (RunReport, u64, u64) {
+fn run(threads: usize, dir: &PathBuf, max_chunks: Option<u64>) -> (CampaignOutcome, u64, u64) {
     let (spec, source) = trimmed();
     let report = Campaign::new(spec, dir)
-        .run(&Fleet::new(threads), &source, &RunOptions { max_chunks })
+        .run(&Fleet::new(threads), &source, &RunOptions { max_chunks, ..RunOptions::default() })
         .expect("campaign runs");
     let stats = source.pool().stats();
     (report, stats.builds, stats.keys)
 }
 
-fn render(report: &RunReport) -> String {
+fn render(report: &CampaignOutcome) -> String {
     let (spec, source) = trimmed();
-    render_report(&spec, source.cells(), &report.aggregates)
+    render_report(&spec, source.cells(), &report.aggregates, &report.quarantined)
 }
 
 #[test]
@@ -126,14 +126,14 @@ fn killed_campaign_resumes_to_the_identical_report() {
 
 #[test]
 fn killed_coresidency_campaign_resumes_to_the_identical_report() {
-    let render = |report: &RunReport| {
+    let render = |report: &CampaignOutcome| {
         let (spec, source) = trimmed_coresidency();
-        render_report(&spec, source.cells(), &report.aggregates)
+        render_report(&spec, source.cells(), &report.aggregates, &report.quarantined)
     };
     let run = |threads: usize, dir: &PathBuf, max_chunks: Option<u64>| {
         let (spec, source) = trimmed_coresidency();
         Campaign::new(spec, dir)
-            .run(&Fleet::new(threads), &source, &RunOptions { max_chunks })
+            .run(&Fleet::new(threads), &source, &RunOptions { max_chunks, ..RunOptions::default() })
             .expect("campaign runs")
     };
 
@@ -162,6 +162,42 @@ fn killed_coresidency_campaign_resumes_to_the_identical_report() {
     let threaded = run(8, &dir8, None);
     assert_eq!(render(&threaded), render(&reference));
     let _ = std::fs::remove_dir_all(&dir8);
+}
+
+#[test]
+fn chaos_run_resumes_to_the_fault_free_report() {
+    // Fault-free reference.
+    let ref_dir = fresh_dir();
+    let (reference, _, _) = run(2, &ref_dir, None);
+    assert!(reference.complete);
+    assert!(reference.quarantined.is_empty());
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Chaos leg: one transient trial panic (heals under retry, same seed)
+    // plus a torn record line (wedges the sink → typed error, and the torn
+    // line is the file's final line — the legal kill artifact).
+    let plan = FaultPlan::parse("panic@2,torn@1").expect("valid plan");
+    let dir = fresh_dir();
+    let (spec, source) = trimmed();
+    let err = Campaign::new(spec, &dir)
+        .run(
+            &Fleet::new(2),
+            &source,
+            &RunOptions { fault_plan: Some(plan), ..RunOptions::default() },
+        )
+        .expect_err("the torn append wedges the sink");
+    let msg = err.to_string();
+    assert!(msg.contains("injected fault"), "unexpected error: {msg}");
+
+    // Fault-free resume over the damaged directory: recover the torn tail,
+    // re-run what's missing, and match the reference byte for byte.
+    let (resumed, _, _) = run(1, &dir, None);
+    assert!(resumed.complete);
+    assert!(resumed.recovered_tail, "the torn final line must be recovered, not fatal");
+    assert!(resumed.quarantined.is_empty(), "transient faults leave no quarantine residue");
+    assert_eq!(resumed.aggregates, reference.aggregates, "chaos resume must be bit-identical");
+    assert_eq!(render(&resumed), render(&reference), "rendered reports must match byte-for-byte");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

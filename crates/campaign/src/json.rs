@@ -71,6 +71,14 @@ impl Json {
         }
     }
 
+    /// The value as `bool`, if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, if it is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {
@@ -308,6 +316,13 @@ impl JsonWriter {
         self
     }
 
+    /// Writes a boolean value.
+    pub fn boolean(&mut self, v: bool) -> &mut Self {
+        self.pre_value();
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
     /// Writes a string value.
     pub fn str(&mut self, v: &str) -> &mut Self {
         self.pre_value();
@@ -360,6 +375,18 @@ mod tests {
         assert!(Json::parse(r#"{"a":1} trailing"#).is_err());
         assert!(Json::parse("").is_err());
         assert!(Json::parse(r#"{"a":1,}"#).is_err());
+    }
+
+    #[test]
+    fn booleans_round_trip() {
+        let mut w = JsonWriter::new();
+        w.obj().key("yes").boolean(true).key("no").boolean(false).end_obj();
+        let text = w.finish();
+        assert_eq!(text, r#"{"yes":true,"no":false}"#);
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("yes").and_then(Json::as_bool), Some(true));
+        assert_eq!(v.get("no").and_then(Json::as_bool), Some(false));
+        assert_eq!(v.get("yes").and_then(Json::as_u64), None);
     }
 
     #[test]

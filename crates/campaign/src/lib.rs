@@ -25,6 +25,16 @@
 //!   load valid records, execute missing chunks through the fleet's task
 //!   engine, append+flush a record per chunk, merge everything. A killed
 //!   campaign re-runs at most the one chunk whose record line was torn.
+//!   Trials run inside a per-attempt `catch_unwind` boundary: a panicking
+//!   trial retries with its same derived seed, and a deterministic panic
+//!   quarantines the trial (first-class in the merge records) instead of
+//!   killing the run.
+//! * **[`faults`]** — deterministic fault injection for testing the above:
+//!   a seeded [`FaultPlan`] decides, as a pure function, which trials
+//!   panic and which record-file operations fail (short write, torn tail,
+//!   ENOSPC, fsync error, rename failure) through the [`RecordSink`]
+//!   abstraction. The production [`DirSink`] path is byte-identical
+//!   whether or not the faults module is in the build.
 //!
 //! Machine reuse across cells (the pool keyed by machine-configuration
 //! hash) lives in `llc-machine` ([`MachinePool`](../llc_machine/struct.MachinePool.html));
@@ -37,14 +47,19 @@
 #![warn(missing_debug_implementations)]
 
 pub mod driver;
+pub mod faults;
 pub mod grid;
 mod json;
 pub mod records;
 pub mod stats;
 
-pub use driver::{Campaign, CampaignSpec, CellSpec, RunOptions, RunReport};
+pub use driver::{Campaign, CampaignOutcome, CampaignSpec, CellSpec, RunOptions};
+pub use faults::{FaultPlan, FaultySink, IoFault};
 pub use grid::CellGrid;
-pub use records::{CampaignError, ChunkRecord, LoadedRecords, Manifest, FORMAT_VERSION};
+pub use records::{
+    CampaignError, ChunkRecord, DirSink, LoadedRecords, Manifest, QuarantineRecord, RecordSink,
+    FORMAT_VERSION,
+};
 pub use stats::{CellAggregate, StreamStats, TrialOutcome};
 
 // Re-export the fleet surface campaign consumers need, so `llc-bench` can

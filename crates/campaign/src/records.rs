@@ -8,12 +8,18 @@
 //!   touch a directory whose manifest does not match the spec byte-for-byte
 //!   — the same trial stream, or nothing.
 //! * **`records.jsonl`** — one line per *completed chunk* of the global
-//!   trial stream. Each line carries the chunk's `[start, end)` range and
-//!   the per-cell [`CellAggregate`] segments it produced, and ends with an
-//!   FNV-1a checksum of the line's preceding bytes. Lines are appended in
+//!   trial stream. Each line carries the chunk's `[start, end)` range, the
+//!   per-cell [`CellAggregate`] segments it produced, the chunk's
+//!   quarantined trials (trials whose deterministic panic exhausted the
+//!   retry budget — see [`QuarantineRecord`]), and ends with an FNV-1a
+//!   checksum of the line's preceding bytes. Lines are appended in
 //!   completion order, which under a multi-threaded fleet is **not** chunk
 //!   order — merging is order-independent (integer aggregates), so it does
 //!   not matter.
+//!
+//! All file I/O goes through the [`RecordSink`] trait ([`DirSink`] in
+//! production) so the deterministic fault injector
+//! ([`FaultPlan`](crate::FaultPlan)) can interpose on every operation.
 //!
 //! Crash-recovery rules, enforced by [`load_records`]:
 //!
@@ -27,10 +33,15 @@
 use crate::grid::CellGrid;
 use crate::json::{Json, JsonWriter};
 use crate::stats::{CellAggregate, StreamStats};
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
 
 /// Current on-disk format version. Bump on any layout change; resume
-/// refuses mismatched versions.
-pub const FORMAT_VERSION: u64 = 1;
+/// refuses mismatched versions. Version 2 added first-class quarantine
+/// entries to chunk records and the `complete` flag to the manifest.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// FNV-1a over a byte string — the checksum/fingerprint primitive for the
 /// campaign's on-disk formats.
@@ -54,6 +65,10 @@ pub enum CampaignError {
     RecordsCorrupt(String),
     /// Filesystem-level failure (message carries the underlying error).
     Io(String),
+    /// A fleet worker died outside any trial's catch_unwind boundary (the
+    /// message carries the worker id and how many chunk results were lost).
+    /// Per-trial panics never produce this — they retry or quarantine.
+    WorkerLost(String),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -63,11 +78,30 @@ impl std::fmt::Display for CampaignError {
             CampaignError::ManifestMismatch(m) => write!(f, "manifest mismatch: {m}"),
             CampaignError::RecordsCorrupt(m) => write!(f, "records corrupt: {m}"),
             CampaignError::Io(m) => write!(f, "campaign io error: {m}"),
+            CampaignError::WorkerLost(m) => write!(f, "campaign worker lost: {m}"),
         }
     }
 }
 
 impl std::error::Error for CampaignError {}
+
+/// One quarantined trial: a trial whose deterministic panic exhausted its
+/// retry budget. First-class on-disk state — quarantine entries ride in the
+/// chunk record next to the aggregates they are missing from, so resume
+/// accounting (`segment trials + quarantined trials = chunk range`) stays
+/// exact and thread-invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineRecord {
+    /// Cell index the trial belongs to.
+    pub cell: usize,
+    /// Trial index *within its cell* (matches the seed derivation, so the
+    /// exact failing trial can be replayed standalone).
+    pub trial: u64,
+    /// Attempts made before giving up (1 initial + retries).
+    pub attempts: u32,
+    /// The panic payload of the final attempt.
+    pub reason: String,
+}
 
 /// The aggregate segments one chunk contributed, tagged by cell.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -79,8 +113,12 @@ pub struct ChunkRecord {
     /// Exclusive end of the range.
     pub end: u64,
     /// Per-cell segments, ordered by cell index (a chunk spans one or more
-    /// consecutive cells).
+    /// consecutive cells). Every cell the range touches has a segment, even
+    /// when all of its trials in this chunk quarantined (empty aggregate).
     pub segments: Vec<(usize, CellAggregate)>,
+    /// Trials of this chunk that exhausted their retries, ordered by global
+    /// trial index. Their outcomes are *not* folded into `segments`.
+    pub quarantined: Vec<QuarantineRecord>,
 }
 
 fn write_stats(w: &mut JsonWriter, s: &StreamStats) {
@@ -133,6 +171,19 @@ pub fn encode_record(record: &ChunkRecord) -> String {
         }
         w.end_arr().end_obj();
     }
+    w.end_arr().key("quar").arr();
+    for q in &record.quarantined {
+        w.obj()
+            .key("cell")
+            .num(q.cell as u64)
+            .key("trial")
+            .num(q.trial)
+            .key("attempts")
+            .num(q.attempts as u64)
+            .key("reason")
+            .str(&q.reason)
+            .end_obj();
+    }
     w.end_arr().end_obj();
     let body = w.finish();
     // `{...,"crc":"<16 hex>"}`: checksum covers everything before the crc
@@ -179,11 +230,28 @@ pub fn decode_record(line: &str) -> Result<ChunkRecord, String> {
             },
         ));
     }
+    let mut quarantined = Vec::new();
+    for q in v.get("quar").and_then(Json::as_arr).ok_or("record missing quar")? {
+        quarantined.push(QuarantineRecord {
+            cell: q.get("cell").and_then(Json::as_u64).ok_or("quarantine missing cell")? as usize,
+            trial: q.get("trial").and_then(Json::as_u64).ok_or("quarantine missing trial")?,
+            attempts: q
+                .get("attempts")
+                .and_then(Json::as_u64)
+                .ok_or("quarantine missing attempts")? as u32,
+            reason: q
+                .get("reason")
+                .and_then(Json::as_str)
+                .ok_or("quarantine missing reason")?
+                .to_string(),
+        });
+    }
     Ok(ChunkRecord {
         chunk: v.get("chunk").and_then(Json::as_u64).ok_or("record missing chunk")?,
         start: v.get("start").and_then(Json::as_u64).ok_or("record missing start")?,
         end: v.get("end").and_then(Json::as_u64).ok_or("record missing end")?,
         segments,
+        quarantined,
     })
 }
 
@@ -204,6 +272,10 @@ pub struct Manifest {
     /// FNV-1a fingerprint over the full layout (cell ids, trial counts,
     /// metric names, master seed, chunk size).
     pub fingerprint: u64,
+    /// Durable completion state: set (via write-then-rename, after the
+    /// records file is fsynced) once every chunk is recorded. *Not* part of
+    /// the campaign identity — resume compares everything else.
+    pub complete: bool,
 }
 
 impl Manifest {
@@ -225,8 +297,17 @@ impl Manifest {
             .num(self.cells)
             .key("fingerprint")
             .str(&format!("{:016x}", self.fingerprint))
+            .key("complete")
+            .boolean(self.complete)
             .end_obj();
         w.finish()
+    }
+
+    /// True when `other` describes the same campaign — every identity field
+    /// agrees; the mutable `complete` flag is ignored.
+    pub fn same_campaign(&self, other: &Manifest) -> bool {
+        (&self.name, self.master_seed, self.chunk_trials, self.total_trials, self.cells, self.fingerprint)
+            == (&other.name, other.master_seed, other.chunk_trials, other.total_trials, other.cells, other.fingerprint)
     }
 
     /// Parses and version-checks a manifest document.
@@ -264,6 +345,7 @@ impl Manifest {
                 .ok_or_else(|| err("no total_trials"))?,
             cells: v.get("cells").and_then(Json::as_u64).ok_or_else(|| err("no cells"))?,
             fingerprint,
+            complete: v.get("complete").and_then(Json::as_bool).unwrap_or(false),
         })
     }
 }
@@ -350,22 +432,51 @@ fn validate_record(
             record.chunk, record.start, record.end, start, end
         ));
     }
-    // Walk the range's cell decomposition and compare.
-    let mut expected: Vec<(usize, u64)> = Vec::new();
+    // Walk the range's cell decomposition: each expected entry is the cell,
+    // its within-cell trial window `[within, within + take)`, and `take`.
+    let mut expected: Vec<(usize, u64, u64)> = Vec::new();
     let mut g = start;
     while g < end {
         let (cell, within) = grid.locate(g);
         let take = (grid.cell_trials(cell) - within).min(end - g);
-        expected.push((cell, take));
+        expected.push((cell, within, take));
         g += take;
+    }
+    // Quarantine entries must land inside the range, once each, and their
+    // per-cell counts complete the segment accounting below.
+    let mut quarantined_in: std::collections::HashMap<usize, u64> =
+        std::collections::HashMap::new();
+    let mut seen: std::collections::HashSet<(usize, u64)> = std::collections::HashSet::new();
+    for q in &record.quarantined {
+        let in_range = expected
+            .iter()
+            .any(|&(cell, within, take)| cell == q.cell && (within..within + take).contains(&q.trial));
+        if !in_range {
+            return Err(format!(
+                "chunk {}: quarantined trial (cell {}, trial {}) outside chunk range",
+                record.chunk, q.cell, q.trial
+            ));
+        }
+        if !seen.insert((q.cell, q.trial)) {
+            return Err(format!(
+                "chunk {}: quarantined trial (cell {}, trial {}) listed twice",
+                record.chunk, q.cell, q.trial
+            ));
+        }
+        if q.attempts == 0 {
+            return Err(format!("chunk {}: quarantine entry with zero attempts", record.chunk));
+        }
+        *quarantined_in.entry(q.cell).or_insert(0) += 1;
     }
     if record.segments.len() != expected.len() {
         return Err(format!("chunk {}: segment count mismatch", record.chunk));
     }
-    for ((cell, agg), (want_cell, want_trials)) in record.segments.iter().zip(&expected) {
-        if cell != want_cell || agg.trials != *want_trials {
+    for ((cell, agg), (want_cell, _within, want_trials)) in record.segments.iter().zip(&expected) {
+        let quarantined = quarantined_in.get(cell).copied().unwrap_or(0);
+        if cell != want_cell || agg.trials + quarantined != *want_trials {
             return Err(format!(
-                "chunk {}: segment cell {cell}/{} trials, expected cell {want_cell}/{want_trials}",
+                "chunk {}: segment cell {cell}/{} trials (+{quarantined} quarantined), \
+                 expected cell {want_cell}/{want_trials}",
                 record.chunk, agg.trials
             ));
         }
@@ -384,6 +495,164 @@ fn validate_record(
     Ok(())
 }
 
+/// The campaign directory's file I/O, as a trait.
+///
+/// The driver does all of its reads and writes through this interface so
+/// the fault injector ([`FaultySink`](crate::FaultySink)) can interpose on
+/// every operation; the production implementation is [`DirSink`], whose
+/// happy path is byte-for-byte the writer the driver used before the trait
+/// existed (append one checksummed line + `\n`, flush per line).
+///
+/// Durability contract of an implementation:
+///
+/// * `write_manifest` must be atomic with respect to crashes (write to a
+///   temp name, fsync the temp file, rename over the target, fsync the
+///   parent directory) so a torn manifest can never be observed.
+/// * `append_record` must flush, bounding what a kill can lose to the final
+///   line.
+/// * `sync_records` must not return before the records file's contents are
+///   durable — the driver calls it *before* writing the manifest's
+///   completion state, so the rename can never be reordered ahead of the
+///   data it vouches for.
+pub trait RecordSink: Sync {
+    /// Reads the manifest document, `None` when no manifest exists yet.
+    fn read_manifest(&self) -> Result<Option<String>, CampaignError>;
+    /// Durably replaces the manifest (write-then-rename; see trait docs).
+    fn write_manifest(&self, text: &str) -> Result<(), CampaignError>;
+    /// Reads the raw records file, `None` when it does not exist.
+    fn read_records(&self) -> Result<Option<Vec<u8>>, CampaignError>;
+    /// Opens the records file for appending, truncated to `valid_len`
+    /// (dropping a recovered partial tail). Must be called before
+    /// [`RecordSink::append_record`].
+    fn open_records(&self, valid_len: u64) -> Result<(), CampaignError>;
+    /// Appends one record line (newline added here) and flushes.
+    fn append_record(&self, line: &str) -> Result<(), CampaignError>;
+    /// Fsyncs the records file (a no-op when no records file exists).
+    fn sync_records(&self) -> Result<(), CampaignError>;
+}
+
+/// The production [`RecordSink`]: plain files in the campaign directory.
+#[derive(Debug)]
+pub struct DirSink {
+    dir: PathBuf,
+    records: Mutex<Option<File>>,
+}
+
+fn io_err(e: std::io::Error) -> CampaignError {
+    CampaignError::Io(e.to_string())
+}
+
+impl DirSink {
+    /// A sink over campaign directory `dir` (not created here; the driver
+    /// creates the directory before first use).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), records: Mutex::new(None) }
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    fn records_path(&self) -> PathBuf {
+        self.dir.join("records.jsonl")
+    }
+
+    /// Fsyncs a directory so a rename inside it is durable (on Linux a
+    /// directory opened read-only accepts fsync).
+    fn sync_dir(dir: &Path) -> Result<(), CampaignError> {
+        File::open(dir).and_then(|d| d.sync_all()).map_err(io_err)
+    }
+
+    /// Writes the manifest temp file *without* renaming it into place —
+    /// the fault injector uses this to model a crash in the rename window.
+    pub(crate) fn write_manifest_tmp_only(&self, text: &str) -> Result<(), CampaignError> {
+        std::fs::write(self.dir.join("manifest.json.tmp"), text).map_err(io_err)
+    }
+
+    /// Appends raw bytes to the records file with **no** newline and no
+    /// checksum framing — the fault injector's torn/short writes.
+    pub(crate) fn append_bytes(&self, bytes: &[u8]) -> Result<(), CampaignError> {
+        let mut guard = self.records.lock().expect("records sink poisoned");
+        let file = guard.as_mut().ok_or_else(|| {
+            CampaignError::Io("records file not open for appending".to_string())
+        })?;
+        file.write_all(bytes).and_then(|_| file.flush()).map_err(io_err)
+    }
+}
+
+impl RecordSink for DirSink {
+    fn read_manifest(&self) -> Result<Option<String>, CampaignError> {
+        let path = self.manifest_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        let bytes = std::fs::read(&path).map_err(io_err)?;
+        // Lossy: invalid UTF-8 fails JSON parsing and classifies as a
+        // corrupt manifest, not an I/O failure.
+        Ok(Some(String::from_utf8_lossy(&bytes).into_owned()))
+    }
+
+    fn write_manifest(&self, text: &str) -> Result<(), CampaignError> {
+        // Write-then-rename so a kill mid-write cannot leave a torn
+        // manifest behind; fsync the temp file *before* the rename and the
+        // directory *after* it so a host crash cannot surface the rename
+        // without the data (or the data without the directory entry).
+        let tmp = self.dir.join("manifest.json.tmp");
+        let mut file = File::create(&tmp).map_err(io_err)?;
+        file.write_all(text.as_bytes()).and_then(|_| file.sync_all()).map_err(io_err)?;
+        drop(file);
+        std::fs::rename(&tmp, self.manifest_path()).map_err(io_err)?;
+        Self::sync_dir(&self.dir)
+    }
+
+    fn read_records(&self) -> Result<Option<Vec<u8>>, CampaignError> {
+        let path = self.records_path();
+        if !path.exists() {
+            return Ok(None);
+        }
+        std::fs::read(&path).map(Some).map_err(io_err)
+    }
+
+    fn open_records(&self, valid_len: u64) -> Result<(), CampaignError> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.records_path())
+            .map_err(io_err)?;
+        file.set_len(valid_len).map_err(io_err)?;
+        *self.records.lock().expect("records sink poisoned") = Some(file);
+        Ok(())
+    }
+
+    fn append_record(&self, line: &str) -> Result<(), CampaignError> {
+        let mut guard = self.records.lock().expect("records sink poisoned");
+        let file = guard.as_mut().ok_or_else(|| {
+            CampaignError::Io("records file not open for appending".to_string())
+        })?;
+        file.write_all(line.as_bytes())
+            .and_then(|_| file.write_all(b"\n"))
+            .and_then(|_| file.flush())
+            .map_err(io_err)
+    }
+
+    fn sync_records(&self) -> Result<(), CampaignError> {
+        let guard = self.records.lock().expect("records sink poisoned");
+        match guard.as_ref() {
+            Some(file) => file.sync_all().map_err(io_err),
+            None => {
+                // Completion on a pure replay (no chunks run this call):
+                // sync through a fresh handle; fsync needs any fd.
+                let path = self.records_path();
+                if path.exists() {
+                    File::open(&path).and_then(|f| f.sync_all()).map_err(io_err)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,7 +664,28 @@ mod tests {
         let mut agg = CellAggregate::empty(2);
         agg.record(&TrialOutcome { success: true, metrics: vec![10, u64::MAX] });
         agg.record(&TrialOutcome { success: false, metrics: vec![30, 0] });
-        (ChunkRecord { chunk: 1, start: 4, end: 6, segments: vec![(1, agg)] }, grid)
+        (
+            ChunkRecord { chunk: 1, start: 4, end: 6, segments: vec![(1, agg)], quarantined: vec![] },
+            grid,
+        )
+    }
+
+    /// Chunk 1 of size 4 over cells [3, 3] covers globals [4, 6) → cell 1,
+    /// within-cell trials 1..3 — with trial 2 quarantined.
+    fn quarantined_record() -> (ChunkRecord, CellGrid) {
+        let grid = CellGrid::new(&[3, 3]);
+        let mut agg = CellAggregate::empty(2);
+        agg.record(&TrialOutcome { success: true, metrics: vec![10, 20] });
+        let q = QuarantineRecord {
+            cell: 1,
+            trial: 2,
+            attempts: 3,
+            reason: "injected fault: trial 5".into(),
+        };
+        (
+            ChunkRecord { chunk: 1, start: 4, end: 6, segments: vec![(1, agg)], quarantined: vec![q] },
+            grid,
+        )
     }
 
     #[test]
@@ -457,9 +747,87 @@ mod tests {
             total_trials: 4096,
             cells: 16,
             fingerprint: 0x0123_4567_89ab_cdef,
+            complete: false,
         };
         assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
         assert!(Manifest::decode("{not json").is_err());
         assert!(Manifest::decode(r#"{"version":99}"#).is_err());
+    }
+
+    #[test]
+    fn completion_flag_round_trips_and_is_not_identity() {
+        let mut m = Manifest {
+            name: "x".into(),
+            master_seed: 1,
+            chunk_trials: 2,
+            total_trials: 4,
+            cells: 2,
+            fingerprint: 9,
+            complete: false,
+        };
+        let pristine = m.clone();
+        m.complete = true;
+        assert_eq!(Manifest::decode(&m.encode()).unwrap(), m);
+        assert_ne!(m, pristine);
+        assert!(m.same_campaign(&pristine), "complete must not affect identity");
+        let mut other = pristine.clone();
+        other.master_seed = 2;
+        assert!(!other.same_campaign(&pristine));
+    }
+
+    #[test]
+    fn quarantined_record_round_trips_and_validates() {
+        let (record, grid) = quarantined_record();
+        let line = encode_record(&record);
+        assert_eq!(decode_record(&line).unwrap(), record);
+        let contents = format!("{line}\n");
+        let loaded = load_records(&contents, &grid, 4, 2).unwrap();
+        assert_eq!(loaded.records, vec![record]);
+    }
+
+    #[test]
+    fn quarantine_accounting_must_balance() {
+        // Same shape, but the quarantined trial is *also* missing from the
+        // accounting: segment has 1 trial, 0 quarantined, range needs 2.
+        let (mut record, grid) = quarantined_record();
+        record.quarantined.clear();
+        let contents = format!("{}\n", encode_record(&record));
+        let err = load_records(&contents, &grid, 4, 2).unwrap_err();
+        assert!(matches!(err, CampaignError::RecordsCorrupt(_)), "{err}");
+
+        // Out-of-range quarantine entry.
+        let (mut record, grid) = quarantined_record();
+        record.quarantined[0].trial = 0; // global 3: not in this chunk
+        let contents = format!("{}\n", encode_record(&record));
+        let err = load_records(&contents, &grid, 4, 2).unwrap_err();
+        assert!(matches!(err, CampaignError::RecordsCorrupt(_)), "{err}");
+
+        // Duplicate quarantine entry.
+        let (mut record, grid) = quarantined_record();
+        let dup = record.quarantined[0].clone();
+        record.quarantined.push(dup);
+        let contents = format!("{}\n", encode_record(&record));
+        let err = load_records(&contents, &grid, 4, 2).unwrap_err();
+        assert!(matches!(err, CampaignError::RecordsCorrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn fully_quarantined_segment_is_legal() {
+        // Both trials of the chunk quarantined: empty aggregate, two
+        // quarantine entries — still a valid, checksummed record.
+        let grid = CellGrid::new(&[3, 3]);
+        let record = ChunkRecord {
+            chunk: 1,
+            start: 4,
+            end: 6,
+            segments: vec![(1, CellAggregate::empty(2))],
+            quarantined: vec![
+                QuarantineRecord { cell: 1, trial: 1, attempts: 3, reason: "r1".into() },
+                QuarantineRecord { cell: 1, trial: 2, attempts: 3, reason: "r2".into() },
+            ],
+        };
+        let contents = format!("{}\n", encode_record(&record));
+        let loaded = load_records(&contents, &grid, 4, 2).unwrap();
+        assert_eq!(loaded.records, vec![record]);
     }
 }

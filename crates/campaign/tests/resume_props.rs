@@ -9,8 +9,8 @@
 //! grid shapes, kill points and byte-level truncation offsets.
 
 use llc_campaign::{
-    Campaign, CampaignError, CampaignSpec, CellAggregate, CellSpec, Fleet, RunOptions, TrialCtx,
-    TrialOutcome, TrialSource,
+    Campaign, CampaignError, CampaignSpec, CellAggregate, CellSpec, FaultPlan, Fleet, RunOptions,
+    TrialCtx, TrialOutcome, TrialSource,
 };
 use proptest::prelude::*;
 use std::path::PathBuf;
@@ -89,7 +89,11 @@ proptest! {
             // Phase 1: run a prefix of the chunk stream, as if killed at a
             // chunk boundary.
             campaign
-                .run(&Fleet::new(2), &Synthetic, &RunOptions { max_chunks: Some(kill_after) })
+                .run(
+                    &Fleet::new(2),
+                    &Synthetic,
+                    &RunOptions { max_chunks: Some(kill_after), ..RunOptions::default() },
+                )
                 .unwrap();
             // Phase 2: tear the file tail at an arbitrary byte offset, as if
             // killed mid-append.
@@ -150,6 +154,86 @@ proptest! {
             }
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Run under a *random* seeded fault plan (transient trial panics plus
+    /// one injected records-file fault — short write, torn tail, or
+    /// ENOSPC). Either the run rides through the faults and is already
+    /// bit-identical to the fault-free reference, or it fails with a clean
+    /// typed error and the fault-free resume completes bit-identically.
+    /// Under no fault plan does the campaign ever produce *wrong* numbers.
+    #[test]
+    fn random_fault_plans_never_corrupt_results(
+        cells in prop::collection::vec(1u64..8, 1..5),
+        chunk in 1u64..6,
+        master in 0u64..1000,
+        fault_seed in 0u64..10_000,
+    ) {
+        let spec = spec(&cells, chunk, master);
+        let want = reference(&spec);
+        let grid_total: u64 = cells.iter().sum();
+        let chunks_total = grid_total.div_ceil(chunk);
+        let plan = FaultPlan::from_seed(fault_seed, grid_total, chunks_total.max(1));
+
+        let dir = fresh_dir();
+        let campaign = Campaign::new(spec, &dir);
+        let faulty = RunOptions { fault_plan: Some(plan), ..RunOptions::default() };
+        match campaign.run(&Fleet::new(2), &Synthetic, &faulty) {
+            Ok(outcome) => {
+                // Transient panics healed under retry; seeded plans inject
+                // no sticky panics, so nothing may be quarantined.
+                prop_assert!(outcome.complete);
+                prop_assert!(outcome.quarantined.is_empty());
+                prop_assert_eq!(&outcome.aggregates, &want, "seed={}", fault_seed);
+            }
+            Err(CampaignError::Io(msg)) => {
+                // Injected I/O faults surface as typed errors whose damage a
+                // kill could have caused — so a plain resume must recover.
+                prop_assert!(msg.contains("injected fault"), "unexpected io error: {}", msg);
+                let resumed = campaign
+                    .run(&Fleet::new(2), &Synthetic, &RunOptions::default())
+                    .unwrap();
+                prop_assert!(resumed.complete);
+                prop_assert!(resumed.quarantined.is_empty());
+                prop_assert_eq!(&resumed.aggregates, &want, "seed={}", fault_seed);
+            }
+            Err(other) => prop_assert!(false, "unexpected error kind: {}", other),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A sticky injected panic quarantines its trial identically at every
+    /// thread count: same clean aggregates, same quarantine entries, same
+    /// stable reason strings.
+    #[test]
+    fn sticky_panic_quarantine_is_thread_invariant(
+        cells in prop::collection::vec(1u64..8, 1..5),
+        chunk in 1u64..6,
+        master in 0u64..1000,
+        victim in 0u64..32,
+    ) {
+        let spec = spec(&cells, chunk, master);
+        let total: u64 = cells.iter().sum();
+        if total == 0 {
+            return Ok(());
+        }
+        let plan = FaultPlan::new().panic_at(victim % total, true);
+        let faulty = RunOptions { fault_plan: Some(plan), ..RunOptions::default() };
+
+        let mut outcomes = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let dir = fresh_dir();
+            let outcome = Campaign::new(spec.clone(), &dir)
+                .run(&Fleet::new(threads), &Synthetic, &faulty)
+                .unwrap();
+            prop_assert!(outcome.complete);
+            prop_assert_eq!(outcome.quarantined.len(), 1);
+            prop_assert_eq!(outcome.quarantined[0].attempts, 3);
+            outcomes.push((outcome.aggregates, outcome.quarantined));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&outcomes[0], &outcomes[2]);
     }
 
     /// A corrupt manifest is always a clean `ManifestCorrupt`/`Mismatch`

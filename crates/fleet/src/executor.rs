@@ -14,6 +14,59 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+/// A typed executor failure: which worker died and what was lost.
+///
+/// The fleet's workers are panic-free by contract (trial jobs are supposed
+/// to catch their own failures — see the campaign driver's retry/quarantine
+/// layer), so a worker panic reaching the join is a harness bug. The fallible
+/// entry points ([`Fleet::try_run_tasks_with`], [`Fleet::try_run_fold_with`])
+/// surface it as this error instead of re-panicking on the joining thread,
+/// which previously turned one dead worker into a context-free double-panic
+/// abort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetError {
+    /// A worker thread panicked; every result it had buffered is gone.
+    WorkerPanic {
+        /// Index of the worker thread that died (`0..workers`).
+        worker: usize,
+        /// How many task results were lost fleet-wide: `tasks` minus the
+        /// results recovered from workers that finished cleanly.
+        results_lost: usize,
+        /// The panic payload, when it was a string (the common case); a
+        /// placeholder otherwise.
+        payload: String,
+    },
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FleetError::WorkerPanic { worker, results_lost, payload } => write!(
+                f,
+                "fleet worker {worker} panicked ({results_lost} task result(s) lost): {payload}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Renders a panic payload (from `JoinHandle::join` or
+/// `std::panic::catch_unwind`) as a human-readable string: the payload
+/// itself when it was a `String`/`&str` (the overwhelmingly common case), a
+/// placeholder otherwise. Used for [`FleetError`] and by the campaign
+/// layer's quarantine records, whose reasons must be *stable* across
+/// retries — panic messages carry no attempt numbers or addresses.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
 /// Worker-thread count to use when the caller does not specify one: the
 /// `LLC_THREADS` environment variable if set, otherwise the machine's
 /// available parallelism.
@@ -91,6 +144,16 @@ pub trait TrialSource: Sync {
     /// information that is rewound before use (snapshot resets, scratch
     /// buffers), never trial-to-trial history that changes results.
     fn run_trial(&self, worker: &mut Self::Worker, cell: usize, ctx: TrialCtx) -> Self::Item;
+
+    /// Called after a trial panicked inside a `catch_unwind` harness (the
+    /// campaign driver's retry/quarantine path), *before* the trial is
+    /// retried or quarantined. Implementations must drop or rebuild any
+    /// worker state the aborted trial may have left mid-flight — e.g.
+    /// discard a pooled machine checkout rather than return it dirty. The
+    /// default does nothing, which is correct for stateless workers.
+    fn on_trial_panic(&self, worker: &mut Self::Worker) {
+        let _ = worker;
+    }
 }
 
 /// The trial executor: a thread count plus a work-queue chunk size.
@@ -182,16 +245,39 @@ impl Fleet {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut S, usize) -> T + Sync,
     {
+        match self.try_run_tasks_with(tasks, init, job) {
+            Ok(out) => out,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible form of [`Fleet::run_tasks_with`]: a worker-thread panic is
+    /// returned as [`FleetError::WorkerPanic`] (which worker, how many
+    /// results were lost, the payload) instead of re-panicking on the
+    /// joining thread. All workers are joined before the error is built, so
+    /// the count of lost results is exact and no worker outlives the call.
+    pub fn try_run_tasks_with<S, T, I, F>(
+        &self,
+        tasks: usize,
+        init: I,
+        job: F,
+    ) -> Result<Vec<T>, FleetError>
+    where
+        S: Send,
+        T: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, usize) -> T + Sync,
+    {
         if self.threads == 1 || tasks <= 1 {
             let mut state = init(0);
-            return (0..tasks).map(|t| job(&mut state, t)).collect();
+            return Ok((0..tasks).map(|t| job(&mut state, t)).collect());
         }
 
         let workers = self.threads.min(tasks);
         let chunk = self.chunk_for(tasks);
         let cursor = AtomicUsize::new(0);
 
-        let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let joined: Vec<Result<Vec<(usize, T)>, String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let cursor = &cursor;
@@ -213,15 +299,29 @@ impl Fleet {
                     })
                 })
                 .collect();
+            // Join every worker before deciding the outcome, so a panic in
+            // one does not leave others detached and so `results_lost` can
+            // count exactly what the survivors completed.
             handles
                 .into_iter()
-                .flat_map(|h| h.join().expect("fleet worker panicked"))
+                .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
                 .collect()
         });
 
+        if let Some(worker) = joined.iter().position(|r| r.is_err()) {
+            let recovered: usize = joined.iter().flatten().map(|local| local.len()).sum();
+            let payload = joined.into_iter().filter_map(|r| r.err()).next().unwrap_or_default();
+            return Err(FleetError::WorkerPanic {
+                worker,
+                results_lost: tasks - recovered,
+                payload,
+            });
+        }
+
+        let mut tagged: Vec<(usize, T)> = joined.into_iter().flatten().flatten().collect();
         tagged.sort_unstable_by_key(|(t, _)| *t);
         debug_assert!(tagged.iter().enumerate().all(|(i, (t, _))| i == *t));
-        tagged.into_iter().map(|(_, v)| v).collect()
+        Ok(tagged.into_iter().map(|(_, v)| v).collect())
     }
 
     /// Runs `trials` trials and reduces their results through an
@@ -253,6 +353,30 @@ impl Fleet {
         I: Fn(usize) -> S + Sync,
         F: Fn(&mut S, TrialCtx) -> A::Item + Sync,
     {
+        match self.try_run_fold_with(trials, master_seed, init, job) {
+            Ok(agg) => agg,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible form of [`Fleet::run_fold_with`]: a worker-thread panic is
+    /// returned as [`FleetError::WorkerPanic`] instead of re-panicking. The
+    /// lost-result count is the trial count minus the trials folded into the
+    /// surviving workers' partial aggregates.
+    pub fn try_run_fold_with<S, A, I, F>(
+        &self,
+        trials: usize,
+        master_seed: u64,
+        init: I,
+        job: F,
+    ) -> Result<A, FleetError>
+    where
+        S: Send,
+        A: Aggregate + Send,
+        A::Item: Send,
+        I: Fn(usize) -> S + Sync,
+        F: Fn(&mut S, TrialCtx) -> A::Item + Sync,
+    {
         let ctx = |trial: usize| TrialCtx::derive(master_seed, trial, trials);
 
         if self.threads == 1 || trials <= 1 {
@@ -262,14 +386,16 @@ impl Fleet {
                 let item = job(&mut state, ctx(t));
                 agg.record(t as u64, item);
             }
-            return agg;
+            return Ok(agg);
         }
 
         let workers = self.threads.min(trials);
         let chunk = self.chunk_for(trials);
         let cursor = AtomicUsize::new(0);
 
-        std::thread::scope(|scope| {
+        // Each worker reports its partial aggregate plus how many trials it
+        // folded, so a panic elsewhere can still account for lost results.
+        let joined: Vec<Result<(A, usize), String>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|worker| {
                     let cursor = &cursor;
@@ -278,6 +404,7 @@ impl Fleet {
                     scope.spawn(move || {
                         let mut state = init(worker);
                         let mut partial = A::empty();
+                        let mut folded = 0usize;
                         loop {
                             let start = cursor.fetch_add(chunk, Ordering::Relaxed);
                             if start >= trials {
@@ -286,18 +413,34 @@ impl Fleet {
                             for t in start..(start + chunk).min(trials) {
                                 let item = job(&mut state, ctx(t));
                                 partial.record(t as u64, item);
+                                folded += 1;
                             }
                         }
-                        partial
+                        (partial, folded)
                     })
                 })
                 .collect();
-            let mut agg = A::empty();
-            for h in handles {
-                agg.merge(h.join().expect("fleet worker panicked"));
-            }
-            agg
-        })
+            handles
+                .into_iter()
+                .map(|h| h.join().map_err(|p| panic_message(p.as_ref())))
+                .collect()
+        });
+
+        if let Some(worker) = joined.iter().position(|r| r.is_err()) {
+            let recovered: usize = joined.iter().flatten().map(|(_, folded)| folded).sum();
+            let payload = joined.into_iter().filter_map(|r| r.err()).next().unwrap_or_default();
+            return Err(FleetError::WorkerPanic {
+                worker,
+                results_lost: trials - recovered,
+                payload,
+            });
+        }
+
+        let mut agg = A::empty();
+        for (partial, _) in joined.into_iter().flatten() {
+            agg.merge(partial);
+        }
+        Ok(agg)
     }
 }
 
@@ -398,5 +541,57 @@ mod tests {
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
         assert_eq!(Fleet::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_a_typed_error() {
+        let fleet = Fleet::new(4).with_chunk(1);
+        let err = fleet
+            .try_run_tasks_with(
+                32,
+                |_| (),
+                |_, t| {
+                    if t == 13 {
+                        panic!("boom at task {t}");
+                    }
+                    t
+                },
+            )
+            .unwrap_err();
+        let FleetError::WorkerPanic { worker, results_lost, payload } = err;
+        assert!(worker < 4);
+        // The panicking task's result is gone, plus anything still buffered
+        // in the dead worker; survivors' results are all accounted for.
+        assert!((1..=32).contains(&results_lost));
+        assert!(payload.contains("boom at task 13"), "payload: {payload}");
+    }
+
+    #[test]
+    fn fold_worker_panic_surfaces_as_a_typed_error() {
+        let fleet = Fleet::new(2).with_chunk(1);
+        let err = fleet
+            .try_run_fold_with(
+                16,
+                7,
+                |_| (),
+                |_, ctx| {
+                    if ctx.trial == 3 {
+                        panic!("fold boom");
+                    }
+                    true
+                },
+            )
+            .map(|_: Counts| ())
+            .unwrap_err();
+        let FleetError::WorkerPanic { results_lost, payload, .. } = err;
+        assert!(results_lost >= 1);
+        assert!(payload.contains("fold boom"));
+    }
+
+    #[test]
+    fn try_run_tasks_with_matches_infallible_path() {
+        let fleet = Fleet::new(3).with_chunk(2);
+        let ok = fleet.try_run_tasks_with(21, |_| (), |_, t| t * 3).unwrap();
+        assert_eq!(ok, (0..21).map(|t| t * 3).collect::<Vec<_>>());
     }
 }

@@ -53,7 +53,7 @@ pub mod seed;
 pub mod stats;
 
 pub use aggregate::{Aggregate, Counts, Samples, Summary};
-pub use executor::{default_threads, Fleet, TrialCtx, TrialSource};
+pub use executor::{default_threads, panic_message, Fleet, FleetError, TrialCtx, TrialSource};
 pub use seed::{mix64, stream_seed, trial_seed};
 pub use stats::{
     compare_means, compare_rates, ecdf_distance, ks_threshold, MeanComparison, RateComparison,

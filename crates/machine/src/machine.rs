@@ -158,6 +158,7 @@ impl MachineBuilder {
             scratch_locs_sorted: Vec::new(),
             scratch_burst: TenantBurst::default(),
             plan_epoch: 0,
+            trial_deadline: None,
         }
     }
 }
@@ -212,6 +213,7 @@ impl MachineSnapshot {
             scratch_locs_sorted: Vec::new(),
             scratch_burst: TenantBurst::default(),
             plan_epoch: 0,
+            trial_deadline: None,
         }
     }
 }
@@ -341,6 +343,11 @@ pub struct Machine {
     /// snapshot keeps the VA→PA lottery) and a restored epoch could alias a
     /// stale plan onto a machine whose lottery has since been redrawn.
     plan_epoch: u64,
+    /// Armed per-trial virtual-time watchdog as `(deadline_cycle, budget)`;
+    /// `None` when disarmed. Not part of snapshots (the campaign layer arms
+    /// it per trial, after `reset_to`/`reseed`): see
+    /// [`Machine::arm_trial_budget`].
+    trial_deadline: Option<(u64, u64)>,
 }
 
 impl Machine {
@@ -799,6 +806,32 @@ impl Machine {
         self.plan_epoch += 1;
     }
 
+    // ---- trial watchdog -----------------------------------------------------
+
+    /// Arms the per-trial virtual-time watchdog: if the simulated clock would
+    /// advance more than `budget` cycles past its current value, the machine
+    /// panics with the stable message `"trial budget exhausted: <budget>
+    /// virtual cycles"`. The campaign layer's `catch_unwind` retry/quarantine
+    /// path converts that panic into a quarantined trial, so a runaway trial
+    /// (pathological parameter cell, livelocked probe loop) degrades to one
+    /// quarantine entry instead of a hung fleet.
+    ///
+    /// The check runs at the single clock-advance choke point, so it costs
+    /// one comparison per timed operation. Because virtual time is a pure
+    /// function of the trial's accesses, the panic fires at the identical
+    /// point on every retry of the same seed — a budget overrun is by
+    /// construction a *deterministic* failure, which is exactly what the
+    /// retry loop needs to quarantine it. Re-arm per trial (after
+    /// `reset_to`/`reseed`); the deadline is not part of snapshots.
+    pub fn arm_trial_budget(&mut self, budget: u64) {
+        self.trial_deadline = Some((self.clock.saturating_add(budget), budget));
+    }
+
+    /// Disarms the watchdog armed by [`Machine::arm_trial_budget`].
+    pub fn disarm_trial_budget(&mut self) {
+        self.trial_deadline = None;
+    }
+
     // ---- internals ----------------------------------------------------------
 
     fn rng_seed(&mut self) -> u64 {
@@ -879,6 +912,12 @@ impl Machine {
     /// tenant events that happen in the meantime.
     fn tick(&mut self, cost: u64) {
         let target = self.clock + cost;
+        if let Some((deadline, budget)) = self.trial_deadline {
+            // Deterministic by construction: the same trial issues the same
+            // timed operations, so the overrun fires at the same access with
+            // the same payload on every retry.
+            assert!(target <= deadline, "trial budget exhausted: {budget} virtual cycles");
+        }
         if self.host.has_scheduled() {
             self.advance_host(target);
         } else {
@@ -1247,6 +1286,39 @@ mod tests {
         let mut m = quiet_machine();
         m.install_victim(Box::new(PeriodicToucher::new(100, 5, 0)), true, 0);
         let _ = m.snapshot();
+    }
+
+    #[test]
+    fn trial_budget_converts_runaway_time_into_a_deterministic_panic() {
+        let overrun_at = |mut m: Machine| -> (u64, String) {
+            m.arm_trial_budget(500);
+            let mut steps = 0u64;
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| loop {
+                m.idle(100);
+                steps += 1;
+            }))
+            .unwrap_err();
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            (steps, msg)
+        };
+        let (steps_a, msg_a) = overrun_at(quiet_machine());
+        let (steps_b, msg_b) = overrun_at(quiet_machine());
+        // Same machine, same accesses: the overrun fires at the same step
+        // with the same stable payload — the retry loop's quarantine relies
+        // on exactly this.
+        assert_eq!((steps_a, &msg_a), (steps_b, &msg_b));
+        assert!(msg_a.contains("trial budget exhausted: 500 virtual cycles"), "{msg_a}");
+
+        // Disarming (or never arming) lets the clock run free.
+        let mut free = quiet_machine();
+        free.arm_trial_budget(500);
+        free.disarm_trial_budget();
+        free.idle(10_000);
+        assert!(free.now() >= 10_000);
     }
 
     #[test]

@@ -51,6 +51,9 @@ pub struct PoolStats {
     pub acquisitions: u64,
     /// Distinct keys the pool has seen.
     pub keys: u64,
+    /// Machines dropped instead of returned (trial panicked mid-flight, or
+    /// the caller called [`PooledMachine::discard`]).
+    pub discards: u64,
 }
 
 #[derive(Debug)]
@@ -64,6 +67,7 @@ struct PoolInner {
     entries: HashMap<u64, PoolEntry>,
     builds: u64,
     acquisitions: u64,
+    discards: u64,
 }
 
 /// A thread-safe machine pool keyed by caller-supplied configuration hash.
@@ -137,6 +141,7 @@ impl MachinePool {
             builds: inner.builds,
             acquisitions: inner.acquisitions,
             keys: inner.entries.len() as u64,
+            discards: inner.discards,
         }
     }
 
@@ -144,6 +149,16 @@ impl MachinePool {
         let mut inner = self.inner.lock().expect("machine pool poisoned");
         if let Some(entry) = inner.entries.get_mut(&key) {
             entry.idle.push(machine);
+        }
+    }
+
+    fn note_discard(&self) {
+        // `lock()` would poison-panic if the pool mutex was held across a
+        // panic; the pool only ever locks for short bookkeeping, so a
+        // poisoned lock here means the process is already going down —
+        // swallow it rather than double-panic inside a Drop.
+        if let Ok(mut inner) = self.inner.lock() {
+            inner.discards += 1;
         }
     }
 }
@@ -179,6 +194,19 @@ impl PooledMachine {
     pub fn key(&self) -> u64 {
         self.key
     }
+
+    /// Consumes the checkout **without** returning the machine to the pool.
+    ///
+    /// Use after a trial failed mid-flight: the machine's hierarchy state is
+    /// whatever the aborted trial left behind, and while `reset` would
+    /// rewind it, a failed trial may also have left the machine in a state
+    /// the failure itself was a symptom of. Dropping it is the conservative
+    /// choice; the pool rebuilds a sibling from the pristine snapshot on the
+    /// next checkout.
+    pub fn discard(mut self) {
+        self.machine = None;
+        self.pool.note_discard();
+    }
 }
 
 impl Deref for PooledMachine {
@@ -197,7 +225,18 @@ impl DerefMut for PooledMachine {
 impl Drop for PooledMachine {
     fn drop(&mut self) {
         if let Some(machine) = self.machine.take() {
-            self.pool.check_in(self.key, machine);
+            // A checkout dropped during a panic unwind was mid-trial when it
+            // died: its hierarchy state is garbage relative to the pristine
+            // snapshot's contract, so it must not rejoin the idle shelf. The
+            // campaign's catch_unwind retry path also discards explicitly
+            // (the unwind may be caught below this frame), but this guard
+            // makes reuse-after-panic impossible even for direct pool users.
+            if std::thread::panicking() {
+                drop(machine);
+                self.pool.note_discard();
+            } else {
+                self.pool.check_in(self.key, machine);
+            }
         }
     }
 }
@@ -303,5 +342,67 @@ mod tests {
     fn config_key_is_stable_and_spreads() {
         assert_eq!(config_key(b"abc"), config_key(b"abc"));
         assert_ne!(config_key(b"abc"), config_key(b"abd"));
+    }
+
+    #[test]
+    fn discard_drops_the_machine_instead_of_pooling_it() {
+        let pool = MachinePool::new();
+        pool.acquire(1, || build_tiny(7)).discard();
+        assert_eq!(pool.stats().discards, 1);
+        // The shelf is empty, so the next checkout must build a sibling.
+        drop(pool.acquire(1, || build_tiny(7)));
+        assert_eq!(pool.stats().builds, 2);
+    }
+
+    #[test]
+    fn a_checkout_dropped_during_unwind_never_rejoins_the_pool() {
+        let pool = MachinePool::new();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = pool.acquire(1, || build_tiny(7));
+            m.reset();
+            // Dirty the machine mid-"trial", then die holding the checkout.
+            let base = m.alloc_attacker_pages(1);
+            m.timed_access(base);
+            panic!("trial died mid-flight");
+        }));
+        assert!(result.is_err());
+        assert_eq!(pool.stats().discards, 1);
+        let before = pool.stats().builds;
+        drop(pool.acquire(1, || build_tiny(7)));
+        assert_eq!(pool.stats().builds, before + 1, "dirty machine was reused");
+    }
+
+    #[test]
+    fn post_panic_pooled_run_matches_an_unpooled_one() {
+        // The reuse-after-panic pin: after a trial panics while holding a
+        // pooled checkout, the next pooled trial must still be byte-identical
+        // to the same trial on a privately built machine.
+        let probe = |m: &mut Machine| -> Vec<u64> {
+            let base = m.alloc_attacker_pages(4);
+            (0..64)
+                .map(|i| m.timed_access(llc_cache_model::VirtAddr::new(base.raw() + i * 64)).0)
+                .collect()
+        };
+
+        let pool = MachinePool::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = pool.acquire(1, || build_tiny(111));
+            m.reset();
+            m.reseed(999);
+            // Leave half-trial state behind, then panic.
+            let base = m.alloc_attacker_pages(2);
+            m.timed_access(base);
+            panic!("injected");
+        }));
+
+        let mut pooled = pool.acquire(1, || build_tiny(111));
+        pooled.reset();
+        pooled.reseed(5);
+        let lat_pooled = probe(&mut pooled);
+
+        let mut fresh = build_tiny(111);
+        fresh.reseed(5);
+        let lat_fresh = probe(&mut fresh);
+        assert_eq!(lat_pooled, lat_fresh);
     }
 }
